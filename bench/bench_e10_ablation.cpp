@@ -1,0 +1,115 @@
+// E10 -- ablation: how much does seed agreement actually buy?
+//
+// LBAlg's body-round choices (participant groups, the b index) come from
+// seeds shared across a neighborhood.  The ablated variant draws the same
+// distributions from *private* coins -- identical marginals, identical
+// timing structure, no coordination.  The paper's analysis needs the
+// coordination (it bounds the number of distinct schedules per neighborhood
+// by delta); this experiment quantifies the empirical gap on contended
+// neighborhoods and under the anti-schedule adversary.
+#include <memory>
+
+#include "baseline/decay.h"
+#include "bench_support.h"
+#include "stats/montecarlo.h"
+
+namespace dg {
+namespace {
+
+double trial(std::uint64_t seed, bool shared_seeds, std::size_t contenders,
+             bool adversarial) {
+  const auto g = graph::clique_cluster(contenders + 1);
+  lb::LbScales scales;
+  scales.ack_scale = 0.02;
+  auto params =
+      lb::LbParams::calibrated(0.1, 1.5, g.delta(), g.delta_prime(), scales);
+  params.use_shared_seeds = shared_seeds;
+  std::unique_ptr<sim::LinkScheduler> sched;
+  if (adversarial) {
+    // Cliques have no unreliable edges; the adversary only matters on the
+    // contention star, handled below.
+    sched = std::make_unique<sim::ConstantScheduler>(true);
+  } else {
+    sched = std::make_unique<sim::ConstantScheduler>(false);
+  }
+  std::vector<graph::Vertex> senders;
+  for (graph::Vertex v = 1; v <= contenders; ++v) senders.push_back(v);
+  const auto latency =
+      bench::lb_progress_latency(g, std::move(sched), params, senders, 0,
+                                 /*horizon_phases=*/12, seed);
+  return static_cast<double>(latency == 0 ? 12 * params.phase_length()
+                                          : latency);
+}
+
+double star_trial(std::uint64_t seed, bool shared_seeds) {
+  const auto g = bench::contention_star(64);
+  lb::LbScales scales;
+  scales.ack_scale = 0.01;
+  auto params =
+      lb::LbParams::calibrated(0.1, 1.5, g.delta(), g.delta_prime(), scales);
+  params.use_shared_seeds = shared_seeds;
+  std::vector<graph::Vertex> senders;
+  for (graph::Vertex v = 1; v < g.size(); ++v) senders.push_back(v);
+  const auto latency = bench::lb_progress_latency(
+      g, std::make_unique<sim::ConstantScheduler>(true), params, senders, 0,
+      /*horizon_phases=*/10, seed);
+  return static_cast<double>(latency == 0 ? 10 * params.phase_length()
+                                          : latency);
+}
+
+}  // namespace
+}  // namespace dg
+
+int main() {
+  using namespace dg;
+  bench::print_header(
+      "E10: seed-agreement ablation",
+      "LBAlg vs an ablated variant drawing identical distributions from "
+      "private coins\n(no neighborhood coordination).  The analysis requires "
+      "coordination to bound the\nnumber of distinct schedules per "
+      "neighborhood; this measures what it buys\nempirically.  Metric: "
+      "progress latency at a contended receiver.");
+
+  const int trials = 20;
+
+  Table table({"topology", "variant", "progress mean", "progress p90"});
+  for (std::size_t contenders : {8, 32}) {
+    for (bool shared : {true, false}) {
+      const auto samples = stats::run_trials(
+          trials, 0xe10ULL + contenders + (shared ? 1 : 0),
+          [&](std::size_t, std::uint64_t s) {
+            return trial(s, shared, contenders, false);
+          });
+      const auto summary = stats::Summary::of(samples);
+      table.row()
+          .cell("clique k=" + std::to_string(contenders))
+          .cell(shared ? "seeded (LBAlg)" : "ablated (private)")
+          .cell(summary.mean, 1)
+          .cell(summary.p90, 1);
+    }
+  }
+  for (bool shared : {true, false}) {
+    const auto samples = stats::run_trials(
+        trials, 0xe10fULL + (shared ? 1 : 0),
+        [&](std::size_t, std::uint64_t s) { return star_trial(s, shared); });
+    const auto summary = stats::Summary::of(samples);
+    table.row()
+        .cell("unreliable star k=64 (flooded)")
+        .cell(shared ? "seeded (LBAlg)" : "ablated (private)")
+        .cell(summary.mean, 1)
+        .cell(summary.p90, 1);
+  }
+  bench::print_table(table);
+  std::cout << "\nReading: both variants resist the oblivious adversary "
+               "(randomized schedules are\nunpredictable either way), and on "
+               "these benign/flooded workloads the ablated\nvariant is "
+               "somewhat *faster* on cliques: shared seeds make whole groups "
+               "go\nsilent together (correlated non-participation), which "
+               "costs rounds.  What the\nseeds buy is not average-case speed "
+               "but *analyzability*: Lemma C.1's proof\nneeds the number of "
+               "distinct schedules per neighborhood bounded by delta, "
+               "which\nonly the agreement provides -- the worst-case "
+               "guarantee holds for every oblivious\nscheduler, not just the "
+               "ones tried here.  Reported as measured.\n";
+  return 0;
+}

@@ -1,0 +1,167 @@
+// E12 -- the impossibility counterfactual ([11], cited in Related Work):
+// "local broadcast with efficient progress is impossible with an adaptive
+// link scheduler of this type, but is feasible with an oblivious link
+// schedule."
+//
+// The paper assumes obliviousness; this bench shows the assumption is
+// load-bearing.  The TargetedJammer (sim/adaptive.h) picks the unreliable
+// edges AFTER seeing each round's transmit decisions -- illegal in the
+// model.  Its power grows with the traffic available to weaponize, which is
+// exactly the leverage obliviousness denies:
+//
+//   Scenario A (protocol traffic): the receiver's 16 unreliable neighbors
+//   are saturated senders running the same algorithm.  The jammer turns
+//   every coincidental neighbor transmission into a collision -- measurable
+//   degradation, bounded only by how often the protocol's own randomness
+//   leaves it nothing to jam with.
+//
+//   Scenario B (heavy exogenous traffic): the unreliable neighbors carry
+//   always-on foreign traffic.  An oblivious scheduler can only turn that
+//   into constant noise decided in advance; the adaptive jammer turns it
+//   into a perfect shutter -- the receiver never hears anything, for any
+//   algorithm, confirming the impossibility.
+#include <memory>
+
+#include "baseline/decay.h"
+#include "bench_support.h"
+#include "sim/adaptive.h"
+#include "stats/montecarlo.h"
+
+namespace dg {
+namespace {
+
+constexpr std::size_t kUnreliable = 16;
+constexpr sim::Round kHorizon = 4096;
+constexpr int kLogDelta = 5;
+
+/// Heavy exogenous traffic: transmits a fresh message every round.
+class BlasterProcess final : public sim::Process {
+ public:
+  explicit BlasterProcess(sim::ProcessId id) : sim::Process(id) {}
+  std::optional<sim::Packet> transmit(sim::RoundContext&) override {
+    return sim::Packet{id(),
+                       sim::DataPayload{sim::MessageId{id(), ++seq_}, 0}};
+  }
+  void receive(const std::optional<sim::Packet>&,
+               sim::RoundContext&) override {}
+
+ private:
+  std::uint32_t seq_ = 0;
+};
+
+struct Config {
+  bool lbalg = false;     // algorithm under test at the reliable sender
+  bool blasters = false;  // scenario B?
+  bool adaptive = false;  // install the jammer?
+};
+
+double trial(const Config& cfg, std::uint64_t seed) {
+  const auto g = bench::contention_star(kUnreliable);
+  const auto ids = sim::assign_ids(g.size(), seed);
+  sim::ConstantScheduler benign(false);
+
+  lb::LbScales scales;
+  scales.ack_scale = 0.05;
+  const auto lb_params =
+      lb::LbParams::calibrated(0.1, 1.5, g.delta(), g.delta_prime(), scales);
+  baseline::DecayParams decay_params;
+  decay_params.log_delta = kLogDelta;
+  decay_params.ack_rounds = 1 << 20;
+
+  const auto make_protocol_process =
+      [&](graph::Vertex v) -> std::unique_ptr<sim::Process> {
+    if (cfg.lbalg) {
+      return std::make_unique<lb::LbProcess>(lb_params, ids[v], v, nullptr);
+    }
+    return std::make_unique<baseline::DecayProcess>(decay_params, ids[v], v,
+                                                    nullptr);
+  };
+
+  std::vector<std::unique_ptr<sim::Process>> procs;
+  procs.push_back(make_protocol_process(0));  // receiver
+  procs.push_back(make_protocol_process(1));  // reliable sender
+  for (graph::Vertex v = 2; v < g.size(); ++v) {
+    if (cfg.blasters) {
+      procs.push_back(std::make_unique<BlasterProcess>(ids[v]));
+    } else {
+      procs.push_back(make_protocol_process(v));
+    }
+  }
+
+  sim::Engine engine(g, benign, std::move(procs), seed);
+  sim::TargetedJammer jammer(/*target=*/0);
+  if (cfg.adaptive) engine.set_adaptive_adversary(&jammer);
+  stats::FirstReceptionProbe probe(g.size());
+  engine.add_observer(&probe);
+
+  // Keep every protocol sender saturated; step round by round.
+  std::uint64_t content = 0;
+  while (engine.round() < kHorizon && probe.first_reception(0) == 0) {
+    for (graph::Vertex v = 1; v < g.size(); ++v) {
+      if (cfg.blasters && v >= 2) continue;
+      if (cfg.lbalg) {
+        auto& p = dynamic_cast<lb::LbProcess&>(engine.process(v));
+        if (!p.busy()) p.post_bcast(++content);
+      } else {
+        auto& p = dynamic_cast<baseline::DecayProcess&>(engine.process(v));
+        if (!p.busy()) p.post_bcast(++content);
+      }
+    }
+    engine.run_round();
+  }
+  const auto first = probe.first_reception(0);
+  return static_cast<double>(first == 0 ? kHorizon : first);
+}
+
+}  // namespace
+}  // namespace dg
+
+int main() {
+  using namespace dg;
+  bench::print_header(
+      "E12: the adaptive/oblivious feasibility frontier ([11], Related "
+      "Work)",
+      "Claim: progress is impossible under an adaptive link scheduler, "
+      "feasible under an\noblivious one.  Receiver + 1 reliable sender + 16 "
+      "unreliable neighbors.\nScenario A: neighbors run the same protocol, "
+      "saturated.  Scenario B: neighbors\ncarry always-on exogenous "
+      "traffic.  Latency = rounds to the receiver's first\nreception; "
+      "horizon 4096 (= starved).  The jammer sees transmit decisions "
+      "before\nchoosing edges -- outside the model.");
+
+  Table table({"algorithm", "scenario", "adversary", "progress mean",
+               "starved"});
+  const int trials = 12;
+  for (bool lbalg : {false, true}) {
+    for (bool blasters : {false, true}) {
+      for (bool adaptive : {false, true}) {
+        const Config cfg{lbalg, blasters, adaptive};
+        const auto samples = stats::run_trials(
+            trials,
+            0xe12ULL + (lbalg ? 1 : 0) + (blasters ? 2 : 0) +
+                (adaptive ? 4 : 0),
+            [&](std::size_t, std::uint64_t s) { return trial(cfg, s); });
+        const auto summary = stats::Summary::of(samples);
+        std::size_t starved = 0;
+        for (double v : samples) {
+          if (v >= static_cast<double>(kHorizon)) ++starved;
+        }
+        table.row()
+            .cell(lbalg ? "lbalg" : "decay")
+            .cell(blasters ? "B: exogenous traffic" : "A: protocol traffic")
+            .cell(adaptive ? "ADAPTIVE jammer" : "oblivious benign")
+            .cell(summary.mean, 1)
+            .cell(std::to_string(starved) + "/" + std::to_string(trials));
+      }
+    }
+  }
+  bench::print_table(table);
+  std::cout << "\nShape check: in scenario B the adaptive jammer starves "
+               "every trial for every\nalgorithm while the oblivious "
+               "scheduler is harmless -- the [11] impossibility,\n"
+               "realized.  In scenario A it degrades progress by whatever "
+               "fraction of rounds\nthe protocol hands it collision "
+               "material.  Obliviousness is what makes the\npaper's "
+               "guarantees possible at all.\n";
+  return 0;
+}

@@ -1,0 +1,140 @@
+// E6 -- the paper's motivating claim (Section 1, Discussion): a fixed
+// broadcast-probability schedule (Decay) is thwarted by an oblivious link
+// scheduler built from its (public, deterministic) schedule, while LBAlg's
+// runtime-permuted schedules are immune -- the whole point of seed
+// agreement.
+//
+// Topology: receiver with 1 reliable sender + k unreliable neighbors, all
+// saturated.  Schedulers: benign (no unreliable edges), anti-schedule
+// (floods the high-probability rounds of Decay's cycle), flood (all edges
+// always).  Metric: progress latency at the receiver, normalized per
+// algorithm to its own benign baseline -- the shape claim is the
+// adversarial/benign ratio.
+#include <memory>
+
+#include "baseline/decay.h"
+#include "bench_support.h"
+#include "stats/montecarlo.h"
+
+namespace dg {
+namespace {
+
+constexpr std::size_t kUnreliable = 64;
+constexpr int kLogDelta = 7;
+
+enum class Sched { benign, anti, flood };
+
+std::unique_ptr<sim::LinkScheduler> make_sched(Sched kind) {
+  switch (kind) {
+    case Sched::benign:
+      return std::make_unique<sim::ConstantScheduler>(false);
+    case Sched::anti:
+      return std::make_unique<sim::AntiScheduleAdversary>(
+          [](sim::Round t) {
+            return baseline::decay_probability(t, kLogDelta);
+          },
+          /*pivot=*/1.0 / 16.0);
+    case Sched::flood:
+      return std::make_unique<sim::ConstantScheduler>(true);
+  }
+  return nullptr;
+}
+
+const char* sched_name(Sched kind) {
+  switch (kind) {
+    case Sched::benign:
+      return "benign";
+    case Sched::anti:
+      return "anti-schedule";
+    case Sched::flood:
+      return "flood";
+  }
+  return "?";
+}
+
+double decay_trial(Sched kind, std::uint64_t seed) {
+  const auto g = bench::contention_star(kUnreliable);
+  const auto ids = sim::assign_ids(g.size(), seed);
+  baseline::DecayParams params;
+  params.log_delta = kLogDelta;
+  params.ack_rounds = 1 << 20;
+  auto sched = make_sched(kind);
+  std::vector<std::unique_ptr<sim::Process>> procs;
+  for (graph::Vertex v = 0; v < g.size(); ++v) {
+    procs.push_back(
+        std::make_unique<baseline::DecayProcess>(params, ids[v], v, nullptr));
+  }
+  sim::Engine engine(g, *sched, std::move(procs), seed);
+  stats::FirstReceptionProbe probe(g.size());
+  engine.add_observer(&probe);
+  for (graph::Vertex v = 1; v < g.size(); ++v) {
+    dynamic_cast<baseline::DecayProcess&>(engine.process(v)).post_bcast(v);
+  }
+  const sim::Round horizon = 4096;
+  engine.run_rounds(horizon);
+  const auto first = probe.first_reception(0);
+  return static_cast<double>(first == 0 ? horizon : first);
+}
+
+double lbalg_trial(Sched kind, std::uint64_t seed) {
+  const auto g = bench::contention_star(kUnreliable);
+  lb::LbScales scales;
+  scales.ack_scale = 0.01;
+  const auto params =
+      lb::LbParams::calibrated(0.1, 1.5, g.delta(), g.delta_prime(), scales);
+  std::vector<graph::Vertex> senders;
+  for (graph::Vertex v = 1; v < g.size(); ++v) senders.push_back(v);
+  const auto latency = bench::lb_progress_latency(
+      g, make_sched(kind), params, senders, /*receiver=*/0,
+      /*horizon_phases=*/10, seed);
+  return static_cast<double>(
+      latency == 0 ? 10 * params.phase_length() : latency);
+}
+
+}  // namespace
+}  // namespace dg
+
+int main() {
+  using namespace dg;
+  bench::print_header(
+      "E6: fixed schedules vs seed-permuted schedules under an oblivious "
+      "adversary",
+      "Claim (Discussion, Sec. 1): an oblivious scheduler keyed to Decay's "
+      "fixed schedule\nruins its progress; LBAlg permutes its schedule with "
+      "runtime seeds, so the same\nadversary cannot target it.  Receiver "
+      "with 1 reliable sender + 64 unreliable\nneighbors, all saturated.  "
+      "Metric: mean progress latency (rounds), and the\nratio to the "
+      "algorithm's own benign baseline.");
+
+  Table table({"algorithm", "scheduler", "progress mean", "progress p90",
+               "vs own benign"});
+  const int trials = 20;
+
+  for (const char* algo : {"decay", "lbalg"}) {
+    double benign_mean = 0;
+    for (Sched kind : {Sched::benign, Sched::anti, Sched::flood}) {
+      const auto samples = stats::run_trials(
+          trials,
+          0xe6ULL + static_cast<std::uint64_t>(kind) * 131 + algo[0],
+          [&](std::size_t, std::uint64_t s) {
+            return std::string(algo) == "decay" ? decay_trial(kind, s)
+                                                : lbalg_trial(kind, s);
+          });
+      const auto summary = stats::Summary::of(samples);
+      if (kind == Sched::benign) benign_mean = summary.mean;
+      table.row()
+          .cell(algo)
+          .cell(sched_name(kind))
+          .cell(summary.mean, 1)
+          .cell(summary.p90, 1)
+          .cell(summary.mean / benign_mean, 2);
+    }
+  }
+  bench::print_table(table);
+  std::cout << "\nShape check: Decay's anti-schedule ratio blows up "
+               "(crossover: the adversary\nthat breaks the fixed schedule "
+               "leaves LBAlg's ratio near 1).  LBAlg's absolute\nlatency is "
+               "larger (it pays the seed-agreement preamble) -- the claim is "
+               "about\nrobustness, not constants.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Engine micro-benchmarks (google-benchmark): raw round-execution
+// throughput of the simulator substrate.  Not a paper claim -- a regression
+// guard for the experiment harness itself.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "graph/generators.h"
+#include "lb/simulation.h"
+#include "sim/engine.h"
+#include "sim/scheduler.h"
+
+namespace dg {
+namespace {
+
+void BM_EngineRound(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  graph::GeometricSpec spec;
+  spec.n = n;
+  spec.side = std::sqrt(static_cast<double>(n)) / 2.5;
+  spec.r = 1.5;
+  const auto g = graph::random_geometric(spec, rng);
+  lb::LbScales scales;
+  scales.ack_scale = 0.01;
+  const auto params =
+      lb::LbParams::calibrated(0.1, 1.5, g.delta(), g.delta_prime(), scales);
+  lb::LbSimulation sim(g, std::make_unique<sim::BernoulliScheduler>(0.5),
+                       params, 99);
+  sim.keep_busy({0});
+  for (auto _ : state) {
+    sim.run_round();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EngineRound)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_SchedulerActive(benchmark::State& state) {
+  const auto g = graph::grid(16, 16, 1.0, 1.5);
+  sim::BernoulliScheduler sched(0.5);
+  sched.commit(g, 42);
+  sim::Round round = 1;
+  for (auto _ : state) {
+    for (graph::UnreliableEdgeId e = 0;
+         e < static_cast<graph::UnreliableEdgeId>(g.unreliable_edge_count());
+         ++e) {
+      benchmark::DoNotOptimize(sched.active(e, round));
+    }
+    ++round;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.unreliable_edge_count()));
+}
+BENCHMARK(BM_SchedulerActive);
+
+void BM_SeedBitsTake(benchmark::State& state) {
+  SeedBits bits(0x1234);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bits.take(7));
+  }
+}
+BENCHMARK(BM_SeedBitsTake);
+
+}  // namespace
+}  // namespace dg
+
+BENCHMARK_MAIN();

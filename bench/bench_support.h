@@ -1,0 +1,84 @@
+// Shared helpers for the experiment benches (E1..E10).
+//
+// Every bench binary regenerates one of the paper's quantitative claims as
+// a printed table: a header states the claim being reproduced, the rows are
+// the measured sweep.  EXPERIMENTS.md records the expected vs observed
+// shape for each.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/dual_graph.h"
+#include "graph/generators.h"
+#include "lb/simulation.h"
+#include "sim/scheduler.h"
+#include "stats/probes.h"
+#include "stats/summary.h"
+#include "util/table.h"
+
+namespace dg::bench {
+
+inline void print_header(const std::string& experiment,
+                         const std::string& claim) {
+  std::cout << "\n=== " << experiment << " ===\n" << claim << "\n\n";
+}
+
+inline void print_table(const Table& table) {
+  table.print(std::cout);
+  std::cout << std::flush;
+}
+
+/// The contention-star topology of the paper's Discussion section: receiver
+/// 0, one reliable sender (vertex 1), and `unreliable_neighbors` vertices
+/// attached to the receiver by unreliable edges only.
+inline graph::DualGraph contention_star(std::size_t unreliable_neighbors) {
+  graph::DualGraph g(unreliable_neighbors + 2);
+  g.add_reliable_edge(0, 1);
+  for (graph::Vertex v = 2; v < unreliable_neighbors + 2; ++v) {
+    g.add_unreliable_edge(0, v);
+  }
+  g.finalize();
+  return g;
+}
+
+/// Disjoint union of `cliques` cliques of `clique_size` mutually-reliable
+/// nodes: the fixed-Delta, growing-n family for the locality experiments.
+inline graph::DualGraph disjoint_cliques(std::size_t cliques,
+                                         std::size_t clique_size) {
+  graph::DualGraph g(cliques * clique_size);
+  for (std::size_t c = 0; c < cliques; ++c) {
+    for (std::size_t i = 0; i < clique_size; ++i) {
+      for (std::size_t j = i + 1; j < clique_size; ++j) {
+        g.add_reliable_edge(
+            static_cast<graph::Vertex>(c * clique_size + i),
+            static_cast<graph::Vertex>(c * clique_size + j));
+      }
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+/// Measures LBAlg progress latency: rounds until the designated receiver's
+/// first data reception, with `senders` kept saturated.  Returns 0 when the
+/// receiver never received within `horizon_phases`.
+inline sim::Round lb_progress_latency(
+    const graph::DualGraph& g, std::unique_ptr<sim::LinkScheduler> scheduler,
+    const lb::LbParams& params, const std::vector<graph::Vertex>& senders,
+    graph::Vertex receiver, std::int64_t horizon_phases, std::uint64_t seed) {
+  lb::LbSimulation sim(g, std::move(scheduler), params, seed);
+  stats::FirstReceptionProbe probe(g.size());
+  sim.add_observer(&probe);
+  sim.keep_busy(senders);
+  for (std::int64_t p = 0; p < horizon_phases; ++p) {
+    sim.run_phases(1);
+    if (probe.first_reception(receiver) != 0) break;
+  }
+  return probe.first_reception(receiver);
+}
+
+}  // namespace dg::bench

@@ -1,0 +1,129 @@
+// Adversarial links demo: the scenario from the paper's Discussion section,
+// live.
+//
+//   $ ./examples/adversarial_links
+//
+// A receiver sits next to one reliable sender and 64 unreliable neighbors.
+// An oblivious adversary -- legal under the dual graph model, because it
+// commits its whole schedule before round 1 -- reads Decay's *published*
+// probability schedule and floods the unreliable edges exactly in the
+// high-probability rounds.  Decay, the textbook strategy for reliable radio
+// networks, collapses.  LBAlg draws its schedule from seeds agreed at
+// runtime, after the adversary has committed; the same adversary has
+// nothing to aim at.
+#include <iostream>
+#include <memory>
+
+#include "baseline/decay.h"
+#include "graph/dual_graph.h"
+#include "lb/simulation.h"
+#include "sim/engine.h"
+#include "stats/probes.h"
+#include "stats/summary.h"
+
+namespace {
+
+constexpr std::size_t kUnreliable = 64;
+constexpr int kLogDelta = 7;
+
+dg::graph::DualGraph make_star() {
+  dg::graph::DualGraph g(kUnreliable + 2);
+  g.add_reliable_edge(0, 1);
+  for (dg::graph::Vertex v = 2; v < kUnreliable + 2; ++v) {
+    g.add_unreliable_edge(0, v);
+  }
+  g.finalize();
+  return g;
+}
+
+double decay_progress(bool adversarial, std::uint64_t seed) {
+  const auto g = make_star();
+  const auto ids = dg::sim::assign_ids(g.size(), seed);
+  dg::baseline::DecayParams params;
+  params.log_delta = kLogDelta;
+  params.ack_rounds = 1 << 20;
+  std::unique_ptr<dg::sim::LinkScheduler> sched;
+  if (adversarial) {
+    sched = std::make_unique<dg::sim::AntiScheduleAdversary>(
+        [](dg::sim::Round t) {
+          return dg::baseline::decay_probability(t, kLogDelta);
+        },
+        /*pivot=*/1.0 / 16.0);
+  } else {
+    sched = std::make_unique<dg::sim::ConstantScheduler>(false);
+  }
+  std::vector<std::unique_ptr<dg::sim::Process>> procs;
+  for (dg::graph::Vertex v = 0; v < g.size(); ++v) {
+    procs.push_back(std::make_unique<dg::baseline::DecayProcess>(
+        params, ids[v], v, nullptr));
+  }
+  dg::sim::Engine engine(g, *sched, std::move(procs), seed);
+  dg::stats::FirstReceptionProbe probe(g.size());
+  engine.add_observer(&probe);
+  for (dg::graph::Vertex v = 1; v < g.size(); ++v) {
+    dynamic_cast<dg::baseline::DecayProcess&>(engine.process(v)).post_bcast(v);
+  }
+  engine.run_rounds(4096);
+  const auto first = probe.first_reception(0);
+  return static_cast<double>(first == 0 ? 4096 : first);
+}
+
+double lbalg_progress(bool adversarial, std::uint64_t seed) {
+  const auto g = make_star();
+  dg::lb::LbScales scales;
+  scales.ack_scale = 0.01;
+  const auto params = dg::lb::LbParams::calibrated(0.1, 1.5, g.delta(),
+                                                   g.delta_prime(), scales);
+  std::unique_ptr<dg::sim::LinkScheduler> sched;
+  if (adversarial) {
+    sched = std::make_unique<dg::sim::AntiScheduleAdversary>(
+        [](dg::sim::Round t) {
+          return dg::baseline::decay_probability(t, kLogDelta);
+        },
+        /*pivot=*/1.0 / 16.0);
+  } else {
+    sched = std::make_unique<dg::sim::ConstantScheduler>(false);
+  }
+  dg::lb::LbSimulation sim(g, std::move(sched), params, seed);
+  dg::stats::FirstReceptionProbe probe(g.size());
+  sim.add_observer(&probe);
+  std::vector<dg::graph::Vertex> senders;
+  for (dg::graph::Vertex v = 1; v < g.size(); ++v) senders.push_back(v);
+  sim.keep_busy(senders);
+  for (int p = 0; p < 10 && probe.first_reception(0) == 0; ++p) {
+    sim.run_phases(1);
+  }
+  const auto first = probe.first_reception(0);
+  return static_cast<double>(first == 0 ? 4096 : first);
+}
+
+void report(const char* name, double (*run)(bool, std::uint64_t)) {
+  std::vector<double> benign, adv;
+  for (std::uint64_t s = 1; s <= 15; ++s) {
+    benign.push_back(run(false, s));
+    adv.push_back(run(true, s));
+  }
+  const auto b = dg::stats::Summary::of(benign);
+  const auto a = dg::stats::Summary::of(adv);
+  std::cout << "  " << name << ":  benign " << b.mean
+            << " rounds,  anti-schedule " << a.mean
+            << " rounds   (degradation x" << a.mean / b.mean << ")\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout
+      << "One receiver, 1 reliable sender, 64 unreliable neighbors -- all "
+         "saturated.\nMean rounds until the receiver first hears anything "
+         "(15 trials):\n\n";
+  report("Decay (fixed schedule)  ", decay_progress);
+  report("LBAlg (seed-permuted)   ", lbalg_progress);
+  std::cout
+      << "\nThe adversary is oblivious -- completely legal in the dual "
+         "graph model -- yet\nit cripples the fixed schedule.  LBAlg's "
+         "schedule is sampled after the\nadversary commits, which is "
+         "precisely why the paper routes all shared\nrandomness through "
+         "seed agreement.\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Abstract MAC layer demo: multi-message broadcast over a multihop grid
+// with unreliable links -- the paper's compositionality story end to end.
+//
+//   $ ./examples/amac_flood
+//
+// Three data items start at three corners of a 6x4 grid whose diagonal
+// links are unreliable (present each round only at the whim of the
+// oblivious scheduler).  Every node runs the flood-relay multi-message
+// broadcast of Ghaffari et al. written purely against the abstract MAC
+// interface (bcast/ack/rcv) -- it compiles against *any* MAC
+// implementation.  Here it runs over LbMacLayer, the paper's dual-graph
+// implementation, and completes despite the link chaos.
+#include <iostream>
+#include <memory>
+
+#include "amac/lb_amac.h"
+#include "amac/mmb.h"
+#include "graph/generators.h"
+#include "lb/simulation.h"
+#include "sim/scheduler.h"
+
+int main() {
+  const auto net = dg::graph::grid(6, 4, 1.0, 1.5);
+  std::cout << "6x4 grid: n=" << net.size() << "  Delta=" << net.delta()
+            << "  unreliable (diagonal) edges=" << net.unreliable_edge_count()
+            << "\n";
+
+  dg::lb::LbScales scales;
+  scales.ack_scale = 0.1;
+  const auto params = dg::lb::LbParams::calibrated(
+      0.1, 1.5, net.delta(), net.delta_prime(), scales);
+  dg::lb::LbSimulation sim(
+      net, std::make_unique<dg::sim::BernoulliScheduler>(0.3), params, 7);
+
+  dg::amac::LbMacLayer mac(sim);
+  const auto bounds = mac.bounds();
+  std::cout << "abstract MAC bounds: f_ack=" << bounds.f_ack
+            << "  f_prog=" << bounds.f_prog << "  eps=" << bounds.eps
+            << "\n\n";
+
+  std::vector<dg::amac::MmbNode> nodes(net.size());
+  std::vector<dg::amac::MacApplication*> apps;
+  for (auto& n : nodes) apps.push_back(&n);
+  mac.attach(apps);
+
+  // Three items at three corners.
+  nodes[0].inject(101);                    // bottom-left
+  nodes[5].inject(202);                    // bottom-right
+  nodes[net.size() - 1].inject(303);       // top-right
+
+  const std::int64_t step = params.phase_length();
+  std::int64_t completed_at = -1;
+  for (int i = 0; i < 400; ++i) {
+    mac.run_rounds(step);
+    bool all = true;
+    for (const auto& n : nodes) {
+      if (n.known().size() < 3) {
+        all = false;
+        break;
+      }
+    }
+    if (all) {
+      completed_at = sim.round();
+      break;
+    }
+  }
+
+  std::size_t total_known = 0;
+  for (const auto& n : nodes) total_known += n.known().size();
+  std::cout << "coverage: " << total_known << "/" << 3 * net.size()
+            << " (item, node) pairs\n";
+  if (completed_at > 0) {
+    std::cout << "all three items reached all " << net.size()
+              << " nodes by round " << completed_at << " ("
+              << completed_at / step << " phases)\n";
+  } else {
+    std::cout << "flood incomplete within the horizon\n";
+  }
+  std::cout << "\nspec verdicts from the underlying LB layer: timely-ack="
+            << (sim.report().timely_ack_ok ? "OK" : "VIOLATED")
+            << " validity=" << (sim.report().validity_ok ? "OK" : "VIOLATED")
+            << "\n";
+  return 0;
+}

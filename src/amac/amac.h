@@ -1,0 +1,59 @@
+// The abstract MAC layer interface (Kuhn, Lynch, Newport [14, 16]).
+//
+// The abstract MAC layer exposes local broadcast as a service with bcast
+// inputs and ack/rcv outputs, characterized by an acknowledgement bound
+// f_ack, a progress bound f_prog, and (in the probabilistic variant) an
+// error bound eps.  Algorithms written against this interface (the paper's
+// "growing corpus": multi-message broadcast [9, 10], consensus [20],
+// neighbor discovery [5, 6], ...) port to any model with an implementation
+// of the layer.  Section 1/5 of the paper observes that LBAlg is such an
+// implementation for the dual graph model; src/amac/lb_amac.h realizes the
+// adaptation.
+//
+// Applications here see *only* this interface: no topology, no process ids
+// of others, no model internals -- which is what makes the E9 experiment a
+// genuine test of the compositionality claim.
+#pragma once
+
+#include <cstdint>
+
+namespace dg::amac {
+
+/// Application-side callbacks (the layer's outputs).
+class MacClient {
+ public:
+  virtual ~MacClient() = default;
+  /// rcv(m): a message with this content arrived from some G'-neighbor.
+  virtual void on_rcv(std::uint64_t content) = 0;
+  /// ack(m): the layer finished delivering the node's own bcast(content).
+  virtual void on_ack(std::uint64_t content) = 0;
+};
+
+/// One node's handle on the layer (the layer's inputs).
+class MacEndpoint {
+ public:
+  virtual ~MacEndpoint() = default;
+  /// bcast(m): start broadcasting `content` to all reliable neighbors.
+  /// Returns false (and does nothing) while a previous bcast is unacked.
+  virtual bool bcast(std::uint64_t content) = 0;
+  /// abort(m): cancel the outstanding bcast; no ack will follow.  Returns
+  /// false when nothing was outstanding.
+  virtual bool abort() = 0;
+  virtual bool busy() const = 0;
+};
+
+/// The layer's advertised guarantees.
+struct MacBounds {
+  std::int64_t f_ack = 0;   ///< rounds from bcast to ack
+  std::int64_t f_prog = 0;  ///< rounds to receive something near a sender
+  double eps = 0.0;         ///< per-guarantee failure probability
+};
+
+/// A per-node application driven in lockstep with the rounds: `step` runs in
+/// the input portion of each round and may call `endpoint.bcast`.
+class MacApplication : public MacClient {
+ public:
+  virtual void step(MacEndpoint& endpoint) = 0;
+};
+
+}  // namespace dg::amac

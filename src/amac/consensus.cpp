@@ -1,0 +1,59 @@
+#include "amac/consensus.h"
+
+#include "util/assert.h"
+
+namespace dg::amac {
+
+ConsensusNode::ConsensusNode(std::uint32_t initial_value,
+                             std::uint32_t priority, int cycles)
+    : value_(initial_value), priority_(priority), cycles_left_(cycles) {
+  DG_EXPECTS(cycles >= 1);
+}
+
+void ConsensusNode::step(MacEndpoint& endpoint) {
+  if (decided_) return;
+  if (champion_changed_ && endpoint.busy()) {
+    // The in-flight broadcast carries a stale champion: cancel it and
+    // re-broadcast the new one.
+    endpoint.abort();
+    broadcasting_ = false;
+    champion_changed_ = false;
+  }
+  if (!endpoint.busy() && cycles_left_ > 0) {
+    if (endpoint.bcast(encode(priority_, value_))) {
+      broadcasting_ = true;
+      champion_changed_ = false;
+    }
+  }
+}
+
+void ConsensusNode::on_rcv(std::uint64_t content) {
+  if (decided_) return;
+  const std::uint32_t p = priority_of(content);
+  const std::uint32_t v = value_of(content);
+  // Adopt strictly better champions; break priority ties toward the larger
+  // value so all nodes converge on identical (priority, value) pairs.
+  if (p > priority_ || (p == priority_ && v > value_)) {
+    priority_ = p;
+    value_ = v;
+    champion_changed_ = true;
+    // Re-announce the adopted champion at least once.
+    if (cycles_left_ < 1) cycles_left_ = 1;
+  }
+}
+
+void ConsensusNode::on_ack(std::uint64_t) {
+  if (decided_ || !broadcasting_) return;
+  broadcasting_ = false;
+  if (champion_changed_) return;  // ack was for a stale champion
+  if (--cycles_left_ <= 0) {
+    decided_ = true;
+  }
+}
+
+std::uint32_t ConsensusNode::decision() const {
+  DG_EXPECTS(decided_);
+  return value_;
+}
+
+}  // namespace dg::amac

@@ -1,0 +1,63 @@
+// Consensus over the abstract MAC layer (in the spirit of Newport,
+// "Consensus with an Abstract MAC Layer", PODC 2014 [20]).
+//
+// Single-hop binary/multi-valued consensus using nothing but bcast/abort/
+// ack/rcv -- no ids, no knowledge of n, which is exactly the regime the
+// abstract MAC line of work targets.  Each node draws a random priority and
+// champions (priority, value) pairs: it repeatedly broadcasts its champion,
+// adopting any higher-priority champion it hears.  Hearing a better
+// champion mid-broadcast *aborts* the now-stale broadcast (the layer's
+// abort input doing real work).  After `cycles` acknowledged broadcasts of
+// its final champion, a node decides.
+//
+// Guarantees (single-hop network, MAC error eps): validity always
+// (champions originate from initial values); agreement with probability
+// >= 1 - n * eps (the max-priority champion reaches everyone via the
+// reliability guarantee); termination deterministic (bounded cycles since
+// adoptions strictly increase priority).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "amac/amac.h"
+
+namespace dg::amac {
+
+class ConsensusNode final : public MacApplication {
+ public:
+  /// `initial_value` is this node's proposal (32 bits); `priority` should
+  /// be an independent uniform draw (32 bits) -- ties broken by value.
+  ConsensusNode(std::uint32_t initial_value, std::uint32_t priority,
+                int cycles = 2);
+
+  void step(MacEndpoint& endpoint) override;
+  void on_rcv(std::uint64_t content) override;
+  void on_ack(std::uint64_t content) override;
+
+  bool decided() const noexcept { return decided_; }
+  /// Valid only once decided().
+  std::uint32_t decision() const;
+  std::uint32_t champion_priority() const noexcept { return priority_; }
+
+  /// Content wire format: (priority << 32) | value.
+  static std::uint64_t encode(std::uint32_t priority, std::uint32_t value) {
+    return (static_cast<std::uint64_t>(priority) << 32) | value;
+  }
+  static std::uint32_t priority_of(std::uint64_t content) {
+    return static_cast<std::uint32_t>(content >> 32);
+  }
+  static std::uint32_t value_of(std::uint64_t content) {
+    return static_cast<std::uint32_t>(content & 0xffffffffULL);
+  }
+
+ private:
+  std::uint32_t value_;
+  std::uint32_t priority_;
+  int cycles_left_;
+  bool broadcasting_ = false;
+  bool champion_changed_ = false;  // adopted a better champion mid-flight
+  bool decided_ = false;
+};
+
+}  // namespace dg::amac

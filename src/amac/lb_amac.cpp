@@ -1,0 +1,67 @@
+#include "amac/lb_amac.h"
+
+#include "util/assert.h"
+
+namespace dg::amac {
+
+bool LbMacLayer::Endpoint::bcast(std::uint64_t content) {
+  if (sim_->busy(v_)) return false;
+  sim_->post_bcast(v_, content);
+  return true;
+}
+
+LbMacLayer::LbMacLayer(lb::LbSimulation& sim) : sim_(&sim) {
+  const auto n = static_cast<graph::Vertex>(sim.network().size());
+  endpoints_.reserve(n);
+  for (graph::Vertex v = 0; v < n; ++v) {
+    endpoints_.emplace_back(sim, v);
+  }
+  sim_->set_extra_listener(this);
+}
+
+void LbMacLayer::attach(std::vector<MacApplication*> apps) {
+  DG_EXPECTS(apps.size() == sim_->network().size());
+  for (const auto* app : apps) {
+    DG_EXPECTS(app != nullptr);
+  }
+  apps_ = std::move(apps);
+}
+
+void LbMacLayer::run_rounds(std::int64_t count) {
+  DG_EXPECTS(!apps_.empty());
+  for (std::int64_t i = 0; i < count; ++i) {
+    for (graph::Vertex v = 0; v < static_cast<graph::Vertex>(apps_.size());
+         ++v) {
+      apps_[v]->step(endpoints_[v]);
+    }
+    sim_->run_round();
+  }
+}
+
+MacBounds LbMacLayer::bounds() const {
+  const lb::LbParams& p = sim_->params();
+  return MacBounds{p.t_ack_bound(), p.t_prog_bound(), p.eps1};
+}
+
+MacEndpoint& LbMacLayer::endpoint(graph::Vertex v) {
+  DG_EXPECTS(v < endpoints_.size());
+  return endpoints_[v];
+}
+
+void LbMacLayer::on_ack(graph::Vertex vertex, const sim::MessageId&,
+                        sim::Round) {
+  if (vertex < apps_.size()) {
+    // The abstract MAC ack does not carry the MessageId; applications track
+    // their own outstanding content.
+    apps_[vertex]->on_ack(0);
+  }
+}
+
+void LbMacLayer::on_recv(graph::Vertex vertex, const sim::MessageId&,
+                         std::uint64_t content, sim::Round) {
+  if (vertex < apps_.size()) {
+    apps_[vertex]->on_rcv(content);
+  }
+}
+
+}  // namespace dg::amac

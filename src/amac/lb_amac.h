@@ -1,0 +1,63 @@
+// LbMacLayer: the abstract MAC layer implemented by LBAlg in the dual graph
+// model (the adaptation sketched in Sections 1 and 5 of the paper).
+//
+// The mediation work the paper describes -- aligning the round/receive-level
+// LB definition with the event-level abstract MAC specification -- amounts
+// to: (1) translating bcast calls into LB bcast inputs at round boundaries,
+// (2) fanning LB ack/recv outputs into per-node client callbacks, and
+// (3) exporting (f_ack, f_prog, eps) = (t_ack, t_prog, eps1) from the LB
+// parameters.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "amac/amac.h"
+#include "lb/simulation.h"
+
+namespace dg::amac {
+
+class LbMacLayer final : public lb::LbListener {
+ public:
+  /// Attaches to a simulation (must outlive the layer); installs itself as
+  /// the simulation's extra listener.
+  explicit LbMacLayer(lb::LbSimulation& sim);
+
+  /// Binds one application per vertex (the vector length must equal the
+  /// network size).  Applications are owned by the caller.
+  void attach(std::vector<MacApplication*> apps);
+
+  /// Runs `count` rounds: each round, every application's step() may issue
+  /// bcasts (input step), then the network round executes.
+  void run_rounds(std::int64_t count);
+
+  MacBounds bounds() const;
+
+  MacEndpoint& endpoint(graph::Vertex v);
+
+  // lb::LbListener (outputs from the LB service):
+  void on_ack(graph::Vertex vertex, const sim::MessageId& m,
+              sim::Round round) override;
+  void on_recv(graph::Vertex vertex, const sim::MessageId& m,
+               std::uint64_t content, sim::Round round) override;
+
+ private:
+  class Endpoint final : public MacEndpoint {
+   public:
+    Endpoint(lb::LbSimulation& sim, graph::Vertex v) : sim_(&sim), v_(v) {}
+    bool bcast(std::uint64_t content) override;
+    bool abort() override { return sim_->post_abort(v_).has_value(); }
+    bool busy() const override { return sim_->busy(v_); }
+
+   private:
+    lb::LbSimulation* sim_;
+    graph::Vertex v_;
+  };
+
+  lb::LbSimulation* sim_;
+  std::vector<Endpoint> endpoints_;
+  std::vector<MacApplication*> apps_;
+};
+
+}  // namespace dg::amac

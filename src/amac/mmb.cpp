@@ -1,0 +1,27 @@
+#include "amac/mmb.h"
+
+namespace dg::amac {
+
+void MmbNode::inject(std::uint64_t content) {
+  if (known_.insert(content).second) {
+    queue_.push_back(content);
+  }
+}
+
+void MmbNode::step(MacEndpoint& endpoint) {
+  if (queue_.empty() || endpoint.busy()) return;
+  if (endpoint.bcast(queue_.front())) {
+    queue_.pop_front();
+  }
+}
+
+void MmbNode::on_rcv(std::uint64_t content) {
+  // Relay each content exactly once.
+  if (known_.insert(content).second) {
+    queue_.push_back(content);
+  }
+}
+
+void MmbNode::on_ack(std::uint64_t) {}
+
+}  // namespace dg::amac

@@ -1,0 +1,46 @@
+// Multi-message broadcast over the abstract MAC layer.
+//
+// The flood-relay algorithm in the style of Ghaffari, Kantor, Lynch,
+// Newport [9, 10]: k messages start at arbitrary source nodes and must
+// reach every node of the (G-connected) network.  Each node relays every
+// content it learns exactly once, as soon as its MAC endpoint is idle.  The
+// algorithm uses only bcast/ack/rcv -- composing it with LbMacLayer ports
+// it to the dual graph model, the paper's headline compositionality claim
+// (experiment E9).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+
+#include "amac/amac.h"
+
+namespace dg::amac {
+
+class MmbNode final : public MacApplication {
+ public:
+  MmbNode() = default;
+
+  /// Injects an initial message at this node (a source).
+  void inject(std::uint64_t content);
+
+  // MacApplication:
+  void step(MacEndpoint& endpoint) override;
+  void on_rcv(std::uint64_t content) override;
+  void on_ack(std::uint64_t content) override;
+
+  /// Contents known to this node (delivered or originated).
+  const std::unordered_set<std::uint64_t>& known() const noexcept {
+    return known_;
+  }
+  bool knows(std::uint64_t content) const {
+    return known_.contains(content);
+  }
+  std::size_t pending_relays() const noexcept { return queue_.size(); }
+
+ private:
+  std::unordered_set<std::uint64_t> known_;
+  std::deque<std::uint64_t> queue_;
+};
+
+}  // namespace dg::amac

@@ -1,0 +1,18 @@
+#include "amac/neighbor_discovery.h"
+
+namespace dg::amac {
+
+void NeighborDiscoveryNode::step(MacEndpoint& endpoint) {
+  if (sent_) return;
+  if (endpoint.bcast(identity_)) {
+    sent_ = true;
+  }
+}
+
+void NeighborDiscoveryNode::on_rcv(std::uint64_t content) {
+  discovered_.insert(content);
+}
+
+void NeighborDiscoveryNode::on_ack(std::uint64_t) { acked_ = true; }
+
+}  // namespace dg::amac

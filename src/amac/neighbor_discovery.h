@@ -1,0 +1,41 @@
+// Neighbor discovery over the abstract MAC layer (Cornejo, Lynch, Viqar,
+// Welch [5, 6]).
+//
+// Every node broadcasts a hello carrying its own identity once; the MAC
+// layer's reliability guarantee implies each node's hello reaches each of
+// its reliable neighbors with probability >= 1 - eps, so after all acks the
+// expected discovery recall over G-edges is >= 1 - eps.  Experiment E9
+// measures exactly that recall.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "amac/amac.h"
+
+namespace dg::amac {
+
+class NeighborDiscoveryNode final : public MacApplication {
+ public:
+  /// `identity` is the value announced in the hello (the node's name at the
+  /// application level).
+  explicit NeighborDiscoveryNode(std::uint64_t identity)
+      : identity_(identity) {}
+
+  void step(MacEndpoint& endpoint) override;
+  void on_rcv(std::uint64_t content) override;
+  void on_ack(std::uint64_t content) override;
+
+  bool hello_acked() const noexcept { return acked_; }
+  const std::unordered_set<std::uint64_t>& discovered() const noexcept {
+    return discovered_;
+  }
+
+ private:
+  std::uint64_t identity_;
+  bool sent_ = false;
+  bool acked_ = false;
+  std::unordered_set<std::uint64_t> discovered_;
+};
+
+}  // namespace dg::amac

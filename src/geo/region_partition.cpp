@@ -1,0 +1,97 @@
+#include "geo/region_partition.h"
+
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+
+#include "util/assert.h"
+
+namespace dg::geo {
+
+GridPartition::GridPartition(double side, double r) : side_(side), r_(r) {
+  DG_EXPECTS(side > 0.0);
+  // Lemma A.1 requires every region to have diameter <= 1.
+  DG_EXPECTS(side * std::sqrt(2.0) <= 1.0 + 1e-12);
+  DG_EXPECTS(r >= 1.0);
+}
+
+RegionId GridPartition::region_of(const Point& p) const noexcept {
+  return RegionId{static_cast<std::int32_t>(std::floor(p.x / side_)),
+                  static_cast<std::int32_t>(std::floor(p.y / side_))};
+}
+
+Point GridPartition::corner(const RegionId& id) const noexcept {
+  return Point{id.ix * side_, id.iy * side_};
+}
+
+double GridPartition::min_cell_distance(const RegionId& a,
+                                        const RegionId& b) const noexcept {
+  // Gap between cells along each axis: |delta| - 1 whole cells when the
+  // cells are not adjacent/overlapping on that axis.
+  const auto axis_gap = [this](std::int32_t ia, std::int32_t ib) {
+    const std::int64_t d = std::llabs(static_cast<std::int64_t>(ia) -
+                                      static_cast<std::int64_t>(ib));
+    return d <= 1 ? 0.0 : static_cast<double>(d - 1) * side_;
+  };
+  const double gx = axis_gap(a.ix, b.ix);
+  const double gy = axis_gap(a.iy, b.iy);
+  return std::sqrt(gx * gx + gy * gy);
+}
+
+bool GridPartition::adjacent(const RegionId& a,
+                             const RegionId& b) const noexcept {
+  if (a == b) return false;
+  return min_cell_distance(a, b) <= r_;
+}
+
+std::vector<RegionId> GridPartition::neighbors(const RegionId& id) const {
+  std::vector<RegionId> out;
+  const auto reach = static_cast<std::int32_t>(std::ceil(r_ / side_)) + 1;
+  for (std::int32_t dx = -reach; dx <= reach; ++dx) {
+    for (std::int32_t dy = -reach; dy <= reach; ++dy) {
+      if (dx == 0 && dy == 0) continue;
+      const RegionId cand{id.ix + dx, id.iy + dy};
+      if (adjacent(id, cand)) out.push_back(cand);
+    }
+  }
+  return out;
+}
+
+void GridPartition::for_each_within_hops(
+    const RegionId& id, int h,
+    const std::function<void(const RegionId&, int hops)>& visit) const {
+  DG_EXPECTS(h >= 0);
+  std::unordered_set<RegionId, RegionIdHash> seen;
+  std::queue<std::pair<RegionId, int>> frontier;
+  seen.insert(id);
+  frontier.emplace(id, 0);
+  while (!frontier.empty()) {
+    const auto [region, hops] = frontier.front();
+    frontier.pop();
+    visit(region, hops);
+    if (hops == h) continue;
+    for (const RegionId& next : neighbors(region)) {
+      if (seen.insert(next).second) {
+        frontier.emplace(next, hops + 1);
+      }
+    }
+  }
+}
+
+std::size_t GridPartition::count_within_hops(const RegionId& id, int h) const {
+  std::size_t count = 0;
+  for_each_within_hops(id, h, [&count](const RegionId&, int) { ++count; });
+  return count;
+}
+
+std::size_t GridPartition::cr_bound() const {
+  // One region-graph hop spans at most ceil(r/side) + 1 cells per axis, so
+  // all 1-hop neighbors (plus the region itself) fit in a square of
+  // (2*(ceil(r/side)+1) + 1)^2 cells.  For side = 1/2 this is
+  // (2*ceil(2r) + 3)^2 = O(r^2), matching c_r = c1 * r^2 of Lemma A.2.
+  const auto reach = static_cast<std::size_t>(std::ceil(r_ / side_)) + 1;
+  const std::size_t span = 2 * reach + 1;
+  return span * span;
+}
+
+}  // namespace dg::geo

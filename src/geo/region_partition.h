@@ -1,0 +1,86 @@
+// The region partition of Appendix A.
+//
+// Lemma A.1 fixes a partition R of the plane into half-open squares of side
+// 1/2 (diameter sqrt(2)/2 <= 1, satisfying f-boundedness with
+// f(h) = c1 * r^2 * h^2).  The partition is an *analysis* device -- the
+// algorithms never touch it -- but the verification tooling does: the seed
+// spec checker and several property tests reason about regions exactly the
+// way Appendix B does (goodness per region, leaders per region, neighbors in
+// the region graph G_{R,r}).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace dg::geo {
+
+/// Identifies one grid cell.  Cell (ix, iy) covers the half-open square
+/// [ix*side, (ix+1)*side) x [iy*side, (iy+1)*side), which realizes the
+/// "include only part of the boundary" rule of Lemma A.1.
+struct RegionId {
+  std::int32_t ix = 0;
+  std::int32_t iy = 0;
+
+  friend bool operator==(const RegionId&, const RegionId&) = default;
+};
+
+struct RegionIdHash {
+  std::size_t operator()(const RegionId& r) const noexcept {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(r.ix)) << 32) |
+        static_cast<std::uint32_t>(r.iy);
+    std::uint64_t x = key + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    return static_cast<std::size_t>(x ^ (x >> 27));
+  }
+};
+
+/// The fixed grid partition (side defaults to the paper's 1/2) together with
+/// the region graph G_{R,r}: regions R != R' are adjacent iff some points
+/// p in R, q in R' satisfy d(p, q) <= r.
+class GridPartition {
+ public:
+  explicit GridPartition(double side = 0.5, double r = 1.0);
+
+  double side() const noexcept { return side_; }
+  double r() const noexcept { return r_; }
+
+  RegionId region_of(const Point& p) const noexcept;
+
+  /// Lower-left (closed) corner of the cell.
+  Point corner(const RegionId& id) const noexcept;
+
+  /// Minimum Euclidean distance between the closures of two cells
+  /// (0 when equal or touching).
+  double min_cell_distance(const RegionId& a, const RegionId& b) const noexcept;
+
+  /// Region-graph adjacency: distinct regions within distance r.
+  bool adjacent(const RegionId& a, const RegionId& b) const noexcept;
+
+  /// All regions adjacent to `id` in G_{R,r} (finite: the grid is infinite
+  /// but only cells within ceil(r/side)+1 cell steps can qualify).
+  std::vector<RegionId> neighbors(const RegionId& id) const;
+
+  /// Number of regions whose hop distance from `id` in G_{R,r} is <= h,
+  /// including `id` itself.  Used to validate f-boundedness (Lemma A.2).
+  std::size_t count_within_hops(const RegionId& id, int h) const;
+
+  /// Visits every region within hop distance <= h of `id` (including `id`).
+  void for_each_within_hops(
+      const RegionId& id, int h,
+      const std::function<void(const RegionId&, int hops)>& visit) const;
+
+  /// The c_r bound of Lemma A.2 for this partition: an upper bound on the
+  /// number of regions within 1 hop of any region (including itself),
+  /// computed exactly for the grid geometry.
+  std::size_t cr_bound() const;
+
+ private:
+  double side_;
+  double r_;
+};
+
+}  // namespace dg::geo

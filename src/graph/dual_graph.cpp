@@ -1,0 +1,153 @@
+#include "graph/dual_graph.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace dg::graph {
+
+DualGraph::DualGraph(std::size_t n)
+    : n_(n),
+      g_adj_(n),
+      gprime_adj_(n),
+      unreliable_adj_(n) {
+  DG_EXPECTS(n >= 1);
+}
+
+void DualGraph::check_vertex(Vertex u) const { DG_EXPECTS(u < n_); }
+
+void DualGraph::check_builder() const { DG_EXPECTS(!finalized_); }
+
+void DualGraph::check_finalized() const { DG_EXPECTS(finalized_); }
+
+void DualGraph::add_reliable_edge(Vertex u, Vertex v) {
+  check_builder();
+  check_vertex(u);
+  check_vertex(v);
+  DG_EXPECTS(u != v);
+  auto& au = g_adj_[u];
+  if (std::find(au.begin(), au.end(), v) != au.end()) return;  // idempotent
+  // Must not previously have been added as unreliable: E and E' \ E are
+  // built disjointly (generators decide the class of each edge once).
+  DG_EXPECTS(std::none_of(
+      unreliable_adj_[u].begin(), unreliable_adj_[u].end(),
+      [v](const auto& entry) { return entry.second == v; }));
+  g_adj_[u].push_back(v);
+  g_adj_[v].push_back(u);
+  gprime_adj_[u].push_back(v);
+  gprime_adj_[v].push_back(u);
+}
+
+void DualGraph::add_unreliable_edge(Vertex u, Vertex v) {
+  check_builder();
+  check_vertex(u);
+  check_vertex(v);
+  DG_EXPECTS(u != v);
+  const auto& au = unreliable_adj_[u];
+  if (std::any_of(au.begin(), au.end(),
+                  [v](const auto& entry) { return entry.second == v; })) {
+    return;  // idempotent
+  }
+  DG_EXPECTS(std::find(g_adj_[u].begin(), g_adj_[u].end(), v) ==
+             g_adj_[u].end());
+  const auto id = static_cast<UnreliableEdgeId>(unreliable_edges_.size());
+  unreliable_edges_.push_back(UnreliableEdge{u, v});
+  unreliable_adj_[u].emplace_back(id, v);
+  unreliable_adj_[v].emplace_back(id, u);
+  gprime_adj_[u].push_back(v);
+  gprime_adj_[v].push_back(u);
+}
+
+void DualGraph::set_embedding(geo::Embedding embedding, double r) {
+  check_builder();
+  DG_EXPECTS(embedding.size() == n_);
+  DG_EXPECTS(r >= 1.0);
+  embedding_ = std::move(embedding);
+  r_ = r;
+}
+
+void DualGraph::finalize() {
+  check_builder();
+  finalized_ = true;
+  delta_ = 1;
+  delta_prime_ = 1;
+  for (std::size_t u = 0; u < n_; ++u) {
+    std::sort(g_adj_[u].begin(), g_adj_[u].end());
+    std::sort(gprime_adj_[u].begin(), gprime_adj_[u].end());
+    delta_ = std::max(delta_, g_adj_[u].size() + 1);
+    delta_prime_ = std::max(delta_prime_, gprime_adj_[u].size() + 1);
+  }
+}
+
+const std::vector<Vertex>& DualGraph::g_neighbors(Vertex u) const {
+  check_finalized();
+  check_vertex(u);
+  return g_adj_[u];
+}
+
+const std::vector<Vertex>& DualGraph::gprime_neighbors(Vertex u) const {
+  check_finalized();
+  check_vertex(u);
+  return gprime_adj_[u];
+}
+
+const std::vector<std::pair<UnreliableEdgeId, Vertex>>&
+DualGraph::unreliable_incident(Vertex u) const {
+  check_finalized();
+  check_vertex(u);
+  return unreliable_adj_[u];
+}
+
+bool DualGraph::has_reliable_edge(Vertex u, Vertex v) const {
+  check_finalized();
+  check_vertex(u);
+  check_vertex(v);
+  const auto& adj = g_adj_[u];
+  return std::binary_search(adj.begin(), adj.end(), v);
+}
+
+bool DualGraph::has_gprime_edge(Vertex u, Vertex v) const {
+  check_finalized();
+  check_vertex(u);
+  check_vertex(v);
+  const auto& adj = gprime_adj_[u];
+  return std::binary_search(adj.begin(), adj.end(), v);
+}
+
+std::size_t DualGraph::unreliable_edge_count() const {
+  check_finalized();
+  return unreliable_edges_.size();
+}
+
+const UnreliableEdge& DualGraph::unreliable_edge(UnreliableEdgeId id) const {
+  check_finalized();
+  DG_EXPECTS(id < unreliable_edges_.size());
+  return unreliable_edges_[id];
+}
+
+std::size_t DualGraph::delta() const {
+  check_finalized();
+  return delta_;
+}
+
+std::size_t DualGraph::delta_prime() const {
+  check_finalized();
+  return delta_prime_;
+}
+
+bool is_r_geographic(const DualGraph& g, const geo::Embedding& embedding,
+                     double r) {
+  DG_EXPECTS(embedding.size() == g.size());
+  DG_EXPECTS(r >= 1.0);
+  const auto n = static_cast<Vertex>(g.size());
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) {
+      const double d = geo::distance(embedding[u], embedding[v]);
+      if (d <= 1.0 && !g.has_reliable_edge(u, v)) return false;
+      if (d > r && g.has_gprime_edge(u, v)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dg::graph

@@ -1,0 +1,102 @@
+// The dual graph (G, G') of Section 2: G = (V, E) carries reliable links,
+// G' = (V, E') with E a subset of E' adds the unreliable links E' \ E whose
+// round-by-round presence is chosen by an oblivious link scheduler.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace dg::graph {
+
+/// Dense vertex index (the paper's graph vertex u in V).
+using Vertex = std::uint32_t;
+
+/// Index of an unreliable edge (an element of E' \ E); the link scheduler
+/// addresses edges by this index.
+using UnreliableEdgeId = std::uint32_t;
+
+struct UnreliableEdge {
+  Vertex u = 0;
+  Vertex v = 0;
+};
+
+/// Immutable-after-build dual graph with adjacency lists for G and for the
+/// unreliable part E' \ E, plus the degree bounds Delta and Delta' the
+/// processes are allowed to know.
+class DualGraph {
+ public:
+  explicit DualGraph(std::size_t n);
+
+  // ---- construction (builder phase) ----
+
+  /// Adds {u, v} to E (and hence to E').  Idempotent.
+  void add_reliable_edge(Vertex u, Vertex v);
+  /// Adds {u, v} to E' \ E.  Must not already be reliable.  Idempotent.
+  void add_unreliable_edge(Vertex u, Vertex v);
+  /// Attaches the plane embedding used to generate the graph (optional; used
+  /// by validators and the analysis tooling, never by algorithms).
+  void set_embedding(geo::Embedding embedding, double r);
+
+  /// Freezes the graph: sorts adjacency, computes degree bounds.  Must be
+  /// called exactly once before any query; enforced by contract checks.
+  void finalize();
+
+  // ---- queries (after finalize) ----
+
+  std::size_t size() const noexcept { return n_; }
+  bool finalized() const noexcept { return finalized_; }
+
+  const std::vector<Vertex>& g_neighbors(Vertex u) const;
+  /// All G'-neighbors (reliable + unreliable), sorted.
+  const std::vector<Vertex>& gprime_neighbors(Vertex u) const;
+  /// Unreliable incident edges of u as (edge id, other endpoint) pairs.
+  const std::vector<std::pair<UnreliableEdgeId, Vertex>>& unreliable_incident(
+      Vertex u) const;
+
+  bool has_reliable_edge(Vertex u, Vertex v) const;
+  bool has_gprime_edge(Vertex u, Vertex v) const;
+
+  std::size_t unreliable_edge_count() const;
+  const UnreliableEdge& unreliable_edge(UnreliableEdgeId id) const;
+
+  /// Delta: max over u of |N_G(u) u {u}| (paper Section 2).
+  std::size_t delta() const;
+  /// Delta': max over u of |N_G'(u) u {u}|.
+  std::size_t delta_prime() const;
+
+  const std::optional<geo::Embedding>& embedding() const noexcept {
+    return embedding_;
+  }
+  /// The r for which the attached embedding is claimed r-geographic
+  /// (meaningful only when an embedding is attached).
+  double r() const noexcept { return r_; }
+
+ private:
+  void check_vertex(Vertex u) const;
+  void check_builder() const;
+  void check_finalized() const;
+
+  std::size_t n_;
+  bool finalized_ = false;
+  std::vector<std::vector<Vertex>> g_adj_;
+  std::vector<std::vector<Vertex>> gprime_adj_;
+  std::vector<std::vector<std::pair<UnreliableEdgeId, Vertex>>>
+      unreliable_adj_;
+  std::vector<UnreliableEdge> unreliable_edges_;
+  std::size_t delta_ = 1;
+  std::size_t delta_prime_ = 1;
+  std::optional<geo::Embedding> embedding_;
+  double r_ = 1.0;
+};
+
+/// Checks the two r-geographic conditions of Section 2 against an embedding:
+///   (1) d(u, v) <= 1  implies {u, v} in E;
+///   (2) d(u, v) > r   implies {u, v} not in E'.
+/// Returns true iff both hold for every vertex pair.
+bool is_r_geographic(const DualGraph& g, const geo::Embedding& embedding,
+                     double r);
+
+}  // namespace dg::graph

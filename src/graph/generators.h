@@ -1,0 +1,56 @@
+// Topology generators.  Every generator returns a finalized, r-geographic
+// DualGraph with its embedding attached, so tests can re-validate the
+// Section 2 constraints and the analysis tooling can partition the plane.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/dual_graph.h"
+#include "util/rng.h"
+
+namespace dg::graph {
+
+/// Random geometric dual graph: n points uniform in [0, side]^2.
+///   d <= 1        -> reliable edge (forced by the r-geographic property);
+///   1 < d <= r    -> the "grey zone": reliable with prob p_grey_reliable,
+///                    else unreliable with prob p_grey_unreliable, else
+///                    absent (all three allowed by the model);
+///   d > r         -> no edge (forced).
+struct GeometricSpec {
+  std::size_t n = 64;
+  double side = 4.0;
+  double r = 1.5;
+  double p_grey_reliable = 0.1;
+  double p_grey_unreliable = 0.6;
+};
+
+DualGraph random_geometric(const GeometricSpec& spec, Rng& rng);
+
+/// Deterministic grid of cols x rows nodes with the given spacing; grey-zone
+/// pairs become unreliable edges (deterministically, for reproducible
+/// multi-hop topologies).  spacing <= 1 keeps the grid G-connected.
+DualGraph grid(std::size_t cols, std::size_t rows, double spacing, double r);
+
+/// A cluster of n mutually reliable nodes (all inside a ball of diameter 1):
+/// the clique that realizes the Omega(log) progress lower bound of Section 1
+/// (symmetry breaking among an unknown subset of n contenders).
+DualGraph clique_cluster(std::size_t n);
+
+/// Hub node 0 at the origin plus `leaves` nodes on the unit circle around
+/// it: every leaf is a reliable neighbor of the hub.  Realizes the
+/// Omega(Delta) acknowledgement lower bound of Section 1 (the hub can
+/// receive at most one message per round).  Chord-adjacent leaves closer
+/// than distance 1 also get reliable edges, as the geographic property
+/// forces.
+DualGraph star_ring(std::size_t leaves, double r);
+
+/// `n` nodes on a line with the given spacing; pairs in the grey zone get
+/// unreliable edges.  The classic multi-hop pipeline for flood benchmarks.
+DualGraph line(std::size_t n, double spacing, double r);
+
+/// Two reliable cliques whose only interconnection is a band of *unreliable*
+/// edges: communication across the cut exists only when the scheduler allows
+/// it.  Exercises progress/validity under total link unreliability.
+DualGraph bridged_clusters(std::size_t per_cluster, double r);
+
+}  // namespace dg::graph

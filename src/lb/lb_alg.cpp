@@ -1,0 +1,157 @@
+#include "lb/lb_alg.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace dg::lb {
+
+LbProcess::LbProcess(const LbParams& params, sim::ProcessId id,
+                     graph::Vertex vertex, LbListener* listener)
+    : sim::Process(id),
+      params_(params),
+      vertex_(vertex),
+      listener_(listener) {
+  DG_EXPECTS(params.phases_per_seed >= 1);
+}
+
+sim::MessageId LbProcess::post_bcast(std::uint64_t content) {
+  // Environment contract (Section 4.1): one outstanding bcast at a time.
+  DG_EXPECTS(!busy());
+  const sim::MessageId m{id(), ++next_seq_};
+  pending_ = ActiveMessage{m, content, params_.t_ack_phases};
+  return m;
+}
+
+std::optional<sim::MessageId> LbProcess::abort() {
+  std::optional<sim::MessageId> aborted;
+  if (current_.has_value()) {
+    aborted = current_->id;
+    current_.reset();
+  } else if (pending_.has_value()) {
+    aborted = pending_->id;
+    pending_.reset();
+  }
+  return aborted;
+}
+
+void LbProcess::begin_group(sim::RoundContext& ctx) {
+  // Every node runs SeedAlg at the start of every group, in either state.
+  preamble_.emplace(params_.seed, id(), ctx.rng());
+  phase_seed_.reset();
+  seed_bits_.reset();
+}
+
+std::optional<sim::Packet> LbProcess::transmit(sim::RoundContext& ctx) {
+  const sim::Round t = ctx.round();
+
+  if (group_pos(t) == 0) begin_group(ctx);
+
+  // Promote a pending message at a phase boundary (a bcast received
+  // mid-phase waits until here; the paper's "beginning of the next phase").
+  if (at_phase_boundary(t) && !current_.has_value() && pending_.has_value()) {
+    current_ = pending_;
+    pending_.reset();
+  }
+
+  if (in_preamble(t)) {
+    // The decision may still arrive via receive() in the final preamble
+    // round, so the group seed is committed lazily on entering the body.
+    DG_ASSERT(preamble_.has_value());
+    auto payload = preamble_->step_transmit(ctx.rng());
+    if (payload.has_value()) return sim::Packet{id(), *payload};
+    return std::nullopt;
+  }
+
+  // Commit the group seed on entering the body (the preamble has fully
+  // run).
+  if (!phase_seed_.has_value()) {
+    DG_ASSERT(preamble_.has_value() && preamble_->done());
+    DG_ASSERT(preamble_->decision().has_value());
+    phase_seed_ = preamble_->decision();
+    seed_bits_.emplace(phase_seed_->seed_value);
+  }
+
+  if (!current_.has_value()) return std::nullopt;  // receiving state
+  return body_transmit(ctx, body_index(t));
+}
+
+std::optional<sim::Packet> LbProcess::body_transmit(sim::RoundContext& ctx,
+                                                    std::int64_t body_round) {
+  DG_ASSERT(seed_bits_.has_value());
+  DG_ASSERT(body_round >= 0 &&
+            body_round < params_.phases_per_seed * params_.t_prog);
+
+  // All holders of this seed read the same bit window for this body round,
+  // so the whole group makes identical participant / b choices.  Windows
+  // are indexed by the body round across the whole group: bits are never
+  // reused between segments (the Section 4.2 remark: one agreement, seeds
+  // "of sufficient length to satisfy the demands of multiple phases").
+  const std::int64_t stride = params_.participant_bits + params_.b_bits;
+  seed_bits_->seek(static_cast<std::uint64_t>(body_round * stride));
+
+  bool participant;
+  std::uint64_t b_value;
+  if (params_.use_shared_seeds) {
+    participant = seed_bits_->take_all_zero(params_.participant_bits);
+    b_value = seed_bits_->take(params_.b_bits);
+  } else {
+    // E10 ablation: same marginal distributions, private coins -- no
+    // coordination across neighbors.
+    participant = ctx.rng().chance(std::ldexp(1.0, -params_.participant_bits));
+    b_value = params_.b_bits == 0
+                  ? 0
+                  : ctx.rng().below(std::uint64_t{1} << params_.b_bits);
+  }
+
+  if (!participant) return std::nullopt;  // non-participants receive
+
+  // b in [log Delta] = {1, ..., log_delta}; b = 1 means probability 1/2.
+  const int b =
+      static_cast<int>(b_value % static_cast<std::uint64_t>(params_.log_delta)) +
+      1;
+
+  // Local (independent) randomness: broadcast iff b private coins are all 0,
+  // i.e. with probability 2^-b.
+  if (!ctx.rng().chance(std::ldexp(1.0, -b))) return std::nullopt;
+
+  return sim::Packet{id(),
+                     sim::DataPayload{current_->id, current_->content}};
+}
+
+void LbProcess::receive(const std::optional<sim::Packet>& packet,
+                        sim::RoundContext& ctx) {
+  const sim::Round t = ctx.round();
+  if (in_preamble(t)) {
+    DG_ASSERT(preamble_.has_value());
+    preamble_->step_receive(packet);
+    return;
+  }
+  if (packet.has_value() && packet->is_data()) {
+    handle_data(packet->data(), t);
+  }
+}
+
+void LbProcess::handle_data(const sim::DataPayload& data, sim::Round round) {
+  if (!seen_.insert(data.id).second) return;  // already received before
+  ++recv_count_;
+  if (listener_ != nullptr) {
+    listener_->on_recv(vertex_, data.id, data.content, round);
+  }
+}
+
+void LbProcess::end_round(sim::RoundContext& ctx) {
+  const sim::Round t = ctx.round();
+  if (!at_segment_end(t)) return;
+  if (!current_.has_value()) return;
+  if (--current_->phases_left > 0) return;
+  // End of the last round of the last sending phase: ack and return to the
+  // receiving state.
+  ++ack_count_;
+  if (listener_ != nullptr) {
+    listener_->on_ack(vertex_, current_->id, t);
+  }
+  current_.reset();
+}
+
+}  // namespace dg::lb

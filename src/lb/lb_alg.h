@@ -1,0 +1,145 @@
+// LBAlg (paper Section 4.2): the ongoing local broadcast service.
+//
+// Rounds are partitioned into phases of T_s + T_prog rounds.  Every phase
+// starts with a SeedAlg(eps2) preamble (all nodes participate, regardless of
+// state); the committed seed s^(j)_u supplies the shared random bits for the
+// phase body.  A node is in the receiving or the sending state.  Receivers
+// listen.  A sender, in each body round:
+//   1. consumes d = ceil(log2(r^2 log(1/eps2))) seed bits; it is a
+//      *participant* iff all are 0 (probability a / (r^2 log(1/eps2)));
+//   2. a non-participant receives;
+//   3. a participant consumes ceil(log2(log2 Delta)) further seed bits
+//      giving b in [log Delta], then flips b *locally random* coins and
+//      broadcasts iff all are 0 (probability 2^-b).
+// A bcast(m) input switches the node to the sending state at the next phase
+// boundary for T_ack full phases; the ack(m) output fires at the end of the
+// last round of the last of those phases.  Any newly received message m'
+// triggers a recv(m') output, in either state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+
+#include "graph/dual_graph.h"
+#include "lb/params.h"
+#include "seed/seed_alg.h"
+#include "sim/packet.h"
+#include "sim/process.h"
+#include "util/bits.h"
+
+namespace dg::lb {
+
+/// Receives the service's outputs (the bcast/ack/recv interface of the LB
+/// problem).  `vertex` is a label for the benefit of checkers and
+/// environments; the process logic itself never reads it.
+class LbListener {
+ public:
+  virtual ~LbListener() = default;
+  virtual void on_ack(graph::Vertex vertex, const sim::MessageId& m,
+                      sim::Round round) = 0;
+  virtual void on_recv(graph::Vertex vertex, const sim::MessageId& m,
+                       std::uint64_t content, sim::Round round) = 0;
+};
+
+class LbProcess final : public sim::Process {
+ public:
+  /// `vertex` labels outputs; `listener` may be null (outputs dropped).
+  LbProcess(const LbParams& params, sim::ProcessId id, graph::Vertex vertex,
+            LbListener* listener);
+
+  // ---- environment-facing API (round step 1: inputs) ----
+
+  /// bcast(m) input.  The environment contract (Section 4.1) forbids a new
+  /// bcast before the previous ack; enforced by contract check.
+  /// Returns the id of the enqueued message.
+  sim::MessageId post_bcast(std::uint64_t content);
+
+  /// abort(m) input (abstract MAC layer extension [14, 16]): cancels the
+  /// outstanding broadcast, if any.  No ack will be emitted for it and the
+  /// node stops transmitting it from this round on.  Returns the id of the
+  /// aborted message, if one was outstanding.
+  std::optional<sim::MessageId> abort();
+
+  /// True while a message is pending or actively broadcast (no new bcast
+  /// input is admissible).
+  bool busy() const noexcept {
+    return pending_.has_value() || current_.has_value();
+  }
+
+  /// True while in the sending state (a phase is consuming T_ack budget).
+  bool sending() const noexcept { return current_.has_value(); }
+
+  // ---- sim::Process interface ----
+
+  std::optional<sim::Packet> transmit(sim::RoundContext& ctx) override;
+  void receive(const std::optional<sim::Packet>& packet,
+               sim::RoundContext& ctx) override;
+  void end_round(sim::RoundContext& ctx) override;
+
+  // ---- introspection (checkers / benches; not visible to the protocol) --
+
+  /// The seed committed for the current phase (empty during preambles).
+  const std::optional<seed::SeedDecision>& phase_seed() const noexcept {
+    return phase_seed_;
+  }
+  std::uint64_t messages_received() const noexcept { return recv_count_; }
+  std::uint64_t acks_emitted() const noexcept { return ack_count_; }
+
+ private:
+  struct ActiveMessage {
+    sim::MessageId id;
+    std::uint64_t content = 0;
+    std::int64_t phases_left = 0;
+  };
+
+  // Round layout.  A *group* is one SeedAlg preamble (T_s rounds) followed
+  // by phases_per_seed body *segments* of T_prog rounds each (the paper's
+  // baseline is one segment per group).  State transitions (promotion of a
+  // pending message, ack countdown) happen at segment boundaries.
+  std::int64_t group_pos(sim::Round t) const noexcept {
+    return (t - 1) % params_.group_length();
+  }
+  bool in_preamble(sim::Round t) const noexcept {
+    return group_pos(t) < params_.t_s;
+  }
+  /// 0-based body round within the group (call only in body rounds).
+  std::int64_t body_index(sim::Round t) const noexcept {
+    return group_pos(t) - params_.t_s;
+  }
+  /// Phase boundaries where a pending message may enter the sending state:
+  /// the group start (= the paper's phase start for k = 1) and the starts
+  /// of the second and later body segments of a group (k > 1 only).
+  bool at_phase_boundary(sim::Round t) const noexcept {
+    const std::int64_t pos = group_pos(t);
+    return pos == 0 ||
+           (pos > params_.t_s && (pos - params_.t_s) % params_.t_prog == 0);
+  }
+  bool at_segment_end(sim::Round t) const noexcept {
+    return (group_pos(t) - params_.t_s + 1) % params_.t_prog == 0 &&
+           group_pos(t) >= params_.t_s;
+  }
+
+  void begin_group(sim::RoundContext& ctx);
+  std::optional<sim::Packet> body_transmit(sim::RoundContext& ctx,
+                                           std::int64_t body_round);
+  void handle_data(const sim::DataPayload& data, sim::Round round);
+
+  LbParams params_;
+  graph::Vertex vertex_;
+  LbListener* listener_;
+
+  std::optional<ActiveMessage> pending_;  // awaiting next phase boundary
+  std::optional<ActiveMessage> current_;  // being broadcast
+  std::uint32_t next_seq_ = 0;
+
+  std::optional<seed::SeedAlgRunner> preamble_;
+  std::optional<seed::SeedDecision> phase_seed_;
+  std::optional<SeedBits> seed_bits_;
+
+  std::unordered_set<sim::MessageId, sim::MessageIdHash> seen_;
+  std::uint64_t recv_count_ = 0;
+  std::uint64_t ack_count_ = 0;
+};
+
+}  // namespace dg::lb

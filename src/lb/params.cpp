@@ -1,0 +1,66 @@
+#include "lb/params.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+#include "util/intmath.h"
+
+namespace dg::lb {
+
+LbParams LbParams::calibrated(double eps1, double r, std::size_t delta,
+                              std::size_t delta_prime,
+                              const LbScales& scales) {
+  DG_EXPECTS(eps1 > 0.0 && eps1 <= 0.5);
+  DG_EXPECTS(r >= 1.0);
+  DG_EXPECTS(delta >= 1);
+  DG_EXPECTS(delta_prime >= delta);
+  DG_EXPECTS(scales.gamma >= 1.0);
+  DG_EXPECTS(scales.ack_scale > 0.0);
+
+  LbParams p;
+  p.eps1 = eps1;
+  p.r = r;
+  p.delta = delta;
+  p.delta_prime = delta_prime;
+
+  p.log_delta = std::max(1, ceil_log2(pow2_ceil(delta)));
+  const double log_d = static_cast<double>(p.log_delta);
+
+  // eps' = Theta((1 / (r^4 log^4 Delta))^(gamma / r^2)): the largest SeedAlg
+  // error that still makes the union bounds of Appendix C work.
+  const double base = 1.0 / (std::pow(r, 4.0) * std::pow(std::max(log_d, 1.0), 4.0));
+  const double eps_prime = std::pow(base, scales.gamma / (r * r));
+  // eps2 = min(eps', eps1), additionally clamped to SeedAlg's 1/4 ceiling.
+  p.eps2 = std::min({eps_prime, eps1, 0.25});
+
+  p.seed = seed::SeedAlgParams::make(p.eps2, delta, scales.c4);
+  p.t_s = p.seed.total_rounds();
+
+  const double log1 = log2_clamped(1.0 / eps1, /*floor_at=*/1.0);
+  const double log2e = log2_clamped(1.0 / p.eps2, /*floor_at=*/2.0);
+
+  p.t_prog = ceil_to_int(scales.c1 * r * r * log1 * log2e * log_d);
+
+  p.participant_bits =
+      std::max(1, ceil_log2(static_cast<std::uint64_t>(
+                     std::ceil(r * r * log2e))));
+  p.b_bits = ceil_log2(static_cast<std::uint64_t>(p.log_delta));
+  p.kappa = p.t_prog * (p.participant_bits + p.b_bits);
+
+  // T_ack = 12 ln(2 Delta / eps1) Delta' / (c2 c1 log(1/eps1) (1 - eps1/2)).
+  const double t_ack_num = 12.0 *
+                           std::log(2.0 * static_cast<double>(delta) / eps1) *
+                           static_cast<double>(delta_prime);
+  const double t_ack_den =
+      scales.c2 * scales.c1 * log1 * (1.0 - eps1 / 2.0);
+  p.t_ack_phases_theory = ceil_to_int(t_ack_num / t_ack_den);
+  p.t_ack_phases = std::max<std::int64_t>(
+      1, ceil_to_int(scales.ack_scale * t_ack_num / t_ack_den));
+
+  DG_ENSURES(p.t_prog >= 1);
+  DG_ENSURES(p.t_s >= 1);
+  return p;
+}
+
+}  // namespace dg::lb

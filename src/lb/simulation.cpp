@@ -1,0 +1,111 @@
+#include "lb/simulation.h"
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace dg::lb {
+
+/// Forwards LbProcess outputs to the spec checker and an optional extra
+/// listener (e.g. the abstract MAC adapter).
+class LbSimulation::Fanout final : public LbListener {
+ public:
+  explicit Fanout(LbSimulation& owner) : owner_(&owner) {}
+
+  void on_ack(graph::Vertex vertex, const sim::MessageId& m,
+              sim::Round round) override {
+    owner_->checker_->on_ack(vertex, m, round);
+    if (owner_->extra_ != nullptr) owner_->extra_->on_ack(vertex, m, round);
+  }
+
+  void on_recv(graph::Vertex vertex, const sim::MessageId& m,
+               std::uint64_t content, sim::Round round) override {
+    owner_->checker_->on_recv(vertex, m, content, round);
+    if (owner_->extra_ != nullptr) {
+      owner_->extra_->on_recv(vertex, m, content, round);
+    }
+  }
+
+ private:
+  LbSimulation* owner_;
+};
+
+LbSimulation::LbSimulation(const graph::DualGraph& g,
+                           std::unique_ptr<sim::LinkScheduler> scheduler,
+                           const LbParams& params, std::uint64_t master_seed)
+    : graph_(&g),
+      params_(params),
+      scheduler_(std::move(scheduler)),
+      ids_(sim::assign_ids(g.size(), derive_seed(master_seed, 0x1d5ULL))),
+      fanout_(std::make_unique<Fanout>(*this)),
+      checker_(std::make_unique<LbSpecChecker>(g, ids_, params)),
+      content_counter_(g.size(), 0) {
+  DG_EXPECTS(scheduler_ != nullptr);
+  std::vector<std::unique_ptr<sim::Process>> processes;
+  processes.reserve(g.size());
+  for (graph::Vertex v = 0; v < static_cast<graph::Vertex>(g.size()); ++v) {
+    processes.push_back(
+        std::make_unique<LbProcess>(params_, ids_[v], v, fanout_.get()));
+  }
+  engine_ = std::make_unique<sim::Engine>(g, *scheduler_,
+                                          std::move(processes), master_seed);
+  engine_->add_observer(checker_.get());
+}
+
+LbSimulation::~LbSimulation() = default;
+
+LbProcess& LbSimulation::process(graph::Vertex v) {
+  auto* p = dynamic_cast<LbProcess*>(&engine_->process(v));
+  DG_ASSERT(p != nullptr);
+  return *p;
+}
+
+sim::MessageId LbSimulation::post_bcast(graph::Vertex v,
+                                        std::uint64_t content) {
+  const sim::MessageId m = process(v).post_bcast(content);
+  checker_->on_bcast(v, m, engine_->round() + 1);
+  return m;
+}
+
+std::optional<sim::MessageId> LbSimulation::post_abort(graph::Vertex v) {
+  const auto aborted = process(v).abort();
+  if (aborted.has_value()) {
+    checker_->on_abort(v, *aborted, engine_->round() + 1);
+  }
+  return aborted;
+}
+
+bool LbSimulation::busy(graph::Vertex v) const {
+  const auto* p =
+      dynamic_cast<const LbProcess*>(&engine_->process(v));
+  DG_ASSERT(p != nullptr);
+  return p->busy();
+}
+
+void LbSimulation::keep_busy(const std::vector<graph::Vertex>& vertices) {
+  for (graph::Vertex v : vertices) {
+    saturated_.push_back(v);
+  }
+}
+
+void LbSimulation::run_round() {
+  // Environment input step: saturate designated vertices, then the custom
+  // hook (both deterministic given the execution so far).
+  for (graph::Vertex v : saturated_) {
+    if (!busy(v)) {
+      post_bcast(v, /*content=*/++content_counter_[v]);
+    }
+  }
+  if (environment_) environment_(*this, engine_->round() + 1);
+  engine_->run_round();
+}
+
+void LbSimulation::run_rounds(std::int64_t count) {
+  DG_EXPECTS(count >= 0);
+  for (std::int64_t i = 0; i < count; ++i) run_round();
+}
+
+void LbSimulation::run_phases(std::int64_t count) {
+  run_rounds(count * params_.phase_length());
+}
+
+}  // namespace dg::lb

@@ -1,0 +1,103 @@
+// LbSimulation: convenience wrapper wiring a dual graph, an oblivious link
+// scheduler, one LbProcess per vertex, the LB spec checker, and a
+// deterministic environment into a runnable system.
+//
+// The environment model follows Section 4.1: a deterministic automaton that
+// consumes ack outputs and produces bcast inputs, subject to the contract
+// (unique messages; no new bcast at u before u's previous ack).  Two
+// standard environments cover the paper's experiments: a script of
+// (round, vertex) posts, and a "saturating" set of vertices kept busy
+// forever (the workload behind the progress/acknowledgement bounds).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "graph/dual_graph.h"
+#include "lb/lb_alg.h"
+#include "lb/params.h"
+#include "lb/spec.h"
+#include "sim/engine.h"
+#include "sim/scheduler.h"
+
+namespace dg::lb {
+
+class LbSimulation {
+ public:
+  /// The graph must outlive the simulation; the scheduler is owned.
+  LbSimulation(const graph::DualGraph& g,
+               std::unique_ptr<sim::LinkScheduler> scheduler,
+               const LbParams& params, std::uint64_t master_seed);
+  ~LbSimulation();  // out of line: Fanout is incomplete here
+
+  // ---- environment-side controls ----
+
+  /// Posts a bcast(m) input at vertex v, delivered at the start of the next
+  /// round.  Contract-checked (asserts if v is busy).  Returns the message.
+  sim::MessageId post_bcast(graph::Vertex v, std::uint64_t content);
+
+  /// Posts an abort input at vertex v (abstract MAC extension): cancels the
+  /// outstanding broadcast, if any, effective from the next round.  Returns
+  /// the aborted message id, if one existed.
+  std::optional<sim::MessageId> post_abort(graph::Vertex v);
+
+  bool busy(graph::Vertex v) const;
+
+  /// Registers vertices the environment keeps saturated: whenever one is
+  /// idle between rounds, a fresh bcast is posted automatically.
+  void keep_busy(const std::vector<graph::Vertex>& vertices);
+
+  /// Arbitrary deterministic environment hook, invoked before every round
+  /// with the round about to execute.
+  void set_environment(
+      std::function<void(LbSimulation&, sim::Round next_round)> env) {
+    environment_ = std::move(env);
+  }
+
+  // ---- execution ----
+
+  void run_round();
+  void run_rounds(std::int64_t count);
+  /// Runs `count` whole LBAlg phases (each params().phase_length() rounds).
+  void run_phases(std::int64_t count);
+
+  // ---- access ----
+
+  sim::Round round() const noexcept { return engine_->round(); }
+  const LbParams& params() const noexcept { return params_; }
+  const graph::DualGraph& network() const noexcept { return *graph_; }
+  const std::vector<sim::ProcessId>& ids() const noexcept { return ids_; }
+
+  LbProcess& process(graph::Vertex v);
+  const LbSpecChecker& checker() const noexcept { return *checker_; }
+  const LbSpecReport& report() const noexcept { return checker_->report(); }
+  sim::Engine& engine() noexcept { return *engine_; }
+
+  /// Extra listener for service outputs (e.g. the abstract MAC adapter);
+  /// may be set once, before running.
+  void set_extra_listener(LbListener* listener) { extra_ = listener; }
+
+  /// Extra engine observer (bench instrumentation).
+  void add_observer(sim::Observer* observer) {
+    engine_->add_observer(observer);
+  }
+
+ private:
+  class Fanout;  // forwards process outputs to checker + extra listener
+
+  const graph::DualGraph* graph_;
+  LbParams params_;
+  std::unique_ptr<sim::LinkScheduler> scheduler_;
+  std::vector<sim::ProcessId> ids_;
+  std::unique_ptr<Fanout> fanout_;
+  std::unique_ptr<LbSpecChecker> checker_;
+  std::unique_ptr<sim::Engine> engine_;
+  std::vector<graph::Vertex> saturated_;
+  std::vector<std::uint64_t> content_counter_;
+  std::function<void(LbSimulation&, sim::Round)> environment_;
+  LbListener* extra_ = nullptr;
+};
+
+}  // namespace dg::lb

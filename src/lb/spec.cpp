@@ -1,0 +1,187 @@
+#include "lb/spec.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace dg::lb {
+
+LbSpecChecker::LbSpecChecker(const graph::DualGraph& g,
+                             std::vector<sim::ProcessId> ids,
+                             const LbParams& params, bool record_details)
+    : graph_(&g),
+      ids_(std::move(ids)),
+      params_(params),
+      record_details_(record_details),
+      active_(g.size()),
+      active_all_phase_(g.size(), true),
+      qualifying_reception_(g.size(), false) {
+  DG_EXPECTS(ids_.size() == g.size());
+  for (graph::Vertex v = 0; v < static_cast<graph::Vertex>(ids_.size()); ++v) {
+    vertex_of_.emplace(ids_[v], v);
+  }
+}
+
+void LbSpecChecker::on_bcast(graph::Vertex u, const sim::MessageId& m,
+                             sim::Round round) {
+  // Environment contract: no new bcast before the previous ack.
+  DG_EXPECTS(!active_[u].has_value());
+  ActiveEntry entry;
+  entry.id = m;
+  entry.input_round = round;
+  entry.record_index = records_.size();
+  active_[u] = entry;
+  owner_of_[m] = u;
+  ++report_.bcast_count;
+
+  BroadcastRecord record;
+  record.origin = u;
+  record.id = m;
+  record.input_round = round;
+  records_.push_back(std::move(record));
+}
+
+void LbSpecChecker::on_abort(graph::Vertex u, const sim::MessageId& m,
+                             sim::Round round) {
+  auto& entry = active_[u];
+  DG_EXPECTS(entry.has_value() && entry->id == m);
+  records_[entry->record_index].abort_round = round;
+  owner_of_.erase(m);
+  // The abort takes effect at the input step of `round`: the node is no
+  // longer actively broadcasting in that round, so the entry is dropped
+  // immediately (before on_round_end evaluates activity).
+  entry.reset();
+}
+
+void LbSpecChecker::on_ack(graph::Vertex vertex, const sim::MessageId& m,
+                           sim::Round round) {
+  ++report_.ack_count;
+  auto& entry = active_[vertex];
+  if (!entry.has_value() || !(entry->id == m) || entry->ack_round != 0) {
+    // Ack without a matching outstanding bcast, or a duplicate ack.
+    report_.timely_ack_ok = false;
+    ++report_.violations;
+    return;
+  }
+  const sim::Round latency = round - entry->input_round;
+  if (latency > params_.t_ack_bound()) {
+    report_.timely_ack_ok = false;
+    ++report_.violations;
+  }
+
+  // Reliability: every G-neighbor of `vertex` must have produced its
+  // recv(m) output at or before the ack round (recv outputs happen in the
+  // reception step, acks in the output step, so equality is "before").
+  auto& record = records_[entry->record_index];
+  const auto& neighbors = graph_->g_neighbors(vertex);
+  bool all_received = record.recv_rounds.size() >= neighbors.size();
+  report_.reliability.record(all_received);
+
+  record.ack_round = round;
+  if (all_received && !neighbors.empty()) {
+    sim::Round last = 0;
+    for (const auto& [v, t] : record.recv_rounds) last = std::max(last, t);
+    record.delivered_round = last;
+  } else if (neighbors.empty()) {
+    record.delivered_round = round;
+  }
+  if (!record_details_) {
+    record.recv_rounds.clear();
+  }
+
+  owner_of_.erase(m);
+  entry->ack_round = round;  // marks "acked in this round" for phase stats
+  // The entry is retired at end of round (activity in the ack round still
+  // counts toward the progress condition's notion of "active").
+}
+
+void LbSpecChecker::on_recv(graph::Vertex vertex, const sim::MessageId& m,
+                            std::uint64_t /*content*/, sim::Round round) {
+  ++report_.recv_count;
+
+  // Validity: some v in N_G'(vertex) must be actively broadcasting m now.
+  const auto it = owner_of_.find(m);
+  if (it == owner_of_.end()) {
+    report_.validity_ok = false;
+    ++report_.violations;
+    return;
+  }
+  const graph::Vertex origin = it->second;
+  const auto& entry = active_[origin];
+  const bool origin_active = entry.has_value() && entry->id == m &&
+                             entry->input_round <= round;
+  const bool origin_is_gprime_neighbor =
+      graph_->has_gprime_edge(origin, vertex);
+  if (!origin_active || !origin_is_gprime_neighbor) {
+    report_.validity_ok = false;
+    ++report_.violations;
+    return;
+  }
+
+  // Reliability bookkeeping: record the first recv round per G-neighbor.
+  if (graph_->has_reliable_edge(origin, vertex)) {
+    auto& record = records_[entry->record_index];
+    record.recv_rounds.emplace(vertex, round);
+  }
+}
+
+void LbSpecChecker::on_receive(sim::Round round, graph::Vertex u,
+                               graph::Vertex from, const sim::Packet& packet) {
+  if (!packet.is_data()) return;
+  ++report_.raw_receptions;
+  // Progress event B^u_alpha: u receives a message m_v from a node v that is
+  // actively broadcasting m_v in this round.
+  const auto& entry = active_[from];
+  if (entry.has_value() && entry->id == packet.data().id &&
+      entry->input_round <= round) {
+    qualifying_reception_[u] = true;
+  }
+}
+
+bool LbSpecChecker::actively_broadcasting(graph::Vertex v,
+                                          sim::Round round) const {
+  const auto& entry = active_[v];
+  return entry.has_value() && entry->input_round <= round &&
+         (entry->ack_round == 0 || entry->ack_round >= round);
+}
+
+void LbSpecChecker::on_round_end(sim::Round round) {
+  // Fold this round's activity into the per-phase AND.
+  const auto n = static_cast<graph::Vertex>(graph_->size());
+  for (graph::Vertex v = 0; v < n; ++v) {
+    const bool active_now = actively_broadcasting(v, round);
+    if (!active_now) active_all_phase_[v] = false;
+    // Retire entries acked this round.
+    if (active_[v].has_value() && active_[v]->ack_round != 0) {
+      active_[v].reset();
+    }
+  }
+  ++rounds_in_phase_;
+
+  if (round % params_.t_prog_bound() == 0) {
+    finish_phase(round);
+  }
+}
+
+void LbSpecChecker::finish_phase(sim::Round /*phase_end_round*/) {
+  DG_ASSERT(rounds_in_phase_ == params_.t_prog_bound());
+  const auto n = static_cast<graph::Vertex>(graph_->size());
+  for (graph::Vertex u = 0; u < n; ++u) {
+    bool has_fully_active_neighbor = false;
+    for (graph::Vertex v : graph_->g_neighbors(u)) {
+      if (active_all_phase_[v]) {
+        has_fully_active_neighbor = true;
+        break;
+      }
+    }
+    if (has_fully_active_neighbor) {
+      // A^u_alpha held; did B^u_alpha?
+      report_.progress.record(qualifying_reception_[u]);
+    }
+  }
+  std::fill(active_all_phase_.begin(), active_all_phase_.end(), true);
+  std::fill(qualifying_reception_.begin(), qualifying_reception_.end(), false);
+  rounds_in_phase_ = 0;
+}
+
+}  // namespace dg::lb

@@ -1,0 +1,145 @@
+// Machine-checkable form of the LB(t_ack, t_prog, eps) specification
+// (Section 4.1).
+//
+// The checker is a sim::Observer plus an LbListener, so it sees both ground
+// truth (raw transmissions/receptions, which define the progress events
+// B^u_alpha) and the service outputs (bcast/ack/recv, which define timely
+// acknowledgement, validity and reliability).  Deterministic conditions are
+// verified in every execution; probabilistic conditions accumulate into
+// Bernoulli tallies that Monte Carlo harnesses aggregate across trials.
+//
+//   1. Timely acknowledgement: each bcast(m)_u gets exactly one ack(m)_u
+//      within t_ack rounds.                                [deterministic]
+//   2. Validity: recv(m)_u at round t requires some v in N_G'(u) actively
+//      broadcasting m at t.                                [deterministic]
+//   3. Reliability: with prob >= 1-eps every v in N_G(u) outputs recv(m)_v
+//      before u's ack(m)_u.                                [probabilistic]
+//   4. Progress: with prob >= 1-eps, a node with a G-neighbor active
+//      through an entire t_prog-round phase receives at least one message
+//      from an active broadcaster during that phase.       [probabilistic]
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/dual_graph.h"
+#include "lb/lb_alg.h"
+#include "lb/params.h"
+#include "sim/observer.h"
+#include "util/interval.h"
+
+namespace dg::lb {
+
+/// Per-broadcast record (exposed for latency measurements by the benches).
+struct BroadcastRecord {
+  graph::Vertex origin = 0;
+  sim::MessageId id;
+  sim::Round input_round = 0;
+  sim::Round ack_round = 0;  // 0 while outstanding
+  /// Per G-neighbor: round of the recv(m) output (0 if none yet).
+  std::unordered_map<graph::Vertex, sim::Round> recv_rounds;
+  /// Round every G-neighbor had recv'd (0 if incomplete) -- the measured
+  /// "delivery complete" latency behind the t_ack experiments.
+  sim::Round delivered_round = 0;
+  /// Round the broadcast was aborted (abstract MAC abort input; 0 = never).
+  sim::Round abort_round = 0;
+
+  bool acked() const noexcept { return ack_round != 0; }
+  bool delivered() const noexcept { return delivered_round != 0; }
+  bool aborted() const noexcept { return abort_round != 0; }
+};
+
+struct LbSpecReport {
+  // Deterministic conditions -- must hold in every execution.
+  bool timely_ack_ok = true;   ///< every ack within t_ack, exactly one
+  bool validity_ok = true;     ///< every recv backed by an active broadcaster
+  std::uint64_t violations = 0;
+
+  // Probabilistic conditions, tallied per opportunity.
+  BernoulliTally reliability;  ///< per completed bcast
+  BernoulliTally progress;     ///< per (vertex, phase) with A^u_alpha
+
+  // Volume counters.
+  std::uint64_t bcast_count = 0;
+  std::uint64_t ack_count = 0;
+  std::uint64_t recv_count = 0;
+  std::uint64_t raw_receptions = 0;
+};
+
+class LbSpecChecker final : public sim::Observer, public LbListener {
+ public:
+  /// `ids[v]` is the ProcessId at vertex v.  When `record_details` is set,
+  /// per-broadcast records (latencies, per-neighbor recv rounds) are kept
+  /// for the benches; checking itself never needs them to be retained.
+  LbSpecChecker(const graph::DualGraph& g, std::vector<sim::ProcessId> ids,
+                const LbParams& params, bool record_details = true);
+
+  // ---- wiring (called by the simulation wrapper) ----
+
+  /// Reports a bcast(m)_u input (round = the round whose input step carries
+  /// it, i.e. engine.round() + 1 at post time).
+  void on_bcast(graph::Vertex u, const sim::MessageId& m, sim::Round round);
+
+  /// Reports an abort(m)_u input: the broadcast ends without an ack; no
+  /// reliability tally is recorded (the guarantee is forfeited by the
+  /// environment, not violated by the service).
+  void on_abort(graph::Vertex u, const sim::MessageId& m, sim::Round round);
+
+  // LbListener:
+  void on_ack(graph::Vertex vertex, const sim::MessageId& m,
+              sim::Round round) override;
+  void on_recv(graph::Vertex vertex, const sim::MessageId& m,
+               std::uint64_t content, sim::Round round) override;
+
+  // sim::Observer:
+  void on_receive(sim::Round round, graph::Vertex u, graph::Vertex from,
+                  const sim::Packet& packet) override;
+  void on_round_end(sim::Round round) override;
+
+  // ---- results ----
+
+  const LbSpecReport& report() const noexcept { return report_; }
+  const std::vector<BroadcastRecord>& broadcasts() const noexcept {
+    return records_;
+  }
+
+  /// Whether vertex v is actively broadcasting some message in `round`
+  /// (ground truth used by the progress condition and by bench observers).
+  bool actively_broadcasting(graph::Vertex v, sim::Round round) const;
+
+ private:
+  struct ActiveEntry {
+    sim::MessageId id;
+    sim::Round input_round = 0;
+    sim::Round ack_round = 0;  // 0 while outstanding
+    std::size_t record_index = 0;
+    std::size_t recv_seen = 0;       // distinct G-neighbors that recv'd
+    sim::Round last_recv_round = 0;  // max recv round among G-neighbors
+    bool all_recv_before_ack_possible = true;
+  };
+
+  void finish_phase(sim::Round phase_end_round);
+
+  const graph::DualGraph* graph_;
+  std::vector<sim::ProcessId> ids_;
+  std::unordered_map<sim::ProcessId, graph::Vertex> vertex_of_;
+  LbParams params_;
+  bool record_details_;
+
+  LbSpecReport report_;
+  std::vector<BroadcastRecord> records_;
+
+  /// Outstanding (not yet acked) broadcast per vertex, if any.
+  std::vector<std::optional<ActiveEntry>> active_;
+  /// Message id -> owning vertex for outstanding messages.
+  std::unordered_map<sim::MessageId, graph::Vertex, sim::MessageIdHash>
+      owner_of_;
+
+  // Progress bookkeeping for the current t_prog-aligned phase.
+  std::vector<bool> active_all_phase_;   ///< v active in every round so far
+  std::vector<bool> qualifying_reception_;  ///< u received from an active v
+  sim::Round rounds_in_phase_ = 0;
+};
+
+}  // namespace dg::lb

@@ -1,0 +1,65 @@
+#include "seed/goodness.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace dg::seed {
+
+GoodnessAnalyzer::GoodnessAnalyzer(const graph::DualGraph& g, double eps1,
+                                   double c2)
+    : graph_(&g),
+      partition_(0.5, std::max(1.0, g.r())),
+      threshold_(c2 * std::log2(1.0 / eps1)) {
+  DG_EXPECTS(g.embedding().has_value());
+  DG_EXPECTS(eps1 > 0.0 && eps1 < 1.0);
+  DG_EXPECTS(c2 >= 4.0);  // Appendix B.1
+  const auto& emb = *g.embedding();
+  region_.reserve(g.size());
+  for (graph::Vertex v = 0; v < static_cast<graph::Vertex>(g.size()); ++v) {
+    region_.push_back(partition_.region_of(emb[v]));
+  }
+}
+
+GoodnessSnapshot GoodnessAnalyzer::snapshot(
+    const sim::Engine& engine, int phase,
+    const SeedAlgParams& params) const {
+  DG_EXPECTS(phase >= 1 && phase <= params.num_phases);
+  std::unordered_map<geo::RegionId, std::size_t, geo::RegionIdHash> active;
+  for (graph::Vertex v = 0; v < static_cast<graph::Vertex>(graph_->size());
+       ++v) {
+    const auto* p = dynamic_cast<const SeedProcess*>(&engine.process(v));
+    DG_EXPECTS(p != nullptr);
+    if (p->runner().status() == SeedStatus::active) {
+      ++active[region_[v]];
+    }
+  }
+
+  GoodnessSnapshot out;
+  out.phase = phase;
+  out.p_h = std::ldexp(1.0, -(params.num_phases - phase + 1));
+  out.threshold = threshold_;
+  for (const auto& [x, a] : active) {
+    const double p_xh = static_cast<double>(a) * out.p_h;
+    ++out.regions;
+    if (p_xh <= threshold_) ++out.good;
+    out.max_p = std::max(out.max_p, p_xh);
+  }
+  return out;
+}
+
+std::unordered_map<geo::RegionId, std::size_t, geo::RegionIdHash>
+GoodnessAnalyzer::default_decisions(const sim::Engine& engine) const {
+  std::unordered_map<geo::RegionId, std::size_t, geo::RegionIdHash> out;
+  for (graph::Vertex v = 0; v < static_cast<graph::Vertex>(graph_->size());
+       ++v) {
+    const auto* p = dynamic_cast<const SeedProcess*>(&engine.process(v));
+    DG_EXPECTS(p != nullptr);
+    if (p->decision().has_value() && p->decision()->by_default) {
+      ++out[region_[v]];
+    }
+  }
+  return out;
+}
+
+}  // namespace dg::seed

@@ -1,0 +1,68 @@
+// Appendix B analysis tooling: the region "goodness" machinery, executable.
+//
+// The Theorem 3.1 proof tracks, per plane region x and phase h, the
+// cumulative leader-election probability
+//     P_{x,h} = a_{x,h} * p_h,
+// where a_{x,h} counts the region's still-active nodes at the start of
+// phase h and p_h = 2^-(log Delta - h + 1), and calls x "good at h" when
+// P_{x,h} <= c2 log(1/eps1).  The induction of Lemma B.10 shows goodness
+// persists in a contracting radius around any target node -- the paper's
+// substitute for the global union bound that true locality forbids.
+//
+// GoodnessAnalyzer replays these definitions against live executions of
+// SeedProcess networks, giving experiments and tests the same vantage
+// point the proofs take.  It is analysis tooling: processes never see it.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/region_partition.h"
+#include "graph/dual_graph.h"
+#include "seed/seed_alg.h"
+#include "sim/engine.h"
+
+namespace dg::seed {
+
+struct GoodnessSnapshot {
+  int phase = 0;            ///< h, 1-based
+  double p_h = 0.0;         ///< leader election probability this phase
+  double max_p = 0.0;       ///< max over occupied regions of P_{x,h}
+  std::size_t regions = 0;  ///< occupied regions
+  std::size_t good = 0;     ///< occupied regions with P_{x,h} <= threshold
+  double threshold = 0.0;   ///< c2 log2(1/eps1)
+
+  bool all_good() const noexcept { return good == regions; }
+};
+
+/// Replays the per-region quantities of Appendix B against an engine whose
+/// processes are SeedProcess instances over an embedded dual graph.
+class GoodnessAnalyzer {
+ public:
+  /// The graph must carry an embedding.  c2 is the goodness constant
+  /// (Appendix B.1 requires c2 >= 4).
+  GoodnessAnalyzer(const graph::DualGraph& g, double eps1, double c2 = 4.0);
+
+  /// P_{x,h} for every occupied region, measured from the engine's current
+  /// process states; `phase` is h (1-based).  Call at phase starts.
+  GoodnessSnapshot snapshot(const sim::Engine& engine, int phase,
+                            const SeedAlgParams& params) const;
+
+  /// Count of by-default decisions per region after completion (the
+  /// quantity Lemma B.5 bounds for good regions).
+  std::unordered_map<geo::RegionId, std::size_t, geo::RegionIdHash>
+  default_decisions(const sim::Engine& engine) const;
+
+  double threshold() const noexcept { return threshold_; }
+  const geo::GridPartition& partition() const noexcept { return partition_; }
+  geo::RegionId region_of(graph::Vertex v) const { return region_[v]; }
+
+ private:
+  const graph::DualGraph* graph_;
+  geo::GridPartition partition_;
+  std::vector<geo::RegionId> region_;
+  double threshold_;
+};
+
+}  // namespace dg::seed

@@ -1,0 +1,102 @@
+#include "seed/spec.h"
+
+#include <unordered_set>
+
+#include "util/assert.h"
+
+namespace dg::seed {
+
+namespace {
+
+/// Owners committed at the vertices of N_G'(u) u {u}.
+std::unordered_set<sim::ProcessId> owners_near(
+    const graph::DualGraph& g, const DecisionVector& decisions,
+    graph::Vertex u) {
+  std::unordered_set<sim::ProcessId> owners;
+  const auto add = [&](graph::Vertex v) {
+    if (decisions[v].has_value()) owners.insert(decisions[v]->owner);
+  };
+  add(u);
+  for (graph::Vertex v : g.gprime_neighbors(u)) add(v);
+  return owners;
+}
+
+}  // namespace
+
+std::size_t neighborhood_owner_count(const graph::DualGraph& g,
+                                     const std::vector<sim::ProcessId>& ids,
+                                     const DecisionVector& decisions,
+                                     graph::Vertex u) {
+  DG_EXPECTS(ids.size() == g.size());
+  DG_EXPECTS(decisions.size() == g.size());
+  return owners_near(g, decisions, u).size();
+}
+
+SeedSpecResult check_seed_spec(const graph::DualGraph& g,
+                               const std::vector<sim::ProcessId>& ids,
+                               const DecisionVector& decisions) {
+  DG_EXPECTS(ids.size() == g.size());
+  DG_EXPECTS(decisions.size() == g.size());
+  const auto n = static_cast<graph::Vertex>(g.size());
+
+  SeedSpecResult result;
+
+  // Condition 1: well-formedness.
+  result.well_formed = true;
+  for (graph::Vertex v = 0; v < n; ++v) {
+    if (!decisions[v].has_value()) {
+      result.well_formed = false;
+    }
+  }
+
+  // Condition 2: consistency (same owner -> same seed).
+  result.consistent = true;
+  std::unordered_map<sim::ProcessId, std::uint64_t> seed_of_owner;
+  for (graph::Vertex v = 0; v < n; ++v) {
+    if (!decisions[v].has_value()) continue;
+    const auto [it, inserted] = seed_of_owner.emplace(
+        decisions[v]->owner, decisions[v]->seed_value);
+    if (!inserted && it->second != decisions[v]->seed_value) {
+      result.consistent = false;
+    }
+  }
+  result.distinct_owners = seed_of_owner.size();
+
+  // Supplementary: owners are local (the id of u itself or of a
+  // G'-neighbor).
+  result.owners_local = true;
+  for (graph::Vertex v = 0; v < n; ++v) {
+    if (!decisions[v].has_value()) continue;
+    const sim::ProcessId owner = decisions[v]->owner;
+    bool local = ids[v] == owner;
+    if (!local) {
+      for (graph::Vertex w : g.gprime_neighbors(v)) {
+        if (ids[w] == owner) {
+          local = true;
+          break;
+        }
+      }
+    }
+    if (!local) result.owners_local = false;
+  }
+
+  // Agreement statistic: max unique owners over all closed G'-neighborhoods.
+  result.max_neighborhood_owners = 0;
+  for (graph::Vertex u = 0; u < n; ++u) {
+    result.max_neighborhood_owners = std::max(
+        result.max_neighborhood_owners, owners_near(g, decisions, u).size());
+  }
+
+  return result;
+}
+
+std::unordered_map<sim::ProcessId, std::uint64_t> owner_seeds(
+    const DecisionVector& decisions) {
+  std::unordered_map<sim::ProcessId, std::uint64_t> out;
+  for (const auto& d : decisions) {
+    if (d.has_value()) out.emplace(d->owner, d->seed_value);
+  }
+  return out;
+}
+
+}  // namespace dg::seed

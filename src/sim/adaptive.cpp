@@ -1,0 +1,45 @@
+#include "sim/adaptive.h"
+
+#include "util/assert.h"
+
+namespace dg::sim {
+
+void TargetedJammer::plan_round(Round, const graph::DualGraph& g,
+                                const std::vector<bool>& transmitting) {
+  DG_EXPECTS(transmitting.size() == g.size());
+  DG_EXPECTS(target_ < g.size());
+  include_.assign(g.unreliable_edge_count(), false);
+
+  // How many reliable neighbors of the target transmit this round?
+  std::size_t reliable_transmitters = 0;
+  for (graph::Vertex v : g.g_neighbors(target_)) {
+    if (transmitting[v]) ++reliable_transmitters;
+  }
+
+  // Transmitting unreliable neighbors of the target (edge ids).
+  std::vector<graph::UnreliableEdgeId> jam_candidates;
+  for (const auto& [edge, v] : g.unreliable_incident(target_)) {
+    if (transmitting[v]) jam_candidates.push_back(edge);
+  }
+
+  if (reliable_transmitters == 1) {
+    // A lone reliable transmitter would deliver: add one unreliable
+    // transmitter to collide with it, if any exists.
+    if (!jam_candidates.empty()) {
+      include_[jam_candidates.front()] = true;
+      ++interventions_;
+    }
+  } else if (reliable_transmitters == 0) {
+    // No reliable traffic: a lone unreliable transmitter would deliver.
+    // Include none (silence) -- unless we can include two to collide, which
+    // is equivalent; excluding is simplest and always available.
+  }
+  // reliable_transmitters >= 2: collision already; include nothing.
+}
+
+bool TargetedJammer::active(graph::UnreliableEdgeId edge) const {
+  DG_EXPECTS(edge < include_.size());
+  return include_[edge];
+}
+
+}  // namespace dg::sim

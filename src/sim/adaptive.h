@@ -1,0 +1,73 @@
+// ADAPTIVE adversaries -- deliberately OUTSIDE the paper's model.
+//
+// The dual graph model of Section 2 requires the link scheduler to be
+// oblivious: the whole sequence G_1, G_2, ... is fixed before round 1.
+// Ghaffari, Lynch, Newport [11] proved that this is not a convenience but a
+// necessity: with an *adaptive* scheduler (one that picks the round
+// topology after seeing who transmits), local broadcast with efficient
+// progress is impossible -- no randomized strategy helps, because the
+// adversary reacts to the coin flips themselves.
+//
+// This hook exists to reproduce that impossibility empirically (experiment
+// E12): it lets a test/bench install a round-by-round adversary that sees
+// the transmit decisions before the unreliable edges are fixed.  It is the
+// counterfactual that justifies the model; nothing in the library's
+// algorithms or guarantees uses it.
+#pragma once
+
+#include <vector>
+
+#include "graph/dual_graph.h"
+#include "sim/process.h"
+
+namespace dg::sim {
+
+/// Chooses the unreliable-edge subset for a round AFTER observing that
+/// round's transmit decisions.  Installing one via
+/// Engine::set_adaptive_adversary OVERRIDES the oblivious scheduler for
+/// unreliable edges entirely.
+class AdaptiveAdversary {
+ public:
+  virtual ~AdaptiveAdversary() = default;
+
+  /// Called once per round, after transmit decisions and before reception.
+  /// `transmitting[v]` is true iff vertex v transmits this round.
+  virtual void plan_round(Round round, const graph::DualGraph& g,
+                          const std::vector<bool>& transmitting) = 0;
+
+  /// Whether unreliable edge `edge` is included in this round's topology
+  /// (valid after the corresponding plan_round call).
+  virtual bool active(graph::UnreliableEdgeId edge) const = 0;
+};
+
+/// The jammer that realizes the [11] impossibility argument against a
+/// single target receiver:
+///   * if exactly one reliable neighbor of the target transmits (the round
+///     would deliver), it includes one transmitting unreliable neighbor's
+///     edge to manufacture a collision;
+///   * if no reliable neighbor transmits, it includes either zero or two+
+///     transmitting unreliable edges so no lone unreliable transmitter can
+///     sneak a message through;
+///   * if two or more reliable neighbors transmit, the collision is already
+///     there and it includes nothing.
+/// Against this adversary the target never receives anything, regardless of
+/// the algorithm's randomization -- progress is impossible, exactly as
+/// proved.
+class TargetedJammer final : public AdaptiveAdversary {
+ public:
+  explicit TargetedJammer(graph::Vertex target) : target_(target) {}
+
+  void plan_round(Round round, const graph::DualGraph& g,
+                  const std::vector<bool>& transmitting) override;
+  bool active(graph::UnreliableEdgeId edge) const override;
+
+  /// Rounds in which the jammer had to intervene (diagnostics).
+  std::uint64_t interventions() const noexcept { return interventions_; }
+
+ private:
+  graph::Vertex target_;
+  std::vector<bool> include_;
+  std::uint64_t interventions_ = 0;
+};
+
+}  // namespace dg::sim

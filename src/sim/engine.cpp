@@ -1,0 +1,153 @@
+#include "sim/engine.h"
+
+#include <unordered_set>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace dg::sim {
+
+std::vector<ProcessId> assign_ids(std::size_t n, std::uint64_t seed) {
+  std::vector<ProcessId> ids;
+  ids.reserve(n);
+  std::unordered_set<ProcessId> used;
+  std::uint64_t counter = 0;
+  while (ids.size() < n) {
+    const ProcessId candidate = splitmix64(seed ^ splitmix64(counter++));
+    if (candidate != 0 && used.insert(candidate).second) {
+      ids.push_back(candidate);
+    }
+  }
+  return ids;
+}
+
+Engine::Engine(const graph::DualGraph& g, LinkScheduler& scheduler,
+               std::vector<std::unique_ptr<Process>> processes,
+               std::uint64_t master_seed)
+    : graph_(&g),
+      scheduler_(&scheduler),
+      processes_(std::move(processes)) {
+  DG_EXPECTS(g.finalized());
+  DG_EXPECTS(processes_.size() == g.size());
+  for (const auto& p : processes_) {
+    DG_EXPECTS(p != nullptr);
+  }
+  rngs_.reserve(processes_.size());
+  for (std::size_t v = 0; v < processes_.size(); ++v) {
+    // Stream tag 0x9 partitions process streams away from other consumers
+    // of the same master seed (scheduler, id assignment, generators).
+    rngs_.emplace_back(master_seed, 0x900000000ULL + v);
+  }
+  scheduler_->commit(g, derive_seed(master_seed, /*stream=*/0x5c4edULL));
+
+  outgoing_.resize(processes_.size());
+  heard_count_.resize(processes_.size());
+  heard_from_.resize(processes_.size());
+}
+
+void Engine::add_observer(Observer* observer) {
+  DG_EXPECTS(observer != nullptr);
+  observers_.push_back(observer);
+}
+
+Process& Engine::process(graph::Vertex v) {
+  DG_EXPECTS(v < processes_.size());
+  return *processes_[v];
+}
+
+const Process& Engine::process(graph::Vertex v) const {
+  DG_EXPECTS(v < processes_.size());
+  return *processes_[v];
+}
+
+Rng& Engine::process_rng(graph::Vertex v) {
+  DG_EXPECTS(v < rngs_.size());
+  return rngs_[v];
+}
+
+void Engine::run_round() {
+  const Round t = ++round_;
+  const auto n = static_cast<graph::Vertex>(processes_.size());
+
+  for (Observer* obs : observers_) {
+    obs->on_round_begin(t);
+  }
+
+  // Step 2: transmit decisions.
+  for (graph::Vertex v = 0; v < n; ++v) {
+    RoundContext ctx(t, rngs_[v]);
+    outgoing_[v] = processes_[v]->transmit(ctx);
+    if (outgoing_[v].has_value()) {
+      // The wire carries the true sender id; processes cannot spoof.
+      DG_ASSERT(outgoing_[v]->sender == processes_[v]->id());
+      for (Observer* obs : observers_) {
+        obs->on_transmit(t, v, *outgoing_[v]);
+      }
+    }
+  }
+
+  // Step 3: reception under the single-transmitter rule on the round
+  // topology G_t = E + {active unreliable edges}.  An installed adaptive
+  // adversary (E12 counterfactual; outside the paper's model) sees the
+  // transmit decisions first and overrides the oblivious scheduler.
+  if (adaptive_ != nullptr) {
+    transmitting_.assign(processes_.size(), false);
+    for (graph::Vertex v = 0; v < n; ++v) {
+      transmitting_[v] = outgoing_[v].has_value();
+    }
+    adaptive_->plan_round(t, *graph_, transmitting_);
+  }
+  std::fill(heard_count_.begin(), heard_count_.end(), 0U);
+  for (graph::Vertex v = 0; v < n; ++v) {
+    if (!outgoing_[v].has_value()) continue;
+    for (graph::Vertex u : graph_->g_neighbors(v)) {
+      ++heard_count_[u];
+      heard_from_[u] = v;
+    }
+    for (const auto& [edge, u] : graph_->unreliable_incident(v)) {
+      const bool on = adaptive_ != nullptr ? adaptive_->active(edge)
+                                           : scheduler_->active(edge, t);
+      if (on) {
+        ++heard_count_[u];
+        heard_from_[u] = v;
+      }
+    }
+  }
+
+  for (graph::Vertex u = 0; u < n; ++u) {
+    if (outgoing_[u].has_value()) continue;  // transmitters do not receive
+    RoundContext ctx(t, rngs_[u]);
+    if (heard_count_[u] == 1) {
+      const graph::Vertex from = heard_from_[u];
+      const Packet& packet = *outgoing_[from];
+      for (Observer* obs : observers_) {
+        obs->on_receive(t, u, from, packet);
+      }
+      processes_[u]->receive(packet, ctx);
+    } else {
+      for (Observer* obs : observers_) {
+        obs->on_silence(t, u, /*collision=*/heard_count_[u] > 1);
+      }
+      processes_[u]->receive(std::nullopt, ctx);
+    }
+  }
+
+  // Step 4: outputs.
+  for (graph::Vertex v = 0; v < n; ++v) {
+    RoundContext ctx(t, rngs_[v]);
+    processes_[v]->end_round(ctx);
+  }
+
+  for (Observer* obs : observers_) {
+    obs->on_round_end(t);
+  }
+}
+
+void Engine::run_rounds(Round count) {
+  DG_EXPECTS(count >= 0);
+  for (Round i = 0; i < count; ++i) {
+    run_round();
+  }
+}
+
+}  // namespace dg::sim

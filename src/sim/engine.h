@@ -1,0 +1,94 @@
+// The synchronous-round execution engine (Section 2 semantics).
+//
+// Each round: every process decides transmit-or-receive; the round topology
+// is E plus the unreliable edges the (pre-committed, oblivious) scheduler
+// includes; a listening node receives a packet iff exactly one of its
+// round-topology neighbors transmitted; otherwise it receives the null
+// indicator (no collision detection).  Transmitters hear nothing.
+//
+// The engine is protocol-agnostic: environments and protocol wrappers
+// interact with typed Process subclasses *between* calls to run_round(),
+// which realizes the paper's inputs -> transmit -> receive -> outputs round
+// micro-structure.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/dual_graph.h"
+#include "sim/adaptive.h"
+#include "sim/observer.h"
+#include "sim/packet.h"
+#include "sim/process.h"
+#include "sim/scheduler.h"
+
+namespace dg::sim {
+
+/// Assigns distinct ProcessIds to graph vertices (the paper's id() mapping,
+/// unknown to the processes).  Ids are pseudorandom 64-bit values so no
+/// process can infer topology from id structure.
+std::vector<ProcessId> assign_ids(std::size_t n, std::uint64_t seed);
+
+class Engine {
+ public:
+  /// The graph and scheduler must outlive the engine.  `processes[v]` is the
+  /// process at graph vertex v; the scheduler is committed here (with a
+  /// stream derived from master_seed), before any round executes.
+  Engine(const graph::DualGraph& g, LinkScheduler& scheduler,
+         std::vector<std::unique_ptr<Process>> processes,
+         std::uint64_t master_seed);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Observers are invoked in registration order; they must outlive the
+  /// engine.
+  void add_observer(Observer* observer);
+
+  /// Installs an ADAPTIVE adversary (see sim/adaptive.h) that overrides the
+  /// oblivious scheduler for unreliable edges.  Deliberately outside the
+  /// paper's model -- used only by the E12 impossibility counterfactual.
+  void set_adaptive_adversary(AdaptiveAdversary* adversary) {
+    adaptive_ = adversary;
+  }
+
+  /// Rounds executed so far (0 before the first run_round()).
+  Round round() const noexcept { return round_; }
+
+  /// Executes one synchronous round (steps 2-4 of the round structure;
+  /// step 1, environment inputs, happens before this call via typed process
+  /// APIs).
+  void run_round();
+
+  void run_rounds(Round count);
+
+  const graph::DualGraph& network() const noexcept { return *graph_; }
+  std::size_t process_count() const noexcept { return processes_.size(); }
+
+  Process& process(graph::Vertex v);
+  const Process& process(graph::Vertex v) const;
+
+  /// The process-local random stream for vertex v (exposed so protocol
+  /// wrappers can make *input-side* random choices attributable to the same
+  /// process stream; the engine itself never draws from these between a
+  /// process's own steps).
+  Rng& process_rng(graph::Vertex v);
+
+ private:
+  const graph::DualGraph* graph_;
+  LinkScheduler* scheduler_;
+  AdaptiveAdversary* adaptive_ = nullptr;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<Rng> rngs_;
+  std::vector<Observer*> observers_;
+  Round round_ = 0;
+
+  // Scratch buffers reused every round.
+  std::vector<std::optional<Packet>> outgoing_;
+  std::vector<std::uint32_t> heard_count_;
+  std::vector<graph::Vertex> heard_from_;
+  std::vector<bool> transmitting_;
+};
+
+}  // namespace dg::sim

@@ -1,0 +1,53 @@
+// Execution observers.
+//
+// Spec checkers, statistics collectors, and trace recorders watch executions
+// through this interface instead of storing full traces: a multi-hundred-
+// thousand-round Monte Carlo run would otherwise exhaust memory.  Observers
+// see ground truth (who transmitted, who received what from whom) that the
+// *processes* themselves cannot see -- exactly the vantage point the paper's
+// proofs take.
+#pragma once
+
+#include "graph/dual_graph.h"
+#include "sim/packet.h"
+#include "sim/process.h"
+
+namespace dg::sim {
+
+class Observer {
+ public:
+  virtual ~Observer() = default;
+
+  virtual void on_round_begin(Round round) { (void)round; }
+
+  /// Vertex v transmitted `packet` in `round`.
+  virtual void on_transmit(Round round, graph::Vertex v,
+                           const Packet& packet) {
+    (void)round;
+    (void)v;
+    (void)packet;
+  }
+
+  /// Listening vertex u received `packet` from vertex `from` in `round`
+  /// (the single-transmitter rule was satisfied at u).
+  virtual void on_receive(Round round, graph::Vertex u, graph::Vertex from,
+                          const Packet& packet) {
+    (void)round;
+    (void)u;
+    (void)from;
+    (void)packet;
+  }
+
+  /// Listening vertex u heard nothing in `round`.  `collision` is true when
+  /// two or more of u's round-neighbors transmitted (information available
+  /// to the analysis but *not* to u: no collision detection).
+  virtual void on_silence(Round round, graph::Vertex u, bool collision) {
+    (void)round;
+    (void)u;
+    (void)collision;
+  }
+
+  virtual void on_round_end(Round round) { (void)round; }
+};
+
+}  // namespace dg::sim

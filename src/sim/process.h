@@ -1,0 +1,67 @@
+// The process abstraction of Section 2.
+//
+// A process is a probabilistic automaton driven in synchronous rounds.  The
+// paper's round micro-structure is: (1) environment inputs, (2) transmit
+// decisions, (3) reception, (4) outputs.  The engine realizes (2) and (3)
+// through this interface; (1) and (4) are realized by protocol-specific
+// wrappers that talk to typed process subclasses between engine rounds.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/packet.h"
+#include "util/rng.h"
+
+namespace dg::sim {
+
+/// Round numbers are 1-based, as in the paper ("rounds 1, 2, ...").
+using Round = std::int64_t;
+
+/// Per-round context handed to a process.  Grants access to the round number
+/// and the process's own local randomness -- and nothing else (processes
+/// must stay local: no n, no topology, no other processes).
+class RoundContext {
+ public:
+  RoundContext(Round round, Rng& rng) : round_(round), rng_(&rng) {}
+
+  Round round() const noexcept { return round_; }
+  Rng& rng() noexcept { return *rng_; }
+
+ private:
+  Round round_;
+  Rng* rng_;
+};
+
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  ProcessId id() const noexcept { return id_; }
+
+  /// Step (2): decide to transmit (return a packet) or to receive
+  /// (return nullopt).  Called exactly once per round.
+  virtual std::optional<Packet> transmit(RoundContext& ctx) = 0;
+
+  /// Step (3): reception outcome.  Called exactly once per round for
+  /// *listening* processes only; `packet` is nullopt for the silence /
+  /// collision indicator (the paper's "null" -- no collision detection, so
+  /// silence and collision are indistinguishable).
+  virtual void receive(const std::optional<Packet>& packet,
+                       RoundContext& ctx) = 0;
+
+  /// End of the round, after reception everywhere.  Protocol outputs (ack,
+  /// recv, decide) are emitted from here via protocol-specific callbacks.
+  virtual void end_round(RoundContext& ctx) { (void)ctx; }
+
+ protected:
+  explicit Process(ProcessId id) : id_(id) {}
+
+ private:
+  ProcessId id_;
+};
+
+}  // namespace dg::sim

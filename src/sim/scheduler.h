@@ -1,0 +1,155 @@
+// Oblivious link schedulers (Section 2).
+//
+// A link scheduler is a sequence G = G_1, G_2, ... fixed at the beginning of
+// the execution: each G_t is E plus an arbitrary subset of E' \ E.  The
+// interface enforces obliviousness by construction: commit() is called once
+// before round 1 with a private random seed, after which active() is a pure
+// function of (edge id, round) -- the scheduler never sees any execution
+// state, transmission history, or process randomness.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/dual_graph.h"
+#include "sim/process.h"
+
+namespace dg::sim {
+
+class LinkScheduler {
+ public:
+  virtual ~LinkScheduler() = default;
+
+  /// Commits the whole schedule.  Called exactly once, before round 1.
+  virtual void commit(const graph::DualGraph& g, std::uint64_t seed) = 0;
+
+  /// Whether unreliable edge `edge` is present in the topology of `round`.
+  /// Must be deterministic after commit().
+  virtual bool active(graph::UnreliableEdgeId edge, Round round) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Includes either none or all of E' \ E in every round.  "none" yields the
+/// classical reliable radio network G; "all" yields the static graph G'.
+class ConstantScheduler final : public LinkScheduler {
+ public:
+  explicit ConstantScheduler(bool include_all) : include_all_(include_all) {}
+
+  void commit(const graph::DualGraph&, std::uint64_t) override {}
+  bool active(graph::UnreliableEdgeId, Round) const override {
+    return include_all_;
+  }
+  std::string name() const override {
+    return include_all_ ? "full-G'" : "full-G";
+  }
+
+ private:
+  bool include_all_;
+};
+
+/// Independently includes each unreliable edge in each round with
+/// probability p.  The randomness is derived statelessly from the committed
+/// seed (hash of (seed, edge, round)), so the whole infinite schedule is
+/// fixed at commit time, satisfying obliviousness literally.
+class BernoulliScheduler final : public LinkScheduler {
+ public:
+  explicit BernoulliScheduler(double p);
+
+  void commit(const graph::DualGraph& g, std::uint64_t seed) override;
+  bool active(graph::UnreliableEdgeId edge, Round round) const override;
+  std::string name() const override;
+
+ private:
+  double p_;
+  std::uint64_t seed_ = 0;
+  std::uint64_t threshold_ = 0;
+};
+
+/// Deterministic periodic flicker: each edge is present in rounds where
+/// ((round + phase(edge)) mod period) < duty.  Models links with long
+/// coherent up/down intervals; edge phases are randomized at commit time.
+class FlickerScheduler final : public LinkScheduler {
+ public:
+  FlickerScheduler(Round period, Round duty);
+
+  void commit(const graph::DualGraph& g, std::uint64_t seed) override;
+  bool active(graph::UnreliableEdgeId edge, Round round) const override;
+  std::string name() const override;
+
+ private:
+  Round period_;
+  Round duty_;
+  std::vector<Round> phase_;
+};
+
+/// Bursty links: per-edge epochs of `epoch_length` rounds; an edge is
+/// present for a whole epoch with probability p_up, independently per
+/// (edge, epoch).  Models links with long coherent up/down intervals (the
+/// Gilbert-Elliott flavor of unreliability) while staying oblivious: epoch
+/// fates are derived statelessly from the committed seed.
+class BurstScheduler final : public LinkScheduler {
+ public:
+  BurstScheduler(Round epoch_length, double p_up);
+
+  void commit(const graph::DualGraph& g, std::uint64_t seed) override;
+  bool active(graph::UnreliableEdgeId edge, Round round) const override;
+  std::string name() const override;
+
+ private:
+  Round epoch_length_;
+  double p_up_;
+  std::uint64_t seed_ = 0;
+  std::uint64_t threshold_ = 0;
+};
+
+/// The adversary from the paper's Discussion section: a link schedule
+/// "constructed with the intent of thwarting the fixed schedule strategy by
+/// including many links (i.e., increasing contention) when the schedule
+/// selects high probabilities, and excluding many links when the schedule
+/// selects low probabilities."
+///
+/// The adversary is given, at construction time, the *deterministic,
+/// publicly known* round->probability schedule of the algorithm under attack
+/// (e.g. Decay's geometric cycle).  It includes every unreliable edge in the
+/// rounds where that schedule transmits with probability above `pivot`, and
+/// none elsewhere.  This is a legal oblivious scheduler: the schedule
+/// depends only on the algorithm's text, never on coin flips or execution
+/// state -- which is exactly why it can thwart fixed schedules but not
+/// LBAlg's seed-permuted schedules.
+class AntiScheduleAdversary final : public LinkScheduler {
+ public:
+  using ProbabilitySchedule = std::function<double(Round)>;
+
+  AntiScheduleAdversary(ProbabilitySchedule target_schedule, double pivot);
+
+  void commit(const graph::DualGraph& g, std::uint64_t seed) override;
+  bool active(graph::UnreliableEdgeId edge, Round round) const override;
+  std::string name() const override;
+
+ private:
+  ProbabilitySchedule schedule_;
+  double pivot_;
+};
+
+/// Fully explicit schedule: a pre-materialized vector of bitmaps, one per
+/// round (cycled if the execution runs longer).  The most general oblivious
+/// scheduler; used by tests to script exact topologies.
+class ExplicitScheduler final : public LinkScheduler {
+ public:
+  /// rounds_bitmap[t][e] == true -> edge e present in round t+1 (and in all
+  /// rounds congruent mod the pattern length).
+  explicit ExplicitScheduler(std::vector<std::vector<bool>> pattern);
+
+  void commit(const graph::DualGraph& g, std::uint64_t seed) override;
+  bool active(graph::UnreliableEdgeId edge, Round round) const override;
+  std::string name() const override { return "explicit"; }
+
+ private:
+  std::vector<std::vector<bool>> pattern_;
+};
+
+}  // namespace dg::sim

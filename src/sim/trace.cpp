@@ -1,0 +1,87 @@
+#include "sim/trace.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace dg::sim {
+
+TraceRecorder::TraceRecorder(std::size_t capacity) : capacity_(capacity) {
+  DG_EXPECTS(capacity >= 1);
+}
+
+void TraceRecorder::push(Event event) {
+  if (events_.size() == capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+  events_.push_back(event);
+}
+
+void TraceRecorder::on_transmit(Round round, graph::Vertex v,
+                                const Packet& p) {
+  Event e;
+  e.round = round;
+  e.kind = EventKind::transmit;
+  e.vertex = v;
+  e.is_data = p.is_data();
+  e.detail = p.is_data() ? p.data().content : p.seed().owner;
+  push(e);
+}
+
+void TraceRecorder::on_receive(Round round, graph::Vertex u,
+                               graph::Vertex from, const Packet& p) {
+  Event e;
+  e.round = round;
+  e.kind = EventKind::receive;
+  e.vertex = u;
+  e.peer = from;
+  e.is_data = p.is_data();
+  e.detail = p.is_data() ? p.data().content : p.seed().owner;
+  push(e);
+}
+
+void TraceRecorder::on_silence(Round round, graph::Vertex u, bool collision) {
+  if (!collision) return;  // plain silence is noise; collisions matter
+  Event e;
+  e.round = round;
+  e.kind = EventKind::collision;
+  e.vertex = u;
+  push(e);
+}
+
+void TraceRecorder::clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::string TraceRecorder::describe(const Event& event) {
+  std::ostringstream os;
+  os << "round " << event.round << ": ";
+  switch (event.kind) {
+    case EventKind::transmit:
+      os << "v" << event.vertex << " tx "
+         << (event.is_data ? "data content=" : "seed owner=") << event.detail;
+      break;
+    case EventKind::receive:
+      os << "v" << event.peer << " -> v" << event.vertex << " "
+         << (event.is_data ? "data content=" : "seed owner=") << event.detail;
+      break;
+    case EventKind::collision:
+      os << "v" << event.vertex << " collision";
+      break;
+  }
+  return os.str();
+}
+
+void TraceRecorder::print(std::ostream& os) const {
+  if (dropped_ > 0) {
+    os << "... (" << dropped_ << " earlier events dropped)\n";
+  }
+  for (const Event& e : events_) {
+    os << describe(e) << '\n';
+  }
+}
+
+}  // namespace dg::sim

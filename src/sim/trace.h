@@ -1,0 +1,55 @@
+// Bounded execution trace recorder.
+//
+// Records the last `capacity` wire-level events (transmissions, receptions,
+// collisions) in a ring buffer and renders them as text.  Debugging and
+// observability tooling: examples print the final rounds of an execution,
+// tests assert on exact event sequences without hand-rolled observers.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+
+#include "sim/observer.h"
+
+namespace dg::sim {
+
+class TraceRecorder final : public Observer {
+ public:
+  enum class EventKind { transmit, receive, collision };
+
+  struct Event {
+    Round round = 0;
+    EventKind kind = EventKind::transmit;
+    graph::Vertex vertex = 0;          ///< acting vertex (tx or rx)
+    graph::Vertex peer = 0;            ///< sender for receive events
+    bool is_data = false;              ///< data vs seed payload
+    std::uint64_t detail = 0;          ///< content (data) / owner (seed)
+  };
+
+  /// Keeps at most `capacity` events (oldest dropped first).
+  explicit TraceRecorder(std::size_t capacity = 4096);
+
+  void on_transmit(Round round, graph::Vertex v, const Packet& p) override;
+  void on_receive(Round round, graph::Vertex u, graph::Vertex from,
+                  const Packet& p) override;
+  void on_silence(Round round, graph::Vertex u, bool collision) override;
+
+  const std::deque<Event>& events() const noexcept { return events_; }
+  std::size_t dropped() const noexcept { return dropped_; }
+  void clear();
+
+  /// Renders one event per line: "round 17: v3 -> v5 data content=42".
+  void print(std::ostream& os) const;
+  static std::string describe(const Event& event);
+
+ private:
+  void push(Event event);
+
+  std::size_t capacity_;
+  std::deque<Event> events_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace dg::sim

@@ -1,0 +1,51 @@
+// Monte Carlo trial runner.
+//
+// Trials are independent executions (fresh configuration + fresh master
+// seed); they run in parallel across hardware threads.  Each trial function
+// receives the trial index and a derived seed, and returns a sample
+// structure; results come back in trial order regardless of scheduling, so
+// output is deterministic for a given base seed.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace dg::stats {
+
+/// Runs `trials` invocations of fn(trial_index, trial_seed) across up to
+/// hardware_concurrency() threads; returns results indexed by trial.
+template <typename Fn>
+auto run_trials(std::size_t trials, std::uint64_t base_seed, Fn&& fn)
+    -> std::vector<decltype(fn(std::size_t{}, std::uint64_t{}))> {
+  using Result = decltype(fn(std::size_t{}, std::uint64_t{}));
+  DG_EXPECTS(trials >= 1);
+  std::vector<Result> results(trials);
+
+  const std::size_t hw = std::thread::hardware_concurrency();
+  const std::size_t workers = std::min(trials, hw == 0 ? 1 : hw);
+
+  if (workers <= 1) {
+    for (std::size_t t = 0; t < trials; ++t) {
+      results[t] = fn(t, derive_seed(base_seed, t));
+    }
+    return results;
+  }
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      for (std::size_t t = w; t < trials; t += workers) {
+        results[t] = fn(t, derive_seed(base_seed, t));
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  return results;
+}
+
+}  // namespace dg::stats

@@ -1,0 +1,42 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace dg::stats {
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  DG_EXPECTS(!sorted.empty());
+  DG_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary Summary::of(std::vector<double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (double x : samples) sum += x;
+  s.mean = sum / static_cast<double>(samples.size());
+  double var = 0.0;
+  for (double x : samples) var += (x - s.mean) * (x - s.mean);
+  s.stddev = samples.size() > 1
+                 ? std::sqrt(var / static_cast<double>(samples.size() - 1))
+                 : 0.0;
+  s.min = samples.front();
+  s.max = samples.back();
+  s.p50 = quantile_sorted(samples, 0.5);
+  s.p90 = quantile_sorted(samples, 0.9);
+  s.p99 = quantile_sorted(samples, 0.99);
+  return s;
+}
+
+}  // namespace dg::stats

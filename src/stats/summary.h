@@ -1,0 +1,26 @@
+// Summary statistics over samples collected by the experiment harness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dg::stats {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+
+  /// Computes all fields from the samples (sorts a copy).
+  static Summary of(std::vector<double> samples);
+};
+
+/// The q-quantile (0 <= q <= 1) of sorted samples, linear interpolation.
+double quantile_sorted(const std::vector<double>& sorted, double q);
+
+}  // namespace dg::stats

@@ -1,0 +1,35 @@
+// Lightweight contract-checking macros used across the library.
+//
+// DG_EXPECTS / DG_ENSURES check preconditions and postconditions; DG_ASSERT
+// checks internal invariants.  All three are always on (simulation
+// correctness matters more than the last few percent of speed), print the
+// failing expression with its location, and abort.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dg::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "%s failed: %s at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace dg::detail
+
+#define DG_EXPECTS(expr)                                                  \
+  ((expr) ? static_cast<void>(0)                                          \
+          : ::dg::detail::contract_failure("precondition", #expr, __FILE__, \
+                                           __LINE__))
+
+#define DG_ENSURES(expr)                                                   \
+  ((expr) ? static_cast<void>(0)                                           \
+          : ::dg::detail::contract_failure("postcondition", #expr, __FILE__, \
+                                           __LINE__))
+
+#define DG_ASSERT(expr)                                                 \
+  ((expr) ? static_cast<void>(0)                                        \
+          : ::dg::detail::contract_failure("invariant", #expr, __FILE__, \
+                                           __LINE__))

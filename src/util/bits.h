@@ -1,0 +1,64 @@
+// SeedBits: a deterministic stream of uniform bits expanded from a 64-bit
+// seed value.
+//
+// The paper's seed domain is S_kappa = {0,1}^kappa: each seed-agreement
+// participant draws a uniform kappa-bit string and ships it in messages.  In
+// the simulator we ship a 64-bit seed value instead and expand it to bits on
+// demand with a SplitMix64-based PRG.  Two nodes holding the same seed value
+// read byte-identical bit streams (which is all the shared-randomness
+// argument of LBAlg needs), and distinct owners hold independent uniform
+// values (which is what the Independence property of the Seed spec needs).
+// DESIGN.md documents this substitution; tests/seed_bits_test.cpp checks
+// uniformity and cross-seed independence statistically.
+#pragma once
+
+#include <cstdint>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace dg {
+
+/// Deterministic bit stream keyed by a 64-bit seed value.
+///
+/// Bits are indexed from 0; `take(k)` returns the next k bits as the integer
+/// whose most-significant bit is the first bit consumed (so a group of nodes
+/// calling take() in lockstep derive identical values).  Cursor-based, cheap
+/// to copy.
+class SeedBits {
+ public:
+  explicit SeedBits(std::uint64_t seed_value) : seed_value_(seed_value) {}
+
+  std::uint64_t seed_value() const noexcept { return seed_value_; }
+  std::uint64_t cursor() const noexcept { return cursor_; }
+
+  /// Returns bit number `index` of the expanded stream (0 or 1).
+  int bit_at(std::uint64_t index) const noexcept {
+    const std::uint64_t word = splitmix64(seed_value_ ^ splitmix64(index / 64));
+    return static_cast<int>((word >> (index % 64)) & 1U);
+  }
+
+  /// Consumes the next k bits (k in [0, 64]) and returns them as an integer.
+  std::uint64_t take(int k) {
+    DG_EXPECTS(k >= 0 && k <= 64);
+    std::uint64_t value = 0;
+    for (int i = 0; i < k; ++i) {
+      value = (value << 1) | static_cast<std::uint64_t>(bit_at(cursor_++));
+    }
+    return value;
+  }
+
+  /// True iff the next k bits are all zero; consumes them.
+  /// (LBAlg's participant rule: "if all of these bits are 0".)
+  bool take_all_zero(int k) { return take(k) == 0; }
+
+  /// Repositions the cursor (used to align all group members at a round
+  /// boundary regardless of how many bits each consumed earlier).
+  void seek(std::uint64_t bit_index) noexcept { cursor_ = bit_index; }
+
+ private:
+  std::uint64_t seed_value_;
+  std::uint64_t cursor_ = 0;
+};
+
+}  // namespace dg

@@ -1,0 +1,79 @@
+// Wilson score confidence intervals for Bernoulli success frequencies.
+//
+// Every probabilistic property in the paper (agreement, reliability,
+// progress, the Lemma C.1 probability floors) is verified empirically over
+// Monte Carlo trials; the spec checkers and benches report Wilson intervals
+// rather than raw frequencies so "holds with probability >= 1-eps" can be
+// asserted with an explicit confidence.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/assert.h"
+
+namespace dg {
+
+struct Interval {
+  double lo = 0.0;
+  double hi = 1.0;
+
+  bool contains(double p) const noexcept { return lo <= p && p <= hi; }
+  double width() const noexcept { return hi - lo; }
+};
+
+/// Wilson score interval for `successes` out of `trials` at z standard
+/// deviations (z = 1.96 -> ~95%, z = 2.58 -> ~99%, z = 3.29 -> ~99.9%).
+inline Interval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                                double z = 2.58) {
+  DG_EXPECTS(trials > 0);
+  DG_EXPECTS(successes <= trials);
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double margin =
+      (z / denom) * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  Interval out;
+  out.lo = center - margin;
+  out.hi = center + margin;
+  if (out.lo < 0.0) out.lo = 0.0;
+  if (out.hi > 1.0) out.hi = 1.0;
+  return out;
+}
+
+/// Running tally of Bernoulli outcomes with interval accessors.
+class BernoulliTally {
+ public:
+  void record(bool success) noexcept {
+    ++trials_;
+    if (success) ++successes_;
+  }
+
+  std::uint64_t trials() const noexcept { return trials_; }
+  std::uint64_t successes() const noexcept { return successes_; }
+
+  double frequency() const noexcept {
+    return trials_ == 0 ? 0.0
+                        : static_cast<double>(successes_) /
+                              static_cast<double>(trials_);
+  }
+
+  Interval interval(double z = 2.58) const {
+    return wilson_interval(successes_, trials_, z);
+  }
+
+  /// True iff the success probability is plausibly >= 1 - eps, i.e. the
+  /// Wilson upper bound does not rule it out.
+  bool consistent_with_at_least(double target, double z = 2.58) const {
+    if (trials_ == 0) return true;
+    return interval(z).hi >= target;
+  }
+
+ private:
+  std::uint64_t trials_ = 0;
+  std::uint64_t successes_ = 0;
+};
+
+}  // namespace dg

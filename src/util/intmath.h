@@ -1,0 +1,47 @@
+// Small integer/real math helpers shared by the algorithm parameter
+// calculations (Appendix B.1 / C.1 constant formulas).
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include "util/assert.h"
+
+namespace dg {
+
+/// floor(log2(x)) for x >= 1.
+constexpr int floor_log2(std::uint64_t x) noexcept {
+  return 63 - std::countl_zero(x | 1ULL);
+}
+
+/// ceil(log2(x)) for x >= 1.  ceil_log2(1) == 0.
+constexpr int ceil_log2(std::uint64_t x) noexcept {
+  return (x <= 1) ? 0 : 64 - std::countl_zero(x - 1);
+}
+
+/// Smallest power of two >= x (pow2_ceil(0) == 1).
+constexpr std::uint64_t pow2_ceil(std::uint64_t x) noexcept {
+  return x <= 1 ? 1ULL : std::bit_ceil(x);
+}
+
+/// log2 as a real, guarded for arguments <= 1 (returns >= `floor_at`).
+inline double log2_clamped(double x, double floor_at = 1.0) {
+  if (x <= 1.0) return floor_at;
+  const double v = std::log2(x);
+  return v < floor_at ? floor_at : v;
+}
+
+/// ceil to int with overflow guard; value must be representable.
+inline int ceil_to_int(double x) {
+  DG_EXPECTS(x < 2.0e9);
+  const double c = std::ceil(x);
+  return static_cast<int>(c < 1.0 ? 1.0 : c);
+}
+
+/// x rounded up to the next multiple of m (m >= 1).
+constexpr std::int64_t round_up(std::int64_t x, std::int64_t m) noexcept {
+  return ((x + m - 1) / m) * m;
+}
+
+}  // namespace dg

@@ -1,0 +1,42 @@
+// Aligned text-table emitter used by the bench harness to print paper-style
+// result tables (and optional CSV for downstream plotting).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dg {
+
+/// A simple column-aligned table.  Cells are strings; numeric convenience
+/// overloads format with sensible defaults.  Rendered with a header rule and
+/// right-aligned numeric-looking cells.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row.  Returns *this for chaining via cell().
+  Table& row();
+
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(std::int64_t value);
+  Table& cell(std::uint64_t value);
+  Table& cell(int value);
+  /// Fixed-precision double (default 3 decimal places).
+  Table& cell(double value, int precision = 3);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders the aligned table.
+  void print(std::ostream& os) const;
+  /// Renders as CSV (for plotting scripts).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dg

@@ -1,0 +1,119 @@
+// Tests for the adaptive-adversary hook (the E12 impossibility
+// counterfactual): the TargetedJammer's round logic, and end-to-end
+// starvation of the target receiver.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "test_support.h"
+#include "sim/adaptive.h"
+#include "sim/engine.h"
+#include "sim/scheduler.h"
+#include "stats/probes.h"
+
+namespace dg::sim {
+namespace {
+
+using test::ScriptProcess;
+
+/// Star: target 0; reliable neighbor 1; unreliable neighbors 2, 3.
+graph::DualGraph jam_star() {
+  graph::DualGraph g(4);
+  g.add_reliable_edge(0, 1);
+  g.add_unreliable_edge(0, 2);
+  g.add_unreliable_edge(0, 3);
+  g.finalize();
+  return g;
+}
+
+TEST(TargetedJammer, CollidesLoneReliableTransmitter) {
+  const auto g = jam_star();
+  TargetedJammer jammer(0);
+  // Round: 1 and 2 transmit.
+  std::vector<bool> tx{false, true, true, false};
+  jammer.plan_round(1, g, tx);
+  // Edge 0 connects 0-2 (the transmitting unreliable neighbor): included.
+  EXPECT_TRUE(jammer.active(0));
+  EXPECT_FALSE(jammer.active(1));
+  EXPECT_EQ(jammer.interventions(), 1u);
+}
+
+TEST(TargetedJammer, NoInterventionWithoutJamCandidate) {
+  const auto g = jam_star();
+  TargetedJammer jammer(0);
+  std::vector<bool> tx{false, true, false, false};  // only the reliable one
+  jammer.plan_round(1, g, tx);
+  EXPECT_FALSE(jammer.active(0));
+  EXPECT_FALSE(jammer.active(1));
+  EXPECT_EQ(jammer.interventions(), 0u);  // delivery unavoidable
+}
+
+TEST(TargetedJammer, ExcludesLoneUnreliableTransmitter) {
+  const auto g = jam_star();
+  TargetedJammer jammer(0);
+  std::vector<bool> tx{false, false, true, false};
+  jammer.plan_round(1, g, tx);
+  EXPECT_FALSE(jammer.active(0));  // silence beats delivery
+  EXPECT_FALSE(jammer.active(1));
+}
+
+TEST(TargetedJammer, LeavesExistingCollisionsAlone) {
+  // Two reliable neighbors transmitting already collide.
+  graph::DualGraph g(4);
+  g.add_reliable_edge(0, 1);
+  g.add_reliable_edge(0, 2);
+  g.add_unreliable_edge(0, 3);
+  g.finalize();
+  TargetedJammer jammer(0);
+  std::vector<bool> tx{false, true, true, true};
+  jammer.plan_round(1, g, tx);
+  EXPECT_FALSE(jammer.active(0));
+}
+
+TEST(TargetedJammer, EndToEndStarvesTarget) {
+  // Vertex 1 (reliable) and vertex 2 (unreliable) both transmit every
+  // round: the jammer always has a jam candidate, so vertex 0 never
+  // receives anything, ever.
+  const auto g = jam_star();
+  const auto ids = assign_ids(4, 1);
+  ConstantScheduler benign(false);
+  std::map<Round, std::uint64_t> always;
+  for (Round t = 1; t <= 300; ++t) always[t] = static_cast<std::uint64_t>(t);
+  std::vector<std::unique_ptr<Process>> procs;
+  procs.push_back(std::make_unique<ScriptProcess>(
+      ids[0], std::map<Round, std::uint64_t>{}));
+  procs.push_back(std::make_unique<ScriptProcess>(ids[1], always));
+  procs.push_back(std::make_unique<ScriptProcess>(ids[2], always));
+  procs.push_back(std::make_unique<ScriptProcess>(
+      ids[3], std::map<Round, std::uint64_t>{}));
+  Engine engine(g, benign, std::move(procs), 42);
+  TargetedJammer jammer(0);
+  engine.set_adaptive_adversary(&jammer);
+  engine.run_rounds(300);
+  const auto& target = dynamic_cast<const ScriptProcess&>(engine.process(0));
+  EXPECT_TRUE(target.heard.empty());
+  EXPECT_EQ(jammer.interventions(), 300u);
+  // Without the jammer the reliable sender delivers every round.
+}
+
+TEST(TargetedJammer, WithoutJammerSameScriptDelivers) {
+  const auto g = jam_star();
+  const auto ids = assign_ids(4, 1);
+  ConstantScheduler benign(false);  // unreliable edges absent
+  std::map<Round, std::uint64_t> always;
+  for (Round t = 1; t <= 50; ++t) always[t] = 7;
+  std::vector<std::unique_ptr<Process>> procs;
+  procs.push_back(std::make_unique<ScriptProcess>(
+      ids[0], std::map<Round, std::uint64_t>{}));
+  procs.push_back(std::make_unique<ScriptProcess>(ids[1], always));
+  procs.push_back(std::make_unique<ScriptProcess>(ids[2], always));
+  procs.push_back(std::make_unique<ScriptProcess>(
+      ids[3], std::map<Round, std::uint64_t>{}));
+  Engine engine(g, benign, std::move(procs), 42);
+  engine.run_rounds(50);
+  const auto& target = dynamic_cast<const ScriptProcess&>(engine.process(0));
+  EXPECT_EQ(target.heard.size(), 50u);
+}
+
+}  // namespace
+}  // namespace dg::sim

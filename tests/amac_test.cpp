@@ -1,0 +1,155 @@
+// Tests for the abstract MAC layer adapter and the algorithms running on
+// top of it (multi-message broadcast, neighbor discovery) -- the E9
+// compositionality claim at test scale.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "amac/lb_amac.h"
+#include "amac/mmb.h"
+#include "amac/neighbor_discovery.h"
+#include "graph/generators.h"
+#include "lb/simulation.h"
+#include "sim/scheduler.h"
+
+namespace dg::amac {
+namespace {
+
+lb::LbParams test_params(const graph::DualGraph& g, double ack_scale) {
+  lb::LbScales scales;
+  scales.ack_scale = ack_scale;
+  return lb::LbParams::calibrated(0.1, 1.5, g.delta(), g.delta_prime(),
+                                  scales);
+}
+
+TEST(LbMacLayer, BoundsMirrorLbParams) {
+  const auto g = graph::clique_cluster(4);
+  const auto params = test_params(g, 0.01);
+  lb::LbSimulation sim(g, std::make_unique<sim::ConstantScheduler>(false),
+                       params, 1);
+  LbMacLayer mac(sim);
+  const MacBounds b = mac.bounds();
+  EXPECT_EQ(b.f_ack, params.t_ack_bound());
+  EXPECT_EQ(b.f_prog, params.t_prog_bound());
+  EXPECT_DOUBLE_EQ(b.eps, params.eps1);
+}
+
+TEST(LbMacLayer, EndpointRejectsBcastWhileBusy) {
+  const auto g = graph::clique_cluster(4);
+  const auto params = test_params(g, 0.01);
+  lb::LbSimulation sim(g, std::make_unique<sim::ConstantScheduler>(false),
+                       params, 2);
+  LbMacLayer mac(sim);
+  EXPECT_TRUE(mac.endpoint(0).bcast(7));
+  EXPECT_TRUE(mac.endpoint(0).busy());
+  EXPECT_FALSE(mac.endpoint(0).bcast(8));  // rejected, not fatal
+}
+
+TEST(Mmb, RelaysEachContentOnce) {
+  MmbNode node;
+  node.on_rcv(5);
+  node.on_rcv(5);
+  EXPECT_EQ(node.pending_relays(), 1u);
+  EXPECT_TRUE(node.knows(5));
+}
+
+TEST(Mmb, InjectMarksKnownAndQueues) {
+  MmbNode node;
+  node.inject(9);
+  EXPECT_TRUE(node.knows(9));
+  EXPECT_EQ(node.pending_relays(), 1u);
+  node.inject(9);  // idempotent
+  EXPECT_EQ(node.pending_relays(), 1u);
+}
+
+TEST(Mmb, FloodsAcrossMultiHopLine) {
+  // 5-hop line; content injected at one end must traverse relays to the
+  // other end using nothing but the abstract MAC API.
+  const auto g = graph::line(6, 1.0, 1.5);
+  // Enough sending phases per hop that each relay's delivery is reliable
+  // (relay-once floods have no retransmission to recover from a miss).
+  const auto params = test_params(g, 0.1);
+  lb::LbSimulation sim(g, std::make_unique<sim::BernoulliScheduler>(0.5),
+                       params, 3);
+  LbMacLayer mac(sim);
+  std::vector<MmbNode> nodes(g.size());
+  std::vector<MacApplication*> apps;
+  for (auto& n : nodes) apps.push_back(&n);
+  mac.attach(apps);
+
+  nodes[0].inject(777);
+  // Each hop needs roughly one ack period; give slack.
+  mac.run_rounds((params.t_ack_phases + 2) * params.phase_length() * 8);
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    EXPECT_TRUE(nodes[v].knows(777)) << "vertex " << v;
+  }
+  EXPECT_TRUE(sim.report().validity_ok);
+  EXPECT_TRUE(sim.report().timely_ack_ok);
+}
+
+TEST(Mmb, MultipleSourcesAllDeliver) {
+  const auto g = graph::clique_cluster(6);
+  const auto params = test_params(g, 0.1);
+  lb::LbSimulation sim(g, std::make_unique<sim::ConstantScheduler>(false),
+                       params, 4);
+  LbMacLayer mac(sim);
+  std::vector<MmbNode> nodes(g.size());
+  std::vector<MacApplication*> apps;
+  for (auto& n : nodes) apps.push_back(&n);
+  mac.attach(apps);
+
+  nodes[0].inject(100);
+  nodes[3].inject(200);
+  mac.run_rounds((params.t_ack_phases + 2) * params.phase_length() * 8);
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    EXPECT_TRUE(nodes[v].knows(100)) << v;
+    EXPECT_TRUE(nodes[v].knows(200)) << v;
+  }
+}
+
+TEST(NeighborDiscovery, CliqueDiscoversAlmostEveryone) {
+  const auto g = graph::clique_cluster(8);
+  // Eight concurrent hellos contend for the channel; give each sender its
+  // full contention-resolution budget.
+  const auto params = test_params(g, 0.2);
+  lb::LbSimulation sim(g, std::make_unique<sim::ConstantScheduler>(false),
+                       params, 5);
+  LbMacLayer mac(sim);
+  std::vector<NeighborDiscoveryNode> nodes;
+  nodes.reserve(g.size());
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    nodes.emplace_back(/*identity=*/1000 + v);
+  }
+  std::vector<MacApplication*> apps;
+  for (auto& n : nodes) apps.push_back(&n);
+  mac.attach(apps);
+
+  mac.run_rounds((params.t_ack_phases + 3) * params.phase_length());
+
+  std::size_t edges = 0, discovered = 0;
+  for (graph::Vertex u = 0; u < g.size(); ++u) {
+    EXPECT_TRUE(nodes[u].hello_acked()) << u;
+    for (graph::Vertex v : g.g_neighbors(u)) {
+      ++edges;
+      if (nodes[u].discovered().contains(1000 + v)) ++discovered;
+    }
+  }
+  // Reliability gives each directed edge >= 1 - eps1 = 0.9 discovery
+  // probability; require a safely weaker aggregate.
+  EXPECT_GE(static_cast<double>(discovered) / static_cast<double>(edges),
+            0.85)
+      << discovered << "/" << edges;
+}
+
+TEST(LbMacLayer, AttachRequiresOneAppPerVertex) {
+  const auto g = graph::clique_cluster(3);
+  const auto params = test_params(g, 0.01);
+  lb::LbSimulation sim(g, std::make_unique<sim::ConstantScheduler>(false),
+                       params, 6);
+  LbMacLayer mac(sim);
+  std::vector<MacApplication*> apps;  // wrong size
+  EXPECT_DEATH(mac.attach(apps), "precondition");
+}
+
+}  // namespace
+}  // namespace dg::amac

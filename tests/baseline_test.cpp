@@ -1,0 +1,224 @@
+// Tests for the baselines: the Decay schedule and process, the distance-2
+// coloring, and the TDMA process -- including the adversary interaction the
+// paper's Discussion section describes (the full-strength statistical
+// version is experiment E6).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baseline/decay.h"
+#include "baseline/tdma.h"
+#include "graph/generators.h"
+#include "lb/spec.h"
+#include "sim/engine.h"
+#include "sim/scheduler.h"
+#include "stats/probes.h"
+
+namespace dg::baseline {
+namespace {
+
+TEST(DecaySchedule, CyclesGeometricProbabilities) {
+  EXPECT_DOUBLE_EQ(decay_probability(1, 3), 0.5);
+  EXPECT_DOUBLE_EQ(decay_probability(2, 3), 0.25);
+  EXPECT_DOUBLE_EQ(decay_probability(3, 3), 0.125);
+  EXPECT_DOUBLE_EQ(decay_probability(4, 3), 0.5);  // cycle restarts
+}
+
+/// Collects ack/recv events from baseline processes.
+class EventLog final : public lb::LbListener {
+ public:
+  void on_ack(graph::Vertex v, const sim::MessageId&, sim::Round r) override {
+    acks.emplace_back(v, r);
+  }
+  void on_recv(graph::Vertex v, const sim::MessageId&, std::uint64_t,
+               sim::Round r) override {
+    recvs.emplace_back(v, r);
+  }
+  std::vector<std::pair<graph::Vertex, sim::Round>> acks;
+  std::vector<std::pair<graph::Vertex, sim::Round>> recvs;
+};
+
+TEST(DecayProcess, DeliversOnCliqueWithReliableLinks) {
+  const auto g = graph::clique_cluster(8);
+  const auto ids = sim::assign_ids(g.size(), 3);
+  EventLog log;
+  DecayParams params;
+  params.log_delta = 3;
+  params.ack_rounds = 600;
+  sim::ConstantScheduler sched(false);
+  std::vector<std::unique_ptr<sim::Process>> procs;
+  for (graph::Vertex v = 0; v < g.size(); ++v) {
+    procs.push_back(std::make_unique<DecayProcess>(params, ids[v], v, &log));
+  }
+  sim::Engine engine(g, sched, std::move(procs), 11);
+  dynamic_cast<DecayProcess&>(engine.process(0)).post_bcast(1);
+  engine.run_rounds(params.ack_rounds);
+  EXPECT_EQ(log.acks.size(), 1u);
+  // All 7 listeners should have heard the lone transmitter.
+  EXPECT_EQ(log.recvs.size(), 7u);
+}
+
+TEST(DecayProcess, BusyContractEnforced) {
+  const auto ids = sim::assign_ids(1, 3);
+  DecayParams params;
+  DecayProcess p(params, ids[0], 0, nullptr);
+  p.post_bcast(1);
+  EXPECT_TRUE(p.busy());
+  EXPECT_DEATH(p.post_bcast(2), "precondition");
+}
+
+TEST(DecayProcess, AckAfterExactBudget) {
+  const auto g = graph::clique_cluster(2);
+  const auto ids = sim::assign_ids(2, 3);
+  EventLog log;
+  DecayParams params;
+  params.log_delta = 1;
+  params.ack_rounds = 25;
+  sim::ConstantScheduler sched(false);
+  std::vector<std::unique_ptr<sim::Process>> procs;
+  for (graph::Vertex v = 0; v < 2; ++v) {
+    procs.push_back(std::make_unique<DecayProcess>(params, ids[v], v, &log));
+  }
+  sim::Engine engine(g, sched, std::move(procs), 12);
+  dynamic_cast<DecayProcess&>(engine.process(0)).post_bcast(1);
+  engine.run_rounds(25);
+  ASSERT_EQ(log.acks.size(), 1u);
+  EXPECT_EQ(log.acks[0].second, 25);
+}
+
+// ---- distance-2 coloring / TDMA ----
+
+class ColoringProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ColoringProperty, NoColorRepeatsWithinTwoHops) {
+  Rng rng(GetParam());
+  graph::GeometricSpec spec;
+  spec.n = 50;
+  spec.side = 3.0;
+  spec.r = 1.5;
+  const auto g = graph::random_geometric(spec, rng);
+  const auto color = distance2_coloring(g);
+  for (graph::Vertex v = 0; v < g.size(); ++v) {
+    for (graph::Vertex w : g.gprime_neighbors(v)) {
+      EXPECT_NE(color[v], color[w]);
+      for (graph::Vertex x : g.gprime_neighbors(w)) {
+        if (x != v) {
+          EXPECT_NE(color[v], color[x]);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ColoringProperty,
+                         ::testing::Values(21, 22, 23, 24));
+
+TEST(Tdma, DeliversToAllGNeighborsInOneCycleDespiteAdversary) {
+  // Even with every unreliable edge always present, distance-2 coloring
+  // means no receiver ever sees two transmitters: delivery within one cycle
+  // is deterministic.
+  Rng rng(31);
+  graph::GeometricSpec spec;
+  spec.n = 30;
+  spec.side = 2.5;
+  spec.r = 1.5;
+  const auto g = graph::random_geometric(spec, rng);
+  const auto color = distance2_coloring(g);
+  const int num_slots =
+      1 + *std::max_element(color.begin(), color.end());
+  const auto ids = sim::assign_ids(g.size(), 32);
+
+  EventLog log;
+  sim::ConstantScheduler sched(true);  // adversary floods all edges
+  std::vector<std::unique_ptr<sim::Process>> procs;
+  for (graph::Vertex v = 0; v < g.size(); ++v) {
+    procs.push_back(std::make_unique<TdmaProcess>(
+        color[v], num_slots, /*cycles=*/1, ids[v], v, &log));
+  }
+  sim::Engine engine(g, sched, std::move(procs), 33);
+  // Saturate everyone simultaneously -- the worst case for collisions.
+  for (graph::Vertex v = 0; v < g.size(); ++v) {
+    dynamic_cast<TdmaProcess&>(engine.process(v)).post_bcast(v);
+  }
+  engine.run_rounds(num_slots);
+
+  // With the adversary flooding every unreliable edge and the coloring
+  // preventing all collisions, each transmission reaches every G'-neighbor
+  // exactly once: directed G'-edge deliveries, which dominate the required
+  // directed G-edge deliveries.
+  std::size_t expected = 0;
+  for (graph::Vertex v = 0; v < g.size(); ++v) {
+    expected += g.gprime_neighbors(v).size();
+  }
+  EXPECT_EQ(log.recvs.size(), expected);
+  EXPECT_EQ(log.acks.size(), g.size());
+}
+
+TEST(Tdma, SlotOutOfRangeRejected) {
+  const auto ids = sim::assign_ids(1, 3);
+  EXPECT_DEATH(TdmaProcess(5, 3, 1, ids[0], 0, nullptr), "precondition");
+}
+
+TEST(AntiScheduleVsDecay, AdversaryStallsProgress) {
+  // Micro-version of E6, built exactly like the paper's Discussion section
+  // describes.  Receiver 0 has one reliable sender (vertex 1) and k
+  // unreliable neighbors (vertices 2..k+1), all saturated with Decay.  The
+  // adversary knows Decay's fixed schedule and includes the unreliable
+  // edges exactly in the high-probability rounds -- turning them into
+  // collision storms -- while withdrawing them in the low-probability
+  // rounds, where the lone reliable sender rarely speaks.
+  constexpr int k = 64;
+  constexpr int log_delta = 7;  // schedule 1/2 .. 1/128
+  auto run = [](bool adversarial, std::uint64_t seed) {
+    graph::DualGraph g(k + 2);
+    g.add_reliable_edge(0, 1);
+    for (graph::Vertex v = 2; v < k + 2; ++v) {
+      g.add_unreliable_edge(0, v);
+    }
+    g.finalize();
+    const auto ids = sim::assign_ids(g.size(), seed);
+    DecayParams params;
+    params.log_delta = log_delta;
+    params.ack_rounds = 100000;
+
+    std::unique_ptr<sim::LinkScheduler> sched;
+    if (adversarial) {
+      sched = std::make_unique<sim::AntiScheduleAdversary>(
+          [](sim::Round t) { return decay_probability(t, log_delta); },
+          /*pivot=*/1.0 / 16.0);  // flood p in {1/2, 1/4, 1/8}
+    } else {
+      sched = std::make_unique<sim::ConstantScheduler>(false);
+    }
+    EventLog log;
+    std::vector<std::unique_ptr<sim::Process>> procs;
+    for (graph::Vertex v = 0; v < g.size(); ++v) {
+      procs.push_back(
+          std::make_unique<DecayProcess>(params, ids[v], v, &log));
+    }
+    sim::Engine engine(g, *sched, std::move(procs), seed);
+    stats::FirstReceptionProbe probe(g.size());
+    engine.add_observer(&probe);
+    for (graph::Vertex v = 1; v < g.size(); ++v) {
+      dynamic_cast<DecayProcess&>(engine.process(v)).post_bcast(v);
+    }
+    const sim::Round horizon = 2048;
+    engine.run_rounds(horizon);
+    const auto first = probe.first_reception(0);
+    return first == 0 ? horizon + 1 : first;
+  };
+
+  double benign_total = 0, adv_total = 0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    benign_total += static_cast<double>(run(false, 1000 + t));
+    adv_total += static_cast<double>(run(true, 1000 + t));
+  }
+  // Benign progress is a handful of rounds (lone reliable sender at p=1/2);
+  // the adversary forces tens of rounds.  Require a conservative 3x gap.
+  EXPECT_GT(adv_total / trials, 3.0 * (benign_total / trials))
+      << "benign=" << benign_total / trials
+      << " adversarial=" << adv_total / trials;
+}
+
+}  // namespace
+}  // namespace dg::baseline

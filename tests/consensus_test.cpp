@@ -1,0 +1,113 @@
+// Tests for consensus over the abstract MAC layer ([20]-style): validity,
+// agreement, termination on single-hop networks, and the abort interaction.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "amac/consensus.h"
+#include "amac/lb_amac.h"
+#include "graph/generators.h"
+#include "lb/simulation.h"
+#include "sim/scheduler.h"
+
+namespace dg::amac {
+namespace {
+
+TEST(ConsensusNode, EncodingRoundTrips) {
+  const auto c = ConsensusNode::encode(0xABCD1234u, 0x5678EF01u);
+  EXPECT_EQ(ConsensusNode::priority_of(c), 0xABCD1234u);
+  EXPECT_EQ(ConsensusNode::value_of(c), 0x5678EF01u);
+}
+
+TEST(ConsensusNode, AdoptsOnlyHigherPriority) {
+  ConsensusNode node(/*value=*/5, /*priority=*/100);
+  node.on_rcv(ConsensusNode::encode(50, 9));  // lower: ignored
+  EXPECT_EQ(node.champion_priority(), 100u);
+  node.on_rcv(ConsensusNode::encode(200, 9));  // higher: adopted
+  EXPECT_EQ(node.champion_priority(), 200u);
+}
+
+TEST(ConsensusNode, TieBrokenTowardLargerValue) {
+  ConsensusNode node(/*value=*/5, /*priority=*/100);
+  node.on_rcv(ConsensusNode::encode(100, 3));  // tie, smaller value: ignored
+  node.on_rcv(ConsensusNode::encode(100, 9));  // tie, larger value: adopted
+  EXPECT_EQ(node.champion_priority(), 100u);
+}
+
+TEST(ConsensusNode, DecisionBeforeDecidedAborts) {
+  ConsensusNode node(1, 1);
+  EXPECT_DEATH(node.decision(), "precondition");
+}
+
+struct RunResult {
+  bool all_decided = true;
+  std::set<std::uint32_t> decisions;
+  std::set<std::uint32_t> initial_values;
+};
+
+RunResult run_consensus(std::size_t n, std::uint64_t seed,
+                        double link_p = 0.5) {
+  const auto g = graph::clique_cluster(n);
+  lb::LbScales scales;
+  scales.ack_scale = 0.05;
+  const auto params =
+      lb::LbParams::calibrated(0.1, 1.5, g.delta(), g.delta_prime(), scales);
+  lb::LbSimulation sim(g, std::make_unique<sim::BernoulliScheduler>(link_p),
+                       params, seed);
+  LbMacLayer mac(sim);
+
+  Rng rng(derive_seed(seed, 0x77));
+  std::vector<ConsensusNode> nodes;
+  RunResult result;
+  nodes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto value = static_cast<std::uint32_t>(10 + i);
+    result.initial_values.insert(value);
+    nodes.emplace_back(value, static_cast<std::uint32_t>(rng.bits()));
+  }
+  std::vector<MacApplication*> apps;
+  for (auto& node : nodes) apps.push_back(&node);
+  mac.attach(apps);
+
+  // Enough horizon for several acked broadcast cycles per node.
+  mac.run_rounds(10 * (params.t_ack_phases + 2) * params.phase_length());
+
+  for (const auto& node : nodes) {
+    if (!node.decided()) {
+      result.all_decided = false;
+      continue;
+    }
+    result.decisions.insert(node.decision());
+  }
+  return result;
+}
+
+TEST(Consensus, SingleNodeDecidesItsOwnValue) {
+  const auto r = run_consensus(1, 1);
+  EXPECT_TRUE(r.all_decided);
+  ASSERT_EQ(r.decisions.size(), 1u);
+  EXPECT_EQ(*r.decisions.begin(), 10u);
+}
+
+class ConsensusSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConsensusSweep, AgreementValidityTermination) {
+  const auto r = run_consensus(6, GetParam());
+  EXPECT_TRUE(r.all_decided);                 // termination
+  EXPECT_EQ(r.decisions.size(), 1u);          // agreement
+  ASSERT_FALSE(r.decisions.empty());
+  EXPECT_TRUE(r.initial_values.contains(*r.decisions.begin()));  // validity
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConsensusSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(Consensus, WorksWithAllUnreliableEdgesPresent) {
+  const auto r = run_consensus(5, 99, /*link_p=*/1.0);
+  EXPECT_TRUE(r.all_decided);
+  EXPECT_EQ(r.decisions.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dg::amac

@@ -1,0 +1,248 @@
+// Additional coverage: scheduler metadata and contracts, engine observer
+// fan-out and accessor contracts, environment hooks and listener fan-out in
+// LbSimulation, pairwise seed independence, LbParams eps2 case split, and
+// the abstract-MAC abort endpoint.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "amac/lb_amac.h"
+#include "graph/generators.h"
+#include "lb/simulation.h"
+#include "sim/engine.h"
+#include "sim/scheduler.h"
+#include "stats/montecarlo.h"
+#include "test_support.h"
+
+namespace dg {
+namespace {
+
+using test::reliable_path;
+using test::ScriptProcess;
+
+// ---- scheduler metadata / contracts ----
+
+TEST(SchedulerNames, AreDescriptive) {
+  EXPECT_EQ(sim::ConstantScheduler(false).name(), "full-G");
+  EXPECT_EQ(sim::ConstantScheduler(true).name(), "full-G'");
+  EXPECT_NE(sim::BernoulliScheduler(0.5).name().find("bernoulli"),
+            std::string::npos);
+  EXPECT_NE(sim::FlickerScheduler(10, 5).name().find("flicker"),
+            std::string::npos);
+  EXPECT_NE(sim::BurstScheduler(8, 0.5).name().find("burst"),
+            std::string::npos);
+  EXPECT_EQ(sim::AntiScheduleAdversary([](sim::Round) { return 0.5; }, 0.25)
+                .name(),
+            "anti-schedule");
+}
+
+TEST(SchedulerContracts, InvalidParametersAbort) {
+  EXPECT_DEATH(sim::BernoulliScheduler(-0.1), "precondition");
+  EXPECT_DEATH(sim::BernoulliScheduler(1.1), "precondition");
+  EXPECT_DEATH(sim::FlickerScheduler(0, 0), "precondition");
+  EXPECT_DEATH(sim::FlickerScheduler(5, 6), "precondition");
+  EXPECT_DEATH(sim::BurstScheduler(0, 0.5), "precondition");
+  EXPECT_DEATH(
+      sim::AntiScheduleAdversary(nullptr, 0.5), "precondition");
+}
+
+// ---- engine ----
+
+TEST(Engine, MultipleObserversSeeIdenticalEvents) {
+  class Counter final : public sim::Observer {
+   public:
+    void on_transmit(sim::Round, graph::Vertex, const sim::Packet&) override {
+      ++transmits;
+    }
+    void on_receive(sim::Round, graph::Vertex, graph::Vertex,
+                    const sim::Packet&) override {
+      ++receives;
+    }
+    int transmits = 0, receives = 0;
+  };
+  const auto g = reliable_path(2);
+  const auto ids = sim::assign_ids(2, 1);
+  sim::ConstantScheduler sched(false);
+  std::vector<std::unique_ptr<sim::Process>> procs;
+  procs.push_back(std::make_unique<ScriptProcess>(
+      ids[0], std::map<sim::Round, std::uint64_t>{{1, 1}, {2, 2}}));
+  procs.push_back(std::make_unique<ScriptProcess>(
+      ids[1], std::map<sim::Round, std::uint64_t>{}));
+  sim::Engine engine(g, sched, std::move(procs), 4);
+  Counter a, b;
+  engine.add_observer(&a);
+  engine.add_observer(&b);
+  engine.run_rounds(2);
+  EXPECT_EQ(a.transmits, b.transmits);
+  EXPECT_EQ(a.receives, b.receives);
+  EXPECT_EQ(a.transmits, 2);
+  EXPECT_EQ(a.receives, 2);
+}
+
+TEST(Engine, RoundBeginAndEndBracketEachRound) {
+  class OrderCheck final : public sim::Observer {
+   public:
+    void on_round_begin(sim::Round round) override {
+      EXPECT_EQ(round, expected_next);
+      inside = true;
+    }
+    void on_transmit(sim::Round, graph::Vertex, const sim::Packet&) override {
+      EXPECT_TRUE(inside);
+    }
+    void on_round_end(sim::Round round) override {
+      EXPECT_EQ(round, expected_next);
+      EXPECT_TRUE(inside);
+      inside = false;
+      ++expected_next;
+    }
+    sim::Round expected_next = 1;
+    bool inside = false;
+  };
+  const auto g = reliable_path(2);
+  const auto ids = sim::assign_ids(2, 1);
+  sim::ConstantScheduler sched(false);
+  std::vector<std::unique_ptr<sim::Process>> procs;
+  procs.push_back(std::make_unique<ScriptProcess>(
+      ids[0], std::map<sim::Round, std::uint64_t>{{1, 1}}));
+  procs.push_back(std::make_unique<ScriptProcess>(
+      ids[1], std::map<sim::Round, std::uint64_t>{}));
+  sim::Engine engine(g, sched, std::move(procs), 4);
+  OrderCheck check;
+  engine.add_observer(&check);
+  engine.run_rounds(5);
+  EXPECT_EQ(check.expected_next, 6);
+}
+
+TEST(Engine, ProcessAccessorBoundsChecked) {
+  const auto g = reliable_path(2);
+  const auto ids = sim::assign_ids(2, 1);
+  sim::ConstantScheduler sched(false);
+  std::vector<std::unique_ptr<sim::Process>> procs;
+  procs.push_back(std::make_unique<ScriptProcess>(
+      ids[0], std::map<sim::Round, std::uint64_t>{}));
+  procs.push_back(std::make_unique<ScriptProcess>(
+      ids[1], std::map<sim::Round, std::uint64_t>{}));
+  sim::Engine engine(g, sched, std::move(procs), 4);
+  EXPECT_DEATH(engine.process(2), "precondition");
+  EXPECT_DEATH(engine.process_rng(5), "precondition");
+}
+
+// ---- graph contracts ----
+
+TEST(GraphContracts, UnreliableEdgeOutOfRangeAborts) {
+  graph::DualGraph g(2);
+  g.add_unreliable_edge(0, 1);
+  g.finalize();
+  EXPECT_DEATH(g.unreliable_edge(1), "precondition");
+}
+
+TEST(GraphContracts, MinimalGenerators) {
+  EXPECT_EQ(graph::grid(1, 1, 1.0, 1.5).size(), 1u);
+  EXPECT_EQ(graph::star_ring(1, 1.5).size(), 2u);
+  EXPECT_EQ(graph::line(1, 1.0, 1.5).size(), 1u);
+}
+
+// ---- pairwise seed independence (Seed spec condition 4) ----
+
+TEST(SeedIndependence, DistinctOwnersUncorrelated) {
+  // Across many executions, collect the (owner_a, owner_b) committed seed
+  // pairs of two fixed vertices and check bitwise agreement ~50%.
+  std::uint64_t agree = 0, total = 0;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    Rng init(seed);
+    const auto params = seed::SeedAlgParams::make(0.25, 4);
+    seed::SeedAlgRunner a(params, 1, init), b(params, 2, init);
+    const std::uint64_t sa = a.initial_seed();
+    const std::uint64_t sb = b.initial_seed();
+    agree += static_cast<std::uint64_t>(64 - std::popcount(sa ^ sb));
+    total += 64;
+  }
+  const double frac = static_cast<double>(agree) / static_cast<double>(total);
+  EXPECT_NEAR(frac, 0.5, 0.02);
+}
+
+// ---- LbParams eps2 case split (the two cases in the C.2 proof) ----
+
+TEST(LbParamsCases, SmallLogDeltaUsesEps1) {
+  // Tiny Delta at moderate r: eps' > eps1 so eps2 = eps1 (case 1).
+  const auto p = lb::LbParams::calibrated(0.1, 2.5, 2, 4);
+  EXPECT_DOUBLE_EQ(p.eps2, 0.1);
+}
+
+TEST(LbParamsCases, LargeLogDeltaUsesEpsPrime) {
+  // Big Delta at small r: eps' < eps1 so eps2 = eps' (case 2).
+  const auto p = lb::LbParams::calibrated(0.1, 1.0, 1024, 2048);
+  EXPECT_LT(p.eps2, 0.1);
+}
+
+// ---- LbSimulation plumbing ----
+
+TEST(LbSimulation, EnvironmentHookRunsEveryRound) {
+  const auto g = graph::clique_cluster(3);
+  lb::LbScales scales;
+  scales.ack_scale = 0.01;
+  const auto params =
+      lb::LbParams::calibrated(0.1, 1.5, g.delta(), g.delta_prime(), scales);
+  lb::LbSimulation sim(g, std::make_unique<sim::ConstantScheduler>(false),
+                       params, 5);
+  int calls = 0;
+  sim::Round last = 0;
+  sim.set_environment([&](lb::LbSimulation&, sim::Round next) {
+    ++calls;
+    EXPECT_EQ(next, last + 1);
+    last = next;
+  });
+  sim.run_rounds(7);
+  EXPECT_EQ(calls, 7);
+}
+
+TEST(LbSimulation, ExtraListenerReceivesFanout) {
+  class CountListener final : public lb::LbListener {
+   public:
+    void on_ack(graph::Vertex, const sim::MessageId&, sim::Round) override {
+      ++acks;
+    }
+    void on_recv(graph::Vertex, const sim::MessageId&, std::uint64_t,
+                 sim::Round) override {
+      ++recvs;
+    }
+    int acks = 0, recvs = 0;
+  };
+  const auto g = graph::clique_cluster(3);
+  lb::LbScales scales;
+  scales.ack_scale = 0.05;
+  const auto params =
+      lb::LbParams::calibrated(0.1, 1.5, g.delta(), g.delta_prime(), scales);
+  lb::LbSimulation sim(g, std::make_unique<sim::ConstantScheduler>(false),
+                       params, 6);
+  CountListener listener;
+  sim.set_extra_listener(&listener);
+  sim.post_bcast(0, 1);
+  sim.run_phases(params.t_ack_phases + 1);
+  EXPECT_EQ(listener.acks, static_cast<int>(sim.report().ack_count));
+  EXPECT_EQ(listener.recvs, static_cast<int>(sim.report().recv_count));
+  EXPECT_EQ(listener.acks, 1);
+}
+
+// ---- abstract MAC abort endpoint ----
+
+TEST(MacEndpoint, AbortCancelsOutstandingBcast) {
+  const auto g = graph::clique_cluster(3);
+  lb::LbScales scales;
+  scales.ack_scale = 0.05;
+  const auto params =
+      lb::LbParams::calibrated(0.1, 1.5, g.delta(), g.delta_prime(), scales);
+  lb::LbSimulation sim(g, std::make_unique<sim::ConstantScheduler>(false),
+                       params, 7);
+  amac::LbMacLayer mac(sim);
+  EXPECT_FALSE(mac.endpoint(0).abort());  // nothing outstanding
+  EXPECT_TRUE(mac.endpoint(0).bcast(9));
+  EXPECT_TRUE(mac.endpoint(0).busy());
+  EXPECT_TRUE(mac.endpoint(0).abort());
+  EXPECT_FALSE(mac.endpoint(0).busy());
+  sim.run_phases(params.t_ack_phases + 1);
+  EXPECT_EQ(sim.report().ack_count, 0u);  // aborted: no ack ever
+}
+
+}  // namespace
+}  // namespace dg

@@ -1,0 +1,118 @@
+// Cross-configuration sweeps: interactions not covered by the per-module
+// suites -- seed agreement across structurally different topology families,
+// and the LB layer across (seed-reuse x scheduler) combinations.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "graph/generators.h"
+#include "lb/simulation.h"
+#include "seed/seed_alg.h"
+#include "seed/spec.h"
+#include "sim/engine.h"
+#include "sim/scheduler.h"
+
+namespace dg {
+namespace {
+
+// ---- seed agreement across topology families ----
+
+enum class Topo { clique, star, grid, line, bridged };
+
+graph::DualGraph make_topo(Topo t) {
+  switch (t) {
+    case Topo::clique:
+      return graph::clique_cluster(16);
+    case Topo::star:
+      return graph::star_ring(12, 1.5);
+    case Topo::grid:
+      return graph::grid(5, 4, 1.0, 1.5);
+    case Topo::line:
+      return graph::line(12, 0.9, 1.5);
+    case Topo::bridged:
+      return graph::bridged_clusters(6, 1.5);
+  }
+  return graph::clique_cluster(2);
+}
+
+class SeedAcrossTopologies
+    : public ::testing::TestWithParam<std::tuple<Topo, std::uint64_t>> {};
+
+TEST_P(SeedAcrossTopologies, SafetyConditionsAlwaysHold) {
+  const auto [topo, seed] = GetParam();
+  const auto g = make_topo(topo);
+  const auto params = seed::SeedAlgParams::make(0.1, g.delta());
+  const auto ids = sim::assign_ids(g.size(), derive_seed(seed, 1));
+  sim::BernoulliScheduler sched(0.5);
+  std::vector<std::unique_ptr<sim::Process>> procs;
+  Rng init(derive_seed(seed, 2));
+  for (graph::Vertex v = 0; v < g.size(); ++v) {
+    procs.push_back(
+        std::make_unique<seed::SeedProcess>(params, ids[v], init));
+  }
+  sim::Engine engine(g, sched, std::move(procs), derive_seed(seed, 3));
+  engine.run_rounds(params.total_rounds());
+  seed::DecisionVector decisions(g.size());
+  for (graph::Vertex v = 0; v < g.size(); ++v) {
+    decisions[v] =
+        dynamic_cast<const seed::SeedProcess&>(engine.process(v)).decision();
+  }
+  const auto res = seed::check_seed_spec(g, ids, decisions);
+  EXPECT_TRUE(res.well_formed);
+  EXPECT_TRUE(res.consistent);
+  EXPECT_TRUE(res.owners_local);
+  // Generous concrete agreement ceiling for these small diameters.
+  EXPECT_LE(res.max_neighborhood_owners, 24u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, SeedAcrossTopologies,
+    ::testing::Combine(::testing::Values(Topo::clique, Topo::star, Topo::grid,
+                                         Topo::line, Topo::bridged),
+                       ::testing::Values(1, 2, 3)));
+
+// ---- LB layer: seed reuse x scheduler interactions ----
+
+class LbReuseScheduler
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LbReuseScheduler, SpecCleanAndTrafficFlows) {
+  const auto [reuse, sched_kind] = GetParam();
+  const auto g = graph::grid(4, 3, 1.0, 1.5);
+  lb::LbScales scales;
+  scales.ack_scale = 0.02;
+  auto params =
+      lb::LbParams::calibrated(0.1, 1.5, g.delta(), g.delta_prime(), scales);
+  params.phases_per_seed = reuse;
+
+  std::unique_ptr<sim::LinkScheduler> sched;
+  switch (sched_kind) {
+    case 0:
+      sched = std::make_unique<sim::ConstantScheduler>(false);
+      break;
+    case 1:
+      sched = std::make_unique<sim::BernoulliScheduler>(0.5);
+      break;
+    default:
+      sched = std::make_unique<sim::BurstScheduler>(24, 0.5);
+      break;
+  }
+
+  lb::LbSimulation sim(g, std::move(sched), params,
+                       1000 + static_cast<std::uint64_t>(reuse * 10 +
+                                                         sched_kind));
+  sim.keep_busy({0, 5, 11});
+  sim.run_rounds(4 * params.group_length());
+  const auto& r = sim.report();
+  EXPECT_TRUE(r.timely_ack_ok);
+  EXPECT_TRUE(r.validity_ok);
+  EXPECT_EQ(r.violations, 0u);
+  EXPECT_GT(r.raw_receptions, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Combos, LbReuseScheduler,
+                         ::testing::Combine(::testing::Values(1, 2, 4),
+                                            ::testing::Values(0, 1, 2)));
+
+}  // namespace
+}  // namespace dg

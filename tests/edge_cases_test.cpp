@@ -1,0 +1,174 @@
+// Degenerate-configuration tests: single-node networks, Delta = 1,
+// empty neighborhoods, minimal parameters -- places where off-by-ones and
+// vacuous-truth bugs hide.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "graph/generators.h"
+#include "lb/simulation.h"
+#include "seed/seed_alg.h"
+#include "sim/engine.h"
+#include "sim/scheduler.h"
+
+namespace dg {
+namespace {
+
+TEST(EdgeCases, SingleNodeSeedAgreementDecidesItself) {
+  const auto g = graph::clique_cluster(1);
+  const auto params = seed::SeedAlgParams::make(0.25, g.delta());
+  const auto ids = sim::assign_ids(1, 1);
+  sim::ConstantScheduler sched(false);
+  std::vector<std::unique_ptr<sim::Process>> procs;
+  Rng init(3);
+  procs.push_back(std::make_unique<seed::SeedProcess>(params, ids[0], init));
+  sim::Engine engine(g, sched, std::move(procs), 9);
+  engine.run_rounds(params.total_rounds());
+  const auto& p = dynamic_cast<const seed::SeedProcess&>(engine.process(0));
+  ASSERT_TRUE(p.decision().has_value());
+  EXPECT_EQ(p.decision()->owner, ids[0]);
+}
+
+TEST(EdgeCases, SingleNodeLbAcksWithoutNeighbors) {
+  const auto g = graph::clique_cluster(1);
+  lb::LbScales scales;
+  scales.ack_scale = 0.01;
+  const auto params =
+      lb::LbParams::calibrated(0.1, 1.5, g.delta(), g.delta_prime(), scales);
+  lb::LbSimulation sim(g, std::make_unique<sim::ConstantScheduler>(false),
+                       params, 10);
+  sim.post_bcast(0, 1);
+  sim.run_phases(params.t_ack_phases + 1);
+  const auto& r = sim.report();
+  EXPECT_EQ(r.ack_count, 1u);
+  EXPECT_TRUE(r.timely_ack_ok);
+  // Reliability with zero neighbors is vacuously satisfied.
+  EXPECT_EQ(r.reliability.successes(), 1u);
+  EXPECT_TRUE(sim.checker().broadcasts()[0].delivered());
+}
+
+TEST(EdgeCases, DeltaOneParamsAreSane) {
+  const auto p = lb::LbParams::calibrated(0.1, 1.0, 1, 1);
+  EXPECT_GE(p.log_delta, 1);
+  EXPECT_EQ(p.b_bits, 0);  // [log Delta] = {1}: no bits needed
+  EXPECT_GE(p.t_prog, 1);
+  EXPECT_GE(p.t_s, 1);
+  EXPECT_GE(p.t_ack_phases, 1);
+}
+
+TEST(EdgeCases, TwoNodePairDelivers) {
+  const auto g = graph::clique_cluster(2);
+  lb::LbScales scales;
+  scales.ack_scale = 0.05;
+  const auto params =
+      lb::LbParams::calibrated(0.1, 1.5, g.delta(), g.delta_prime(), scales);
+  lb::LbSimulation sim(g, std::make_unique<sim::ConstantScheduler>(false),
+                       params, 11);
+  sim.post_bcast(0, 42);
+  sim.run_phases(params.t_ack_phases + 1);
+  const auto& r = sim.report();
+  EXPECT_EQ(r.ack_count, 1u);
+  EXPECT_EQ(r.recv_count, 1u);  // the peer got it
+  EXPECT_EQ(r.reliability.successes(), 1u);
+}
+
+TEST(EdgeCases, IsolatedVerticesNeverReceive) {
+  // Two nodes, no edges at all (legal when they are > r apart).
+  graph::DualGraph g(2);
+  g.set_embedding({{0.0, 0.0}, {10.0, 0.0}}, 1.5);
+  g.finalize();
+  lb::LbScales scales;
+  scales.ack_scale = 0.02;
+  const auto params =
+      lb::LbParams::calibrated(0.1, 1.5, g.delta(), g.delta_prime(), scales);
+  lb::LbSimulation sim(g, std::make_unique<sim::ConstantScheduler>(true),
+                       params, 12);
+  sim.post_bcast(0, 1);
+  sim.run_phases(params.t_ack_phases + 1);
+  EXPECT_EQ(sim.report().raw_receptions, 0u);
+  EXPECT_EQ(sim.report().ack_count, 1u);  // still acks (vacuous delivery)
+}
+
+TEST(EdgeCases, SeedAlgDeltaOneSinglePhase) {
+  const auto p = seed::SeedAlgParams::make(0.25, 1);
+  EXPECT_EQ(p.num_phases, 1);
+  // Final (only) phase elects with probability 1/2.
+  Rng rng(7);
+  int leaders = 0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    seed::SeedAlgRunner runner(p, 1, rng);
+    for (int s = 0; s < p.total_rounds(); ++s) {
+      if (!runner.step_transmit(rng).has_value()) {
+        runner.step_receive(std::nullopt);
+      }
+    }
+    if (runner.decision()->as_leader) ++leaders;
+  }
+  EXPECT_NEAR(static_cast<double>(leaders) / trials, 0.5, 0.05);
+}
+
+TEST(EdgeCases, ZeroRoundRunIsNoop) {
+  const auto g = graph::clique_cluster(2);
+  lb::LbScales scales;
+  scales.ack_scale = 0.01;
+  const auto params =
+      lb::LbParams::calibrated(0.1, 1.5, g.delta(), g.delta_prime(), scales);
+  lb::LbSimulation sim(g, std::make_unique<sim::ConstantScheduler>(false),
+                       params, 13);
+  sim.run_rounds(0);
+  EXPECT_EQ(sim.round(), 0);
+  EXPECT_EQ(sim.report().bcast_count, 0u);
+}
+
+TEST(EdgeCases, EmptyGraphOfOneVertexHasDeltaOne) {
+  graph::DualGraph g(1);
+  g.finalize();
+  EXPECT_EQ(g.delta(), 1u);
+  EXPECT_EQ(g.delta_prime(), 1u);
+  EXPECT_TRUE(g.g_neighbors(0).empty());
+}
+
+TEST(EdgeCases, BurstSchedulerExtremes) {
+  graph::DualGraph g(2);
+  g.add_unreliable_edge(0, 1);
+  g.finalize();
+  sim::BurstScheduler never(8, 0.0), always(8, 1.0);
+  never.commit(g, 1);
+  always.commit(g, 1);
+  for (sim::Round t = 1; t <= 64; ++t) {
+    EXPECT_FALSE(never.active(0, t));
+    EXPECT_TRUE(always.active(0, t));
+  }
+}
+
+TEST(EdgeCases, BurstSchedulerConstantWithinEpoch) {
+  graph::DualGraph g(2);
+  g.add_unreliable_edge(0, 1);
+  g.finalize();
+  sim::BurstScheduler sched(10, 0.5);
+  sched.commit(g, 77);
+  for (sim::Round epoch = 0; epoch < 50; ++epoch) {
+    const bool state = sched.active(0, epoch * 10 + 1);
+    for (sim::Round r = 2; r <= 10; ++r) {
+      EXPECT_EQ(sched.active(0, epoch * 10 + r), state);
+    }
+  }
+}
+
+TEST(EdgeCases, BurstSchedulerRateMatchesPUp) {
+  graph::DualGraph g(2);
+  g.add_unreliable_edge(0, 1);
+  g.finalize();
+  sim::BurstScheduler sched(4, 0.3);
+  sched.commit(g, 5);
+  int on = 0;
+  const int epochs = 20000;
+  for (int e = 0; e < epochs; ++e) {
+    if (sched.active(0, static_cast<sim::Round>(e) * 4 + 1)) ++on;
+  }
+  EXPECT_NEAR(static_cast<double>(on) / epochs, 0.3, 0.02);
+}
+
+}  // namespace
+}  // namespace dg

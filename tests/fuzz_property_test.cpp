@@ -1,0 +1,109 @@
+// Property harness: randomized configurations (topology x scheduler x
+// environment schedule) under LBAlg.  The deterministic spec conditions
+// (well-formedness of acks, validity of recvs) must hold in EVERY
+// execution, not just with high probability -- so any single failure here
+// is a real bug.  Randomness is seed-indexed and reproducible.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "graph/generators.h"
+#include "lb/simulation.h"
+#include "sim/scheduler.h"
+
+namespace dg {
+namespace {
+
+std::unique_ptr<sim::LinkScheduler> random_scheduler(Rng& rng) {
+  switch (rng.below(6)) {
+    case 0:
+      return std::make_unique<sim::ConstantScheduler>(false);
+    case 1:
+      return std::make_unique<sim::ConstantScheduler>(true);
+    case 2:
+      return std::make_unique<sim::BernoulliScheduler>(rng.uniform());
+    case 3:
+      return std::make_unique<sim::FlickerScheduler>(
+          static_cast<sim::Round>(rng.between(2, 100)),
+          static_cast<sim::Round>(rng.between(1, 2)));
+    case 4:
+      return std::make_unique<sim::BurstScheduler>(
+          static_cast<sim::Round>(rng.between(1, 64)), rng.uniform());
+    default:
+      return std::make_unique<sim::AntiScheduleAdversary>(
+          [](sim::Round t) { return t % 3 == 0 ? 0.5 : 0.1; }, 0.25);
+  }
+}
+
+graph::DualGraph random_topology(Rng& rng) {
+  switch (rng.below(5)) {
+    case 0: {
+      graph::GeometricSpec spec;
+      spec.n = rng.between(2, 40);
+      spec.side = rng.uniform(1.0, 4.0);
+      spec.r = rng.uniform(1.0, 2.5);
+      spec.p_grey_reliable = rng.uniform();
+      spec.p_grey_unreliable = rng.uniform();
+      return graph::random_geometric(spec, rng);
+    }
+    case 1:
+      return graph::clique_cluster(rng.between(1, 24));
+    case 2:
+      return graph::star_ring(rng.between(1, 24), 1.5);
+    case 3:
+      return graph::line(rng.between(1, 24), 0.9, 1.6);
+    default:
+      return graph::grid(rng.between(1, 6), rng.between(1, 6), 1.0, 1.5);
+  }
+}
+
+class LbFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LbFuzz, DeterministicSpecHoldsInEveryExecution) {
+  Rng rng(GetParam());
+  const auto g = random_topology(rng);
+  lb::LbScales scales;
+  scales.ack_scale = rng.uniform(0.002, 0.1);
+  auto params = lb::LbParams::calibrated(
+      rng.uniform(0.02, 0.5), std::max(1.0, g.r()), g.delta(),
+      g.delta_prime(), scales);
+  if (rng.chance(0.3)) params.phases_per_seed = 1 + static_cast<int>(rng.below(4));
+  if (rng.chance(0.2)) params.use_shared_seeds = false;
+
+  lb::LbSimulation sim(g, random_scheduler(rng), params,
+                       derive_seed(GetParam(), 5));
+
+  // Random environment: a rotating set of busy vertices, with occasional
+  // aborts -- all within the env contract (post only when idle).
+  std::vector<graph::Vertex> candidates;
+  const std::size_t busy_count = 1 + rng.below(std::min<std::uint64_t>(4, g.size()));
+  for (std::size_t i = 0; i < busy_count; ++i) {
+    candidates.push_back(
+        static_cast<graph::Vertex>(rng.below(g.size())));
+  }
+  std::uint64_t content = 0;
+  Rng env_rng(derive_seed(GetParam(), 6));
+  sim.set_environment([&](lb::LbSimulation& s, sim::Round) {
+    for (graph::Vertex v : candidates) {
+      if (!s.busy(v) && env_rng.chance(0.3)) {
+        s.post_bcast(v, ++content);
+      } else if (s.busy(v) && env_rng.chance(0.02)) {
+        s.post_abort(v);
+      }
+    }
+  });
+
+  sim.run_rounds(4 * params.group_length() +
+                 static_cast<std::int64_t>(rng.below(100)));
+
+  const auto& report = sim.report();
+  EXPECT_TRUE(report.timely_ack_ok) << "seed " << GetParam();
+  EXPECT_TRUE(report.validity_ok) << "seed " << GetParam();
+  EXPECT_EQ(report.violations, 0u) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LbFuzz,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace dg

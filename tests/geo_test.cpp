@@ -1,0 +1,133 @@
+// Tests for the plane geometry and the Appendix A region partition:
+// half-open cell assignment, region-graph adjacency, and the f-boundedness
+// property of Lemmas A.1 / A.2.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/point.h"
+#include "geo/region_partition.h"
+
+namespace dg::geo {
+namespace {
+
+TEST(Point, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(distance_sq({0, 0}, {2, 0}), 4.0);
+}
+
+TEST(GridPartition, CellAssignmentIsHalfOpen) {
+  GridPartition part(0.5, 1.0);
+  // [0, 0.5) x [0, 0.5) is cell (0, 0); the boundary 0.5 belongs to the
+  // next cell -- the "partition, not cover" rule of Lemma A.1.
+  EXPECT_EQ(part.region_of({0.0, 0.0}), (RegionId{0, 0}));
+  EXPECT_EQ(part.region_of({0.49999, 0.49999}), (RegionId{0, 0}));
+  EXPECT_EQ(part.region_of({0.5, 0.0}), (RegionId{1, 0}));
+  EXPECT_EQ(part.region_of({0.0, 0.5}), (RegionId{0, 1}));
+  EXPECT_EQ(part.region_of({-0.1, -0.1}), (RegionId{-1, -1}));
+}
+
+TEST(GridPartition, RegionDiameterAtMostOne) {
+  // Lemma A.1 condition 1: any two points of one region are within
+  // distance 1.  For a half-open square of side s the diameter is s*sqrt(2).
+  GridPartition part(0.5, 1.0);
+  EXPECT_LE(part.side() * std::sqrt(2.0), 1.0);
+}
+
+TEST(GridPartition, SideAboveDiameterBoundRejected) {
+  EXPECT_DEATH(GridPartition(0.8, 1.0), "precondition");
+}
+
+TEST(GridPartition, CornerInvertsRegionOf) {
+  GridPartition part(0.5, 2.0);
+  const RegionId id{3, -2};
+  const Point c = part.corner(id);
+  EXPECT_EQ(part.region_of(c), id);
+}
+
+TEST(GridPartition, MinCellDistanceZeroForTouching) {
+  GridPartition part(0.5, 1.0);
+  EXPECT_DOUBLE_EQ(part.min_cell_distance({0, 0}, {0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(part.min_cell_distance({0, 0}, {1, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(part.min_cell_distance({0, 0}, {1, 1}), 0.0);
+}
+
+TEST(GridPartition, MinCellDistanceForSeparatedCells) {
+  GridPartition part(0.5, 1.0);
+  // Cells (0,0) and (2,0): one whole cell of gap -> 0.5.
+  EXPECT_DOUBLE_EQ(part.min_cell_distance({0, 0}, {2, 0}), 0.5);
+  // Diagonal gap: sqrt(0.5^2 + 0.5^2).
+  EXPECT_DOUBLE_EQ(part.min_cell_distance({0, 0}, {2, 2}),
+                   std::sqrt(0.5));
+}
+
+TEST(GridPartition, AdjacencyIsSymmetricAndIrreflexive) {
+  GridPartition part(0.5, 1.5);
+  const RegionId a{0, 0};
+  EXPECT_FALSE(part.adjacent(a, a));
+  for (const RegionId& b : part.neighbors(a)) {
+    EXPECT_TRUE(part.adjacent(b, a));
+  }
+}
+
+TEST(GridPartition, NeighborsWithinCrBound) {
+  // Lemma A.2: any region has at most c_r - 1 neighbors in G_{R,r}.
+  for (double r : {1.0, 1.5, 2.0, 3.0}) {
+    GridPartition part(0.5, r);
+    const auto neighbors = part.neighbors({0, 0});
+    EXPECT_LE(neighbors.size() + 1, part.cr_bound())
+        << "r=" << r;
+    EXPECT_GE(neighbors.size(), 8u);  // at least the 8 touching cells
+  }
+}
+
+TEST(GridPartition, CountWithinZeroHopsIsOne) {
+  GridPartition part(0.5, 1.0);
+  EXPECT_EQ(part.count_within_hops({5, 5}, 0), 1u);
+}
+
+// f-boundedness sweep (Lemma A.2): the number of regions within h hops is
+// at most c_r * h^2 with c_r = cr_bound() (which is Theta(r^2)).
+class FBoundedness : public ::testing::TestWithParam<double> {};
+
+TEST_P(FBoundedness, CountGrowsAtMostQuadratically) {
+  const double r = GetParam();
+  GridPartition part(0.5, r);
+  const std::size_t cr = part.cr_bound();
+  for (int h = 1; h <= 3; ++h) {
+    const std::size_t count = part.count_within_hops({0, 0}, h);
+    EXPECT_LE(count, cr * static_cast<std::size_t>(h) *
+                         static_cast<std::size_t>(h))
+        << "r=" << r << " h=" << h;
+    // And it genuinely grows with h (sanity against vacuous bounds).
+    if (h > 1) {
+      EXPECT_GT(count, part.count_within_hops({0, 0}, h - 1));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, FBoundedness,
+                         ::testing::Values(1.0, 1.25, 1.5, 2.0, 2.5, 3.0));
+
+TEST(GridPartition, ForEachWithinHopsReportsHopCounts) {
+  GridPartition part(0.5, 1.0);
+  int zero_hop = 0;
+  int max_hop = 0;
+  part.for_each_within_hops({0, 0}, 2,
+                            [&](const RegionId&, int hops) {
+                              if (hops == 0) ++zero_hop;
+                              max_hop = std::max(max_hop, hops);
+                            });
+  EXPECT_EQ(zero_hop, 1);
+  EXPECT_EQ(max_hop, 2);
+}
+
+TEST(RegionIdHash, DistinguishesNearbyCells) {
+  RegionIdHash h;
+  EXPECT_NE(h({0, 1}), h({1, 0}));
+  EXPECT_EQ(h({3, 4}), h({3, 4}));
+}
+
+}  // namespace
+}  // namespace dg::geo

@@ -1,0 +1,122 @@
+// Tests for the GoodnessAnalyzer (Appendix B replay tooling as library).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "graph/generators.h"
+#include "seed/goodness.h"
+#include "seed/seed_alg.h"
+#include "sim/engine.h"
+#include "sim/scheduler.h"
+
+namespace dg::seed {
+namespace {
+
+struct World {
+  graph::DualGraph g;
+  SeedAlgParams params;
+  std::vector<sim::ProcessId> ids;
+  std::unique_ptr<sim::ConstantScheduler> sched;
+  std::unique_ptr<sim::Engine> engine;
+};
+
+World make_world(std::uint64_t seed, std::size_t n = 48) {
+  Rng rng(seed);
+  graph::GeometricSpec spec;
+  spec.n = n;
+  spec.side = 3.0;
+  spec.r = 1.5;
+  World w{graph::random_geometric(spec, rng),
+          SeedAlgParams{},
+          sim::assign_ids(n, derive_seed(seed, 1)),
+          std::make_unique<sim::ConstantScheduler>(false),
+          nullptr};
+  w.params = SeedAlgParams::make(0.1, w.g.delta());
+  std::vector<std::unique_ptr<sim::Process>> procs;
+  Rng init(derive_seed(seed, 2));
+  for (graph::Vertex v = 0; v < w.g.size(); ++v) {
+    procs.push_back(
+        std::make_unique<SeedProcess>(w.params, w.ids[v], init));
+  }
+  w.engine = std::make_unique<sim::Engine>(w.g, *w.sched, std::move(procs),
+                                           derive_seed(seed, 3));
+  return w;
+}
+
+TEST(GoodnessAnalyzer, RequiresEmbedding) {
+  graph::DualGraph g(2);
+  g.add_reliable_edge(0, 1);
+  g.finalize();
+  EXPECT_DEATH(GoodnessAnalyzer(g, 0.1), "precondition");
+}
+
+TEST(GoodnessAnalyzer, PhaseOneIsAlwaysGood) {
+  // Lemma B.2: P_{x,1} <= 1 <= threshold for every region.
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    auto w = make_world(seed);
+    GoodnessAnalyzer analyzer(w.g, 0.1);
+    const auto snap = analyzer.snapshot(*w.engine, 1, w.params);
+    EXPECT_EQ(snap.phase, 1);
+    EXPECT_LE(snap.max_p, 1.0 + 1e-9);
+    EXPECT_TRUE(snap.all_good());
+    EXPECT_GT(snap.regions, 0u);
+  }
+}
+
+TEST(GoodnessAnalyzer, LeaderProbabilityDoublesPerPhase) {
+  auto w = make_world(4);
+  GoodnessAnalyzer analyzer(w.g, 0.1);
+  double prev = 0.0;
+  for (int h = 1; h <= w.params.num_phases; ++h) {
+    const auto snap = analyzer.snapshot(*w.engine, h, w.params);
+    if (h > 1) {
+      EXPECT_DOUBLE_EQ(snap.p_h, 2.0 * prev);
+    }
+    prev = snap.p_h;
+    w.engine->run_rounds(w.params.phase_length);
+  }
+  EXPECT_DOUBLE_EQ(prev, 0.5);  // final phase: 1/2
+}
+
+TEST(GoodnessAnalyzer, ActiveCountsOnlyDecreaseOverPhases) {
+  auto w = make_world(5);
+  GoodnessAnalyzer analyzer(w.g, 0.1);
+  std::size_t prev_regions = w.g.size() + 1;
+  for (int h = 1; h <= w.params.num_phases; ++h) {
+    const auto snap = analyzer.snapshot(*w.engine, h, w.params);
+    EXPECT_LE(snap.regions, prev_regions);
+    prev_regions = snap.regions;
+    w.engine->run_rounds(w.params.phase_length);
+  }
+}
+
+TEST(GoodnessAnalyzer, DefaultDecisionsBoundedPerRegion) {
+  auto w = make_world(6);
+  GoodnessAnalyzer analyzer(w.g, 0.1);
+  w.engine->run_rounds(w.params.total_rounds());
+  const auto defaults = analyzer.default_decisions(*w.engine);
+  // Lemma B.5 for good regions: <= 2 c2 log(1/eps1).
+  const double bound = 2.0 * analyzer.threshold();
+  for (const auto& [region, count] : defaults) {
+    EXPECT_LE(static_cast<double>(count), bound);
+  }
+}
+
+TEST(GoodnessAnalyzer, ThresholdMatchesC2Formula) {
+  auto w = make_world(7);
+  GoodnessAnalyzer analyzer(w.g, 0.25, /*c2=*/4.0);
+  EXPECT_DOUBLE_EQ(analyzer.threshold(), 4.0 * 2.0);  // 4 * log2(4)
+}
+
+TEST(GoodnessAnalyzer, RegionAssignmentMatchesPartition) {
+  auto w = make_world(8);
+  GoodnessAnalyzer analyzer(w.g, 0.1);
+  const auto& emb = *w.g.embedding();
+  for (graph::Vertex v = 0; v < w.g.size(); ++v) {
+    EXPECT_EQ(analyzer.region_of(v),
+              analyzer.partition().region_of(emb[v]));
+  }
+}
+
+}  // namespace
+}  // namespace dg::seed

@@ -1,0 +1,212 @@
+// Tests for the dual graph structure and the topology generators: the
+// E subset-of E' invariant, degree bounds, the r-geographic conditions of
+// Section 2 (property sweeps over random instances), and Lemma A.3.
+#include <gtest/gtest.h>
+
+#include "geo/region_partition.h"
+#include "graph/dual_graph.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace dg::graph {
+namespace {
+
+TEST(DualGraph, ReliableEdgesAppearInBothGraphs) {
+  DualGraph g(3);
+  g.add_reliable_edge(0, 1);
+  g.finalize();
+  EXPECT_TRUE(g.has_reliable_edge(0, 1));
+  EXPECT_TRUE(g.has_gprime_edge(0, 1));
+  EXPECT_FALSE(g.has_reliable_edge(0, 2));
+}
+
+TEST(DualGraph, UnreliableEdgesOnlyInGPrime) {
+  DualGraph g(3);
+  g.add_unreliable_edge(0, 1);
+  g.finalize();
+  EXPECT_FALSE(g.has_reliable_edge(0, 1));
+  EXPECT_TRUE(g.has_gprime_edge(0, 1));
+  EXPECT_EQ(g.unreliable_edge_count(), 1u);
+  EXPECT_EQ(g.unreliable_edge(0).u, 0u);
+  EXPECT_EQ(g.unreliable_edge(0).v, 1u);
+}
+
+TEST(DualGraph, AddsAreIdempotent) {
+  DualGraph g(2);
+  g.add_reliable_edge(0, 1);
+  g.add_reliable_edge(1, 0);
+  g.finalize();
+  EXPECT_EQ(g.g_neighbors(0).size(), 1u);
+  EXPECT_EQ(g.gprime_neighbors(0).size(), 1u);
+}
+
+TEST(DualGraph, MixingEdgeClassesAborts) {
+  DualGraph g(2);
+  g.add_reliable_edge(0, 1);
+  EXPECT_DEATH(g.add_unreliable_edge(0, 1), "precondition");
+}
+
+TEST(DualGraph, SelfLoopsRejected) {
+  DualGraph g(2);
+  EXPECT_DEATH(g.add_reliable_edge(1, 1), "precondition");
+}
+
+TEST(DualGraph, QueriesBeforeFinalizeAbort) {
+  DualGraph g(2);
+  g.add_reliable_edge(0, 1);
+  EXPECT_DEATH(g.g_neighbors(0), "precondition");
+}
+
+TEST(DualGraph, EdgesAfterFinalizeAbort) {
+  DualGraph g(3);
+  g.finalize();
+  EXPECT_DEATH(g.add_reliable_edge(0, 1), "precondition");
+}
+
+TEST(DualGraph, DegreeBoundsCountSelfPlusNeighbors) {
+  DualGraph g(4);  // star around 0 plus an unreliable 1-2 edge
+  g.add_reliable_edge(0, 1);
+  g.add_reliable_edge(0, 2);
+  g.add_reliable_edge(0, 3);
+  g.add_unreliable_edge(1, 2);
+  g.finalize();
+  EXPECT_EQ(g.delta(), 4u);        // |N_G(0) u {0}|
+  EXPECT_EQ(g.delta_prime(), 4u);  // same vertex dominates
+}
+
+TEST(DualGraph, UnreliableIncidentListsBothEndpoints) {
+  DualGraph g(3);
+  g.add_unreliable_edge(0, 2);
+  g.finalize();
+  ASSERT_EQ(g.unreliable_incident(0).size(), 1u);
+  ASSERT_EQ(g.unreliable_incident(2).size(), 1u);
+  EXPECT_EQ(g.unreliable_incident(0)[0].second, 2u);
+  EXPECT_EQ(g.unreliable_incident(2)[0].second, 0u);
+  EXPECT_EQ(g.unreliable_incident(0)[0].first,
+            g.unreliable_incident(2)[0].first);
+}
+
+// ---- generators: property sweeps ----
+
+class GeometricProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeometricProperty, RandomGeometricIsRGeographic) {
+  Rng rng(GetParam());
+  GeometricSpec spec;
+  spec.n = 40;
+  spec.side = 3.0;
+  spec.r = 1.5;
+  const DualGraph g = random_geometric(spec, rng);
+  ASSERT_TRUE(g.embedding().has_value());
+  EXPECT_TRUE(is_r_geographic(g, *g.embedding(), spec.r));
+}
+
+TEST_P(GeometricProperty, DeltaPrimeBoundedByCrDelta) {
+  // Lemma A.3: Delta' <= c_r * Delta for r-geographic dual graphs.
+  Rng rng(GetParam() ^ 0xabcdef);
+  GeometricSpec spec;
+  spec.n = 60;
+  spec.side = 4.0;
+  spec.r = 2.0;
+  const DualGraph g = random_geometric(spec, rng);
+  const geo::GridPartition part(0.5, spec.r);
+  EXPECT_LE(g.delta_prime(), part.cr_bound() * g.delta());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeometricProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Generators, GridHasExpectedStructure) {
+  const DualGraph g = grid(4, 3, 1.0, 1.5);
+  EXPECT_EQ(g.size(), 12u);
+  // spacing 1.0: orthogonal neighbors reliable.
+  EXPECT_TRUE(g.has_reliable_edge(0, 1));
+  EXPECT_TRUE(g.has_reliable_edge(0, 4));
+  // diagonal at sqrt(2) ~ 1.414 <= r: unreliable.
+  EXPECT_FALSE(g.has_reliable_edge(0, 5));
+  EXPECT_TRUE(g.has_gprime_edge(0, 5));
+  EXPECT_TRUE(is_r_geographic(g, *g.embedding(), 1.5));
+}
+
+TEST(Generators, CliqueClusterIsComplete) {
+  const DualGraph g = clique_cluster(8);
+  for (Vertex u = 0; u < 8; ++u) {
+    EXPECT_EQ(g.g_neighbors(u).size(), 7u);
+  }
+  EXPECT_EQ(g.delta(), 8u);
+  EXPECT_EQ(g.unreliable_edge_count(), 0u);
+}
+
+TEST(Generators, StarRingHubSeesAllLeaves) {
+  const std::size_t leaves = 16;
+  const DualGraph g = star_ring(leaves, 1.5);
+  EXPECT_EQ(g.g_neighbors(0).size(), leaves);
+  EXPECT_EQ(g.delta(), leaves + 1);
+  EXPECT_TRUE(is_r_geographic(g, *g.embedding(), 1.5));
+}
+
+TEST(Generators, LineIsAPath) {
+  const DualGraph g = line(6, 1.0, 1.5);
+  EXPECT_TRUE(g.has_reliable_edge(0, 1));
+  EXPECT_FALSE(g.has_reliable_edge(0, 2));
+  EXPECT_FALSE(g.has_gprime_edge(0, 3));  // distance 3 > r
+  EXPECT_TRUE(is_r_geographic(g, *g.embedding(), 1.5));
+}
+
+TEST(Generators, LineGreyZoneIsUnreliable) {
+  // spacing 0.75: distance-2 pairs at 1.5 (= r) fall in the grey zone and
+  // the generator wires them as unreliable.
+  const DualGraph g = line(5, 0.75, 1.5);
+  EXPECT_TRUE(g.has_reliable_edge(0, 1));
+  EXPECT_TRUE(g.has_gprime_edge(0, 2));
+  EXPECT_FALSE(g.has_reliable_edge(0, 2));
+}
+
+TEST(Generators, BridgedClustersCrossEdgesAllUnreliable) {
+  const DualGraph g = bridged_clusters(5, 1.5);
+  EXPECT_EQ(g.size(), 10u);
+  for (Vertex a = 0; a < 5; ++a) {
+    for (Vertex b = 5; b < 10; ++b) {
+      EXPECT_FALSE(g.has_reliable_edge(a, b));
+      EXPECT_TRUE(g.has_gprime_edge(a, b))
+          << "bridge pair " << a << "," << b;
+    }
+  }
+  // Within a cluster: all reliable.
+  EXPECT_TRUE(g.has_reliable_edge(0, 1));
+  EXPECT_TRUE(g.has_reliable_edge(5, 6));
+  EXPECT_TRUE(is_r_geographic(g, *g.embedding(), 1.5));
+}
+
+TEST(Generators, GeneratedGraphsAreDeterministicPerSeed) {
+  Rng rng1(55), rng2(55);
+  GeometricSpec spec;
+  spec.n = 30;
+  const DualGraph a = random_geometric(spec, rng1);
+  const DualGraph b = random_geometric(spec, rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (Vertex v = 0; v < a.size(); ++v) {
+    EXPECT_EQ(a.g_neighbors(v), b.g_neighbors(v));
+    EXPECT_EQ(a.gprime_neighbors(v), b.gprime_neighbors(v));
+  }
+}
+
+TEST(IsRGeographic, DetectsMissingReliableEdge) {
+  // Two nodes at distance 0.5 with no edge: violates condition 1.
+  DualGraph g(2);
+  g.set_embedding({{0.0, 0.0}, {0.5, 0.0}}, 1.5);
+  g.finalize();
+  EXPECT_FALSE(is_r_geographic(g, *g.embedding(), 1.5));
+}
+
+TEST(IsRGeographic, DetectsTooLongEdge) {
+  // Edge between nodes at distance 3 > r: violates condition 2.
+  DualGraph g(2);
+  g.add_unreliable_edge(0, 1);
+  g.set_embedding({{0.0, 0.0}, {3.0, 0.0}}, 1.5);
+  g.finalize();
+  EXPECT_FALSE(is_r_geographic(g, *g.embedding(), 1.5));
+}
+
+}  // namespace
+}  // namespace dg::graph

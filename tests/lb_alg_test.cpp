@@ -1,0 +1,200 @@
+// Unit tests for LbProcess: phase structure (preamble vs body traffic),
+// sending-state lifecycle, ack timing, recv dedup, and the environment
+// contract.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "graph/generators.h"
+#include "lb/simulation.h"
+#include "sim/scheduler.h"
+
+namespace dg::lb {
+namespace {
+
+LbParams small_params(std::size_t delta, std::size_t delta_prime,
+                      double ack_scale = 0.002) {
+  LbScales scales;
+  scales.ack_scale = ack_scale;
+  return LbParams::calibrated(0.1, 1.5, delta, delta_prime, scales);
+}
+
+/// Observer asserting the phase discipline: seed packets only in preambles,
+/// data packets only in bodies.
+class PhaseDiscipline final : public sim::Observer {
+ public:
+  explicit PhaseDiscipline(const LbParams& params) : params_(&params) {}
+
+  void on_transmit(sim::Round round, graph::Vertex,
+                   const sim::Packet& packet) override {
+    const std::int64_t pos = (round - 1) % params_->phase_length();
+    const bool preamble = pos < params_->t_s;
+    if (packet.is_seed()) {
+      EXPECT_TRUE(preamble) << "seed packet in body at round " << round;
+    } else {
+      EXPECT_FALSE(preamble) << "data packet in preamble at round " << round;
+    }
+  }
+
+ private:
+  const LbParams* params_;
+};
+
+TEST(LbProcess, SeedPacketsOnlyInPreambleDataOnlyInBody) {
+  const auto g = graph::clique_cluster(8);
+  const auto params = small_params(g.delta(), g.delta_prime());
+  LbSimulation sim(g, std::make_unique<sim::ConstantScheduler>(false), params,
+                   77);
+  PhaseDiscipline discipline(params);
+  sim.add_observer(&discipline);
+  sim.post_bcast(0, 1);
+  sim.run_phases(params.t_ack_phases + 1);
+  EXPECT_EQ(sim.report().ack_count, 1u);
+}
+
+TEST(LbProcess, AckArrivesAtPhaseEndAfterTackPhases) {
+  const auto g = graph::clique_cluster(4);
+  const auto params = small_params(g.delta(), g.delta_prime());
+  LbSimulation sim(g, std::make_unique<sim::ConstantScheduler>(false), params,
+                   78);
+  sim.post_bcast(0, 5);  // input at round 1 == phase start
+  sim.run_phases(params.t_ack_phases + 1);
+  ASSERT_EQ(sim.checker().broadcasts().size(), 1u);
+  const auto& record = sim.checker().broadcasts()[0];
+  ASSERT_TRUE(record.acked());
+  // Input at a phase boundary: sending starts immediately, so the ack lands
+  // exactly at the end of phase t_ack_phases.
+  EXPECT_EQ(record.ack_round, params.t_ack_phases * params.phase_length());
+}
+
+TEST(LbProcess, MidPhaseInputWaitsForNextBoundary) {
+  const auto g = graph::clique_cluster(4);
+  const auto params = small_params(g.delta(), g.delta_prime());
+  LbSimulation sim(g, std::make_unique<sim::ConstantScheduler>(false), params,
+                   79);
+  sim.run_rounds(3);  // mid-phase
+  sim.post_bcast(0, 5);
+  sim.run_phases(params.t_ack_phases + 2);
+  const auto& record = sim.checker().broadcasts()[0];
+  ASSERT_TRUE(record.acked());
+  // Sending starts at the next boundary (end of phase 1), then runs
+  // t_ack_phases full phases.
+  EXPECT_EQ(record.ack_round,
+            (params.t_ack_phases + 1) * params.phase_length());
+  EXPECT_LE(record.ack_round - record.input_round, params.t_ack_bound());
+}
+
+TEST(LbProcess, BusyUntilAcked) {
+  const auto g = graph::clique_cluster(4);
+  const auto params = small_params(g.delta(), g.delta_prime());
+  LbSimulation sim(g, std::make_unique<sim::ConstantScheduler>(false), params,
+                   80);
+  EXPECT_FALSE(sim.busy(0));
+  sim.post_bcast(0, 9);
+  EXPECT_TRUE(sim.busy(0));
+  sim.run_phases(params.t_ack_phases + 1);
+  EXPECT_FALSE(sim.busy(0));
+}
+
+TEST(LbProcess, DoubleBcastViolatesContract) {
+  const auto g = graph::clique_cluster(4);
+  const auto params = small_params(g.delta(), g.delta_prime());
+  LbSimulation sim(g, std::make_unique<sim::ConstantScheduler>(false), params,
+                   81);
+  sim.post_bcast(0, 1);
+  EXPECT_DEATH(sim.post_bcast(0, 2), "precondition");
+}
+
+TEST(LbProcess, MessagesAreUniquePerSender) {
+  const auto g = graph::clique_cluster(4);
+  const auto params = small_params(g.delta(), g.delta_prime());
+  LbSimulation sim(g, std::make_unique<sim::ConstantScheduler>(false), params,
+                   82);
+  const auto m1 = sim.post_bcast(0, 1);
+  sim.run_phases(params.t_ack_phases + 1);
+  const auto m2 = sim.post_bcast(0, 1);  // same content, new message
+  EXPECT_EQ(m1.origin, m2.origin);
+  EXPECT_NE(m1.seq, m2.seq);
+}
+
+TEST(LbProcess, RecvEmittedOncePerMessage) {
+  const auto g = graph::clique_cluster(3);
+  // Enough sending phases that the message is heard many times over.
+  const auto params = small_params(g.delta(), g.delta_prime(), 0.5);
+  LbSimulation sim(g, std::make_unique<sim::ConstantScheduler>(false), params,
+                   83);
+  sim.post_bcast(0, 42);
+  sim.run_phases(params.t_ack_phases + 1);
+  const auto& report = sim.report();
+  // Two receivers, one message: at most one recv each, while raw receptions
+  // pile up across the many body rounds.
+  EXPECT_LE(report.recv_count, 2u);
+  EXPECT_GT(report.raw_receptions, report.recv_count);
+}
+
+TEST(LbProcess, SequentialBroadcastsBothAcked) {
+  const auto g = graph::clique_cluster(4);
+  const auto params = small_params(g.delta(), g.delta_prime());
+  LbSimulation sim(g, std::make_unique<sim::ConstantScheduler>(false), params,
+                   84);
+  sim.post_bcast(0, 1);
+  sim.run_phases(params.t_ack_phases + 1);
+  sim.post_bcast(0, 2);
+  sim.run_phases(params.t_ack_phases + 2);
+  EXPECT_EQ(sim.report().ack_count, 2u);
+  EXPECT_TRUE(sim.report().timely_ack_ok);
+}
+
+TEST(LbProcess, KeepBusySaturatesVertex) {
+  const auto g = graph::clique_cluster(4);
+  const auto params = small_params(g.delta(), g.delta_prime());
+  LbSimulation sim(g, std::make_unique<sim::ConstantScheduler>(false), params,
+                   85);
+  sim.keep_busy({0});
+  sim.run_phases(3 * (params.t_ack_phases + 1));
+  EXPECT_GE(sim.report().ack_count, 2u);
+  // An ack may land on the very last executed round; one more round lets
+  // the environment re-post, after which the vertex must be busy again.
+  sim.run_rounds(1);
+  EXPECT_TRUE(sim.busy(0));
+}
+
+TEST(LbProcess, PhaseSeedCommittedEachPhase) {
+  const auto g = graph::clique_cluster(4);
+  const auto params = small_params(g.delta(), g.delta_prime());
+  LbSimulation sim(g, std::make_unique<sim::ConstantScheduler>(false), params,
+                   86);
+  // During the first preamble: no committed seed yet.
+  sim.run_rounds(params.t_s - 1);
+  EXPECT_FALSE(sim.process(0).phase_seed().has_value());
+  // First body round: committed.
+  sim.run_rounds(2);
+  ASSERT_TRUE(sim.process(0).phase_seed().has_value());
+}
+
+TEST(LbProcess, AblatedModeStillSatisfiesDeterministicSpec) {
+  const auto g = graph::clique_cluster(6);
+  auto params = small_params(g.delta(), g.delta_prime(), 0.01);
+  params.use_shared_seeds = false;
+  LbSimulation sim(g, std::make_unique<sim::ConstantScheduler>(false), params,
+                   87);
+  sim.post_bcast(0, 7);
+  sim.run_phases(params.t_ack_phases + 1);
+  EXPECT_TRUE(sim.report().timely_ack_ok);
+  EXPECT_TRUE(sim.report().validity_ok);
+  EXPECT_EQ(sim.report().ack_count, 1u);
+}
+
+TEST(LbProcess, IdleNetworkStaysSilentInBody) {
+  // No bcast inputs: body rounds carry no data packets at all.
+  const auto g = graph::clique_cluster(5);
+  const auto params = small_params(g.delta(), g.delta_prime());
+  LbSimulation sim(g, std::make_unique<sim::ConstantScheduler>(false), params,
+                   88);
+  sim.run_phases(2);
+  EXPECT_EQ(sim.report().raw_receptions, 0u);
+  EXPECT_EQ(sim.report().recv_count, 0u);
+}
+
+}  // namespace
+}  // namespace dg::lb

@@ -1,0 +1,185 @@
+// Tests for the LB-layer extensions: the abort input (abstract MAC [14,16])
+// and seed reuse across multiple phases (the Section 4.2 remark).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "graph/generators.h"
+#include "lb/simulation.h"
+#include "sim/scheduler.h"
+
+namespace dg::lb {
+namespace {
+
+LbParams reuse_params(std::size_t delta, std::size_t delta_prime, int k,
+                      double ack_scale = 0.01) {
+  LbScales scales;
+  scales.ack_scale = ack_scale;
+  auto p = LbParams::calibrated(0.1, 1.5, delta, delta_prime, scales);
+  p.phases_per_seed = k;
+  return p;
+}
+
+// ---- abort ----
+
+TEST(LbAbort, AbortPendingMessageNeverTransmits) {
+  const auto g = graph::clique_cluster(4);
+  const auto params = reuse_params(g.delta(), g.delta_prime(), 1);
+  LbSimulation sim(g, std::make_unique<sim::ConstantScheduler>(false), params,
+                   11);
+  sim.run_rounds(2);  // mid-preamble: message stays pending
+  sim.post_bcast(0, 7);
+  const auto aborted = sim.post_abort(0);
+  ASSERT_TRUE(aborted.has_value());
+  EXPECT_FALSE(sim.busy(0));
+  sim.run_phases(params.t_ack_phases + 2);
+  EXPECT_EQ(sim.report().ack_count, 0u);
+  EXPECT_EQ(sim.report().raw_receptions, 0u);
+  EXPECT_TRUE(sim.report().validity_ok);
+  EXPECT_TRUE(sim.checker().broadcasts()[0].aborted());
+}
+
+TEST(LbAbort, AbortMidBroadcastStopsAndSkipsAck) {
+  const auto g = graph::clique_cluster(4);
+  const auto params = reuse_params(g.delta(), g.delta_prime(), 1, 0.2);
+  LbSimulation sim(g, std::make_unique<sim::ConstantScheduler>(false), params,
+                   12);
+  sim.post_bcast(0, 7);
+  sim.run_phases(1);  // actively broadcasting now
+  const auto receptions_before = sim.report().raw_receptions;
+  const auto aborted = sim.post_abort(0);
+  ASSERT_TRUE(aborted.has_value());
+  sim.run_phases(params.t_ack_phases + 1);
+  EXPECT_EQ(sim.report().ack_count, 0u);
+  // No transmissions after the abort round.
+  EXPECT_EQ(sim.report().raw_receptions, receptions_before);
+  EXPECT_TRUE(sim.report().validity_ok);
+  EXPECT_TRUE(sim.report().timely_ack_ok);
+  EXPECT_FALSE(sim.busy(0));
+}
+
+TEST(LbAbort, AbortWithNothingOutstandingIsNoop) {
+  const auto g = graph::clique_cluster(3);
+  const auto params = reuse_params(g.delta(), g.delta_prime(), 1);
+  LbSimulation sim(g, std::make_unique<sim::ConstantScheduler>(false), params,
+                   13);
+  EXPECT_FALSE(sim.post_abort(0).has_value());
+}
+
+TEST(LbAbort, NewBcastAllowedAfterAbort) {
+  const auto g = graph::clique_cluster(4);
+  const auto params = reuse_params(g.delta(), g.delta_prime(), 1, 0.2);
+  LbSimulation sim(g, std::make_unique<sim::ConstantScheduler>(false), params,
+                   14);
+  sim.post_bcast(0, 1);
+  sim.run_rounds(3);
+  sim.post_abort(0);
+  const auto m2 = sim.post_bcast(0, 2);  // contract permits a fresh bcast
+  sim.run_phases(params.t_ack_phases + 2);
+  EXPECT_EQ(sim.report().ack_count, 1u);
+  EXPECT_EQ(sim.checker().broadcasts()[1].id, m2);
+  EXPECT_TRUE(sim.checker().broadcasts()[1].acked());
+}
+
+// ---- seed reuse (Section 4.2 remark) ----
+
+class SeedReuse : public ::testing::TestWithParam<int> {};
+
+TEST_P(SeedReuse, GroupLayoutKeepsSeedTrafficInPreambles) {
+  const int k = GetParam();
+  const auto g = graph::clique_cluster(6);
+  const auto params = reuse_params(g.delta(), g.delta_prime(), k, 0.05);
+
+  class Discipline final : public sim::Observer {
+   public:
+    explicit Discipline(const LbParams& p) : p_(&p) {}
+    void on_transmit(sim::Round round, graph::Vertex,
+                     const sim::Packet& packet) override {
+      const std::int64_t pos = (round - 1) % p_->group_length();
+      const bool preamble = pos < p_->t_s;
+      if (packet.is_seed()) {
+        EXPECT_TRUE(preamble) << "round " << round;
+      } else {
+        EXPECT_FALSE(preamble) << "round " << round;
+      }
+    }
+    const LbParams* p_;
+  };
+
+  LbSimulation sim(g, std::make_unique<sim::ConstantScheduler>(false), params,
+                   20 + k);
+  Discipline discipline(params);
+  sim.add_observer(&discipline);
+  sim.keep_busy({0});
+  sim.run_rounds(3 * params.group_length());
+  EXPECT_GT(sim.report().raw_receptions, 0u);
+}
+
+TEST_P(SeedReuse, SpecHoldsUnderReuse) {
+  const int k = GetParam();
+  const auto g = graph::clique_cluster(8);
+  const auto params = reuse_params(g.delta(), g.delta_prime(), k, 0.05);
+  LbSimulation sim(g, std::make_unique<sim::ConstantScheduler>(false), params,
+                   30 + k);
+  sim.keep_busy({0, 1});
+  // Enough rounds for at least one full ack cycle regardless of k.
+  sim.run_rounds((params.t_ack_phases + 2) * params.group_length());
+  const auto& r = sim.report();
+  EXPECT_TRUE(r.timely_ack_ok);
+  EXPECT_TRUE(r.validity_ok);
+  EXPECT_EQ(r.violations, 0u);
+  EXPECT_GT(r.ack_count, 0u);
+  EXPECT_GT(r.recv_count, 0u);
+}
+
+TEST_P(SeedReuse, AckLatencyWithinBound) {
+  const int k = GetParam();
+  const auto g = graph::clique_cluster(4);
+  const auto params = reuse_params(g.delta(), g.delta_prime(), k, 0.05);
+  LbSimulation sim(g, std::make_unique<sim::ConstantScheduler>(false), params,
+                   40 + k);
+  sim.run_rounds(3);  // post mid-group
+  sim.post_bcast(0, 9);
+  sim.run_rounds(3 * params.group_length() +
+                 params.t_ack_phases * params.group_length());
+  ASSERT_EQ(sim.report().ack_count, 1u);
+  const auto& rec = sim.checker().broadcasts()[0];
+  EXPECT_LE(rec.ack_round - rec.input_round, params.t_ack_bound());
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, SeedReuse, ::testing::Values(1, 2, 4));
+
+TEST(SeedReuse, OverheadShrinksWithGroupSize) {
+  // The amortized preamble overhead T_s / group_length drops as k grows --
+  // the remark's entire point.
+  const auto p1 = reuse_params(16, 32, 1);
+  const auto p4 = reuse_params(16, 32, 4);
+  const double overhead1 =
+      static_cast<double>(p1.t_s) / static_cast<double>(p1.group_length());
+  const double overhead4 =
+      static_cast<double>(p4.t_s) / static_cast<double>(p4.group_length());
+  EXPECT_LT(overhead4, overhead1 / 2.0);
+  // Worst-case spec bounds unchanged in t_prog, finite in t_ack.
+  EXPECT_EQ(p4.t_prog_bound(), p1.t_prog_bound());
+  EXPECT_GT(p4.t_ack_bound(), 0);
+  EXPECT_EQ(p4.kappa_per_group(), 4 * p1.kappa_per_group());
+}
+
+TEST(SeedReuse, MidGroupPromotionHappensAtSegmentBoundary) {
+  // With k = 4, a message posted during the first body segment enters the
+  // sending state at the second segment -- not a full group later.
+  const auto g = graph::clique_cluster(4);
+  const auto params = reuse_params(g.delta(), g.delta_prime(), 4, 0.05);
+  LbSimulation sim(g, std::make_unique<sim::ConstantScheduler>(false), params,
+                   50);
+  sim.run_rounds(params.t_s + 1);  // first body segment underway
+  sim.post_bcast(0, 5);
+  // The message enters the sending state at the second segment of the SAME
+  // group (not a whole group later): by the group's end the lone sender has
+  // had three full segments of body rounds to get through.
+  sim.run_rounds(4 * params.t_prog);
+  EXPECT_GT(sim.report().raw_receptions, 0u);
+}
+
+}  // namespace
+}  // namespace dg::lb

@@ -1,0 +1,109 @@
+// Tests for the Appendix C.1 parameter derivations in LbParams.
+#include <gtest/gtest.h>
+
+#include "lb/params.h"
+#include "util/intmath.h"
+
+namespace dg::lb {
+namespace {
+
+TEST(LbParams, Eps2NeverExceedsEps1) {
+  for (double eps1 : {0.5, 0.25, 0.1, 0.01}) {
+    for (std::size_t delta : {2, 16, 128}) {
+      const auto p = LbParams::calibrated(eps1, 1.5, delta, 2 * delta);
+      EXPECT_LE(p.eps2, eps1);
+      EXPECT_LE(p.eps2, 0.25);  // SeedAlg ceiling
+      EXPECT_GT(p.eps2, 0.0);
+    }
+  }
+}
+
+TEST(LbParams, SeedSubroutineUsesEps2) {
+  const auto p = LbParams::calibrated(0.1, 1.5, 32, 64);
+  const auto expect = seed::SeedAlgParams::make(p.eps2, 32, LbScales{}.c4);
+  EXPECT_EQ(p.seed.total_rounds(), expect.total_rounds());
+  EXPECT_EQ(p.t_s, p.seed.total_rounds());
+}
+
+TEST(LbParams, TprogGrowsLogarithmicallyInDelta) {
+  // T_prog = Theta(log Delta) at fixed eps and r: doubling Delta adds a
+  // constant.  Quadrupling from 16 to 256 must far less than quadruple it.
+  const auto p16 = LbParams::calibrated(0.1, 1.5, 16, 32);
+  const auto p256 = LbParams::calibrated(0.1, 1.5, 256, 512);
+  EXPECT_GT(p256.t_prog, p16.t_prog);
+  EXPECT_LT(p256.t_prog, 4 * p16.t_prog);
+}
+
+TEST(LbParams, TackGrowsLinearlyInDeltaPrime) {
+  // T_ack = Theta(Delta' polylog): dominated by the linear factor.
+  const auto a = LbParams::calibrated(0.1, 1.5, 16, 32);
+  const auto b = LbParams::calibrated(0.1, 1.5, 16, 64);
+  EXPECT_GE(b.t_ack_phases, 2 * a.t_ack_phases - 2);
+}
+
+TEST(LbParams, KappaCoversEveryBodyRound) {
+  for (std::size_t delta : {4, 32, 128}) {
+    const auto p = LbParams::calibrated(0.1, 2.0, delta, 4 * delta);
+    EXPECT_EQ(p.kappa,
+              p.t_prog * (p.participant_bits + p.b_bits));
+    // Each body round consumes participant_bits + b_bits; total never
+    // exceeds kappa by construction.
+    EXPECT_GE(p.participant_bits, 1);
+    EXPECT_GE(p.b_bits, 0);
+  }
+}
+
+TEST(LbParams, BValueRangeMatchesLogDelta) {
+  const auto p = LbParams::calibrated(0.1, 1.5, 32, 64);
+  EXPECT_EQ(p.log_delta, 5);
+  EXPECT_EQ(p.b_bits, ceil_log2(5));
+}
+
+TEST(LbParams, SpecBoundsComposePhases) {
+  const auto p = LbParams::calibrated(0.1, 1.5, 16, 32);
+  EXPECT_EQ(p.phase_length(), p.t_s + p.t_prog);
+  EXPECT_EQ(p.t_prog_bound(), p.phase_length());
+  EXPECT_EQ(p.t_ack_bound(), (p.t_ack_phases + 1) * p.phase_length());
+}
+
+TEST(LbParams, AckScaleShrinksOnlyTack) {
+  LbScales scales;
+  scales.ack_scale = 0.1;
+  const auto full = LbParams::calibrated(0.1, 1.5, 32, 64);
+  const auto scaled = LbParams::calibrated(0.1, 1.5, 32, 64, scales);
+  EXPECT_LT(scaled.t_ack_phases, full.t_ack_phases);
+  EXPECT_EQ(scaled.t_ack_phases_theory, full.t_ack_phases_theory);
+  EXPECT_EQ(scaled.t_prog, full.t_prog);
+  EXPECT_EQ(scaled.t_s, full.t_s);
+}
+
+TEST(LbParams, RejectsInvalidInputs) {
+  EXPECT_DEATH(LbParams::calibrated(0.6, 1.5, 4, 8), "precondition");
+  EXPECT_DEATH(LbParams::calibrated(0.1, 0.5, 4, 8), "precondition");
+  EXPECT_DEATH(LbParams::calibrated(0.1, 1.5, 8, 4), "precondition");
+}
+
+TEST(LbParams, LocalityNoDependenceOnN) {
+  // The whole parameter set is a function of (eps1, r, Delta, Delta') --
+  // the same values regardless of any notion of network size.
+  const auto a = LbParams::calibrated(0.1, 1.5, 32, 64);
+  const auto b = LbParams::calibrated(0.1, 1.5, 32, 64);
+  EXPECT_EQ(a.t_prog, b.t_prog);
+  EXPECT_EQ(a.t_ack_phases, b.t_ack_phases);
+  EXPECT_EQ(a.t_s, b.t_s);
+  EXPECT_EQ(a.kappa, b.kappa);
+}
+
+TEST(LbParams, TheoryShapeTprog) {
+  // t_prog = O(r^2 log Delta log(r^4 log^4 Delta / eps1)).  The r^2 factor
+  // and the eps2 coupling (eps' shrinks as r falls) pull in opposite
+  // directions, so we only assert the composite: monotone growth in r and
+  // bounded by the r^2 envelope times the log factor.
+  const auto r1 = LbParams::calibrated(0.1, 1.0, 32, 64);
+  const auto r2 = LbParams::calibrated(0.1, 2.0, 32, 64);
+  EXPECT_GT(r2.t_prog, r1.t_prog);
+  EXPECT_LT(r2.t_prog, 16 * r1.t_prog);
+}
+
+}  // namespace
+}  // namespace dg::lb

@@ -1,0 +1,157 @@
+// Tests for the LB spec checker itself: it must detect violations when fed
+// broken event streams (mutant protocols), so that green runs of LBAlg are
+// meaningful.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "lb/spec.h"
+#include "sim/engine.h"
+
+namespace dg::lb {
+namespace {
+
+struct Fixture {
+  graph::DualGraph g = graph::clique_cluster(3);
+  std::vector<sim::ProcessId> ids = sim::assign_ids(3, 5);
+  LbParams params = LbParams::calibrated(0.1, 1.5, 3, 3);
+};
+
+TEST(LbSpecChecker, CleanLifecyclePasses) {
+  Fixture f;
+  LbSpecChecker checker(f.g, f.ids, f.params);
+  const sim::MessageId m{f.ids[0], 1};
+  checker.on_bcast(0, m, 1);
+  checker.on_recv(1, m, 0, 10);
+  checker.on_recv(2, m, 0, 12);
+  checker.on_ack(0, m, 20);
+  EXPECT_TRUE(checker.report().timely_ack_ok);
+  EXPECT_TRUE(checker.report().validity_ok);
+  EXPECT_EQ(checker.report().violations, 0u);
+  EXPECT_EQ(checker.report().reliability.successes(), 1u);
+  const auto& rec = checker.broadcasts()[0];
+  EXPECT_EQ(rec.ack_round, 20);
+  EXPECT_EQ(rec.delivered_round, 12);
+}
+
+TEST(LbSpecChecker, FlagsRecvOfUnknownMessage) {
+  Fixture f;
+  LbSpecChecker checker(f.g, f.ids, f.params);
+  checker.on_recv(1, sim::MessageId{f.ids[0], 9}, 0, 5);
+  EXPECT_FALSE(checker.report().validity_ok);
+}
+
+TEST(LbSpecChecker, FlagsRecvBeforeBroadcastActive) {
+  Fixture f;
+  LbSpecChecker checker(f.g, f.ids, f.params);
+  const sim::MessageId m{f.ids[0], 1};
+  checker.on_bcast(0, m, 10);
+  checker.on_recv(1, m, 0, 5);  // before the input round
+  EXPECT_FALSE(checker.report().validity_ok);
+}
+
+TEST(LbSpecChecker, FlagsRecvAfterAck) {
+  Fixture f;
+  LbSpecChecker checker(f.g, f.ids, f.params);
+  const sim::MessageId m{f.ids[0], 1};
+  checker.on_bcast(0, m, 1);
+  checker.on_ack(0, m, 10);
+  checker.on_recv(1, m, 0, 15);  // origin no longer active
+  EXPECT_FALSE(checker.report().validity_ok);
+}
+
+TEST(LbSpecChecker, FlagsRecvFromNonNeighbor) {
+  // Path 0-1-2: vertex 2 cannot validly recv a message of vertex 0.
+  graph::DualGraph g(3);
+  g.add_reliable_edge(0, 1);
+  g.add_reliable_edge(1, 2);
+  g.finalize();
+  const auto ids = sim::assign_ids(3, 5);
+  const auto params = LbParams::calibrated(0.1, 1.5, 2, 2);
+  LbSpecChecker checker(g, ids, params);
+  const sim::MessageId m{ids[0], 1};
+  checker.on_bcast(0, m, 1);
+  checker.on_recv(2, m, 0, 5);
+  EXPECT_FALSE(checker.report().validity_ok);
+}
+
+TEST(LbSpecChecker, FlagsLateAck) {
+  Fixture f;
+  LbSpecChecker checker(f.g, f.ids, f.params);
+  const sim::MessageId m{f.ids[0], 1};
+  checker.on_bcast(0, m, 1);
+  checker.on_ack(0, m, f.params.t_ack_bound() + 100);
+  EXPECT_FALSE(checker.report().timely_ack_ok);
+}
+
+TEST(LbSpecChecker, FlagsSpuriousAck) {
+  Fixture f;
+  LbSpecChecker checker(f.g, f.ids, f.params);
+  checker.on_ack(0, sim::MessageId{f.ids[0], 3}, 10);
+  EXPECT_FALSE(checker.report().timely_ack_ok);
+}
+
+TEST(LbSpecChecker, FlagsDuplicateAck) {
+  Fixture f;
+  LbSpecChecker checker(f.g, f.ids, f.params);
+  const sim::MessageId m{f.ids[0], 1};
+  checker.on_bcast(0, m, 1);
+  checker.on_ack(0, m, 10);
+  checker.on_ack(0, m, 11);
+  EXPECT_FALSE(checker.report().timely_ack_ok);
+}
+
+TEST(LbSpecChecker, ReliabilityFailureWhenNeighborMissesMessage) {
+  Fixture f;
+  LbSpecChecker checker(f.g, f.ids, f.params);
+  const sim::MessageId m{f.ids[0], 1};
+  checker.on_bcast(0, m, 1);
+  checker.on_recv(1, m, 0, 5);  // vertex 2 never recvs
+  checker.on_ack(0, m, 20);
+  EXPECT_EQ(checker.report().reliability.trials(), 1u);
+  EXPECT_EQ(checker.report().reliability.successes(), 0u);
+  EXPECT_FALSE(checker.broadcasts()[0].delivered());
+}
+
+TEST(LbSpecChecker, ProgressConditioningRequiresActiveNeighbor) {
+  Fixture f;
+  LbSpecChecker checker(f.g, f.ids, f.params);
+  // Run empty phases through the observer interface: no active vertices,
+  // so no progress opportunities are tallied.
+  for (sim::Round t = 1; t <= 2 * f.params.t_prog_bound(); ++t) {
+    checker.on_round_end(t);
+  }
+  EXPECT_EQ(checker.report().progress.trials(), 0u);
+}
+
+TEST(LbSpecChecker, ProgressTallyCountsQualifyingReceptions) {
+  Fixture f;
+  LbSpecChecker checker(f.g, f.ids, f.params);
+  const sim::MessageId m{f.ids[0], 1};
+  checker.on_bcast(0, m, 1);
+  // Vertex 1 hears the active broadcaster mid-phase (raw reception).
+  sim::Packet pkt{f.ids[0], sim::DataPayload{m, 7}};
+  checker.on_receive(3, 1, 0, pkt);
+  for (sim::Round t = 1; t <= f.params.t_prog_bound(); ++t) {
+    checker.on_round_end(t);
+  }
+  // Both neighbors of the active vertex had A^u_alpha; vertex 1 got B.
+  EXPECT_EQ(checker.report().progress.trials(), 2u);
+  EXPECT_EQ(checker.report().progress.successes(), 1u);
+}
+
+TEST(LbSpecChecker, ActivelyBroadcastingWindow) {
+  Fixture f;
+  LbSpecChecker checker(f.g, f.ids, f.params);
+  const sim::MessageId m{f.ids[0], 1};
+  checker.on_bcast(0, m, 5);
+  EXPECT_FALSE(checker.actively_broadcasting(0, 4));
+  EXPECT_TRUE(checker.actively_broadcasting(0, 5));
+  EXPECT_TRUE(checker.actively_broadcasting(0, 50));
+  checker.on_ack(0, m, 60);
+  EXPECT_TRUE(checker.actively_broadcasting(0, 60));  // ack round inclusive
+  checker.on_round_end(60);
+  EXPECT_FALSE(checker.actively_broadcasting(0, 61));
+}
+
+}  // namespace
+}  // namespace dg::lb

@@ -1,0 +1,87 @@
+// Lemma B.6 replay: per-region leader counts concentrate around
+// P_{x,h} = a_{x,h} * p_h.
+//
+//   (1) if P_{x,h} <= c2 log(1/eps1), then w.h.p.
+//       l_{x,h} <= (5/4) c2 log(1/eps1);
+//   (2) if P_{x,h} >= (c2/2) log(1/eps1), then w.h.p.
+//       l_{x,h} >= (1/4) c2 log(1/eps1).
+// The proofs are Chernoff bounds on the sum of the per-node election
+// indicators; here we verify the concentration empirically by running many
+// independent leader-election steps with controlled a and p.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "seed/seed_alg.h"
+#include "util/interval.h"
+#include "util/rng.h"
+
+namespace dg::seed {
+namespace {
+
+/// Simulates one leader-election step for a region with `a` active nodes
+/// and per-node probability `p`; returns the number of leaders elected.
+int election_step(std::size_t a, double p, Rng& rng) {
+  int leaders = 0;
+  for (std::size_t i = 0; i < a; ++i) {
+    if (rng.chance(p)) ++leaders;
+  }
+  return leaders;
+}
+
+TEST(LeaderConcentration, UpperTailLemmaB6Part1) {
+  // P_{x,h} = c2 log(1/eps1) exactly (the worst case of part 1).
+  const double eps1 = 0.1;
+  const double c2 = 4.0;
+  const double target = c2 * std::log2(1.0 / eps1);  // ~13.3
+  const std::size_t a = 256;
+  const double p = target / static_cast<double>(a);
+  Rng rng(17);
+  BernoulliTally within;
+  for (int t = 0; t < 4000; ++t) {
+    within.record(election_step(a, p, rng) <= 1.25 * target);
+  }
+  // The Chernoff bound gives failure probability eps1^(c2 log2(e)/32)
+  // ~ 0.56 -- weak for these constants, but the empirical tail is far
+  // better; require the frequency to clear 0.75 comfortably.
+  EXPECT_GE(within.frequency(), 0.75) << within.frequency();
+}
+
+TEST(LeaderConcentration, LowerTailLemmaB6Part2) {
+  // P_{x,h} = (c2/2) log(1/eps1): part 2's threshold case.
+  const double eps1 = 0.1;
+  const double c2 = 4.0;
+  const double target = c2 * std::log2(1.0 / eps1);
+  const std::size_t a = 256;
+  const double p = (target / 2.0) / static_cast<double>(a);
+  Rng rng(19);
+  BernoulliTally within;
+  for (int t = 0; t < 4000; ++t) {
+    within.record(election_step(a, p, rng) >= 0.25 * target);
+  }
+  EXPECT_GE(within.frequency(), 0.85) << within.frequency();
+}
+
+TEST(LeaderConcentration, MeanMatchesPxh) {
+  // E[l_{x,h}] = P_{x,h} by linearity (the lemma's starting point).
+  Rng rng(23);
+  for (double target : {2.0, 8.0, 20.0}) {
+    const std::size_t a = 128;
+    const double p = target / static_cast<double>(a);
+    double sum = 0;
+    const int trials = 20000;
+    for (int t = 0; t < trials; ++t) {
+      sum += election_step(a, p, rng);
+    }
+    EXPECT_NEAR(sum / trials, target, 0.15 * target);
+  }
+}
+
+TEST(LeaderConcentration, ZeroProbabilityZeroLeaders) {
+  Rng rng(29);
+  EXPECT_EQ(election_step(100, 0.0, rng), 0);
+  EXPECT_EQ(election_step(100, 1.0, rng), 100);
+}
+
+}  // namespace
+}  // namespace dg::seed

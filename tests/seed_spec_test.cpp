@@ -1,0 +1,235 @@
+// Tests for the Seed(delta, eps) specification checker itself (it must
+// catch violations -- no vacuous greens) and statistical verification of
+// the agreement and independence conditions for SeedAlg executions
+// (Theorem 3.1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "graph/generators.h"
+#include "seed/seed_alg.h"
+#include "seed/spec.h"
+#include "sim/engine.h"
+#include "sim/scheduler.h"
+#include "stats/montecarlo.h"
+#include "util/interval.h"
+#include "util/intmath.h"
+
+namespace dg::seed {
+namespace {
+
+// ---- checker unit tests on synthetic decision vectors ----
+
+graph::DualGraph triangle() {
+  graph::DualGraph g(3);
+  g.add_reliable_edge(0, 1);
+  g.add_reliable_edge(1, 2);
+  g.add_unreliable_edge(0, 2);
+  g.finalize();
+  return g;
+}
+
+TEST(SeedSpecChecker, AcceptsCleanDecisions) {
+  const auto g = triangle();
+  const std::vector<sim::ProcessId> ids{10, 20, 30};
+  DecisionVector d(3);
+  d[0] = SeedDecision{10, 111, false, true};
+  d[1] = SeedDecision{10, 111, false, false};
+  d[2] = SeedDecision{10, 111, false, false};
+  const auto res = check_seed_spec(g, ids, d);
+  EXPECT_TRUE(res.well_formed);
+  EXPECT_TRUE(res.consistent);
+  EXPECT_TRUE(res.owners_local);
+  EXPECT_EQ(res.max_neighborhood_owners, 1u);
+  EXPECT_EQ(res.distinct_owners, 1u);
+}
+
+TEST(SeedSpecChecker, FlagsMissingDecision) {
+  const auto g = triangle();
+  const std::vector<sim::ProcessId> ids{10, 20, 30};
+  DecisionVector d(3);
+  d[0] = SeedDecision{10, 1, false, true};
+  d[2] = SeedDecision{10, 1, false, false};
+  EXPECT_FALSE(check_seed_spec(g, ids, d).well_formed);
+}
+
+TEST(SeedSpecChecker, FlagsInconsistentSeeds) {
+  // Same owner, different seeds: violates Condition 2.
+  const auto g = triangle();
+  const std::vector<sim::ProcessId> ids{10, 20, 30};
+  DecisionVector d(3);
+  d[0] = SeedDecision{10, 1, false, true};
+  d[1] = SeedDecision{10, 2, false, false};
+  d[2] = SeedDecision{10, 1, false, false};
+  EXPECT_FALSE(check_seed_spec(g, ids, d).consistent);
+}
+
+TEST(SeedSpecChecker, FlagsNonLocalOwner) {
+  // Vertex 2 commits to id 999 which belongs to no G'-neighbor.
+  const auto g = triangle();
+  const std::vector<sim::ProcessId> ids{10, 20, 30};
+  DecisionVector d(3);
+  d[0] = SeedDecision{10, 1, false, true};
+  d[1] = SeedDecision{20, 2, false, true};
+  d[2] = SeedDecision{999, 3, false, false};
+  EXPECT_FALSE(check_seed_spec(g, ids, d).owners_local);
+}
+
+TEST(SeedSpecChecker, CountsNeighborhoodOwners) {
+  // Path 0 - 1 - 2 (no 0-2 edge): vertex 1 sees all three owners, vertex 0
+  // sees only {10, 20}.
+  graph::DualGraph g(3);
+  g.add_reliable_edge(0, 1);
+  g.add_reliable_edge(1, 2);
+  g.finalize();
+  const std::vector<sim::ProcessId> ids{10, 20, 30};
+  DecisionVector d(3);
+  d[0] = SeedDecision{10, 1, false, true};
+  d[1] = SeedDecision{20, 2, false, true};
+  d[2] = SeedDecision{30, 3, false, true};
+  EXPECT_EQ(neighborhood_owner_count(g, ids, d, 0), 2u);
+  EXPECT_EQ(neighborhood_owner_count(g, ids, d, 1), 3u);
+  const auto res = check_seed_spec(g, ids, d);
+  EXPECT_EQ(res.max_neighborhood_owners, 3u);
+  EXPECT_TRUE(res.agreement(3));
+  EXPECT_FALSE(res.agreement(2));
+}
+
+TEST(SeedSpecChecker, OwnerSeedsCollectsMapping) {
+  DecisionVector d(2);
+  d[0] = SeedDecision{10, 1, false, true};
+  d[1] = SeedDecision{20, 2, false, true};
+  const auto m = owner_seeds(d);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.at(10), 1u);
+  EXPECT_EQ(m.at(20), 2u);
+}
+
+// ---- statistical verification of SeedAlg against the spec ----
+
+struct TrialResult {
+  bool well_formed = false;
+  bool consistent = false;
+  bool owners_local = false;
+  std::size_t max_owners = 0;
+  std::vector<std::uint64_t> committed_seeds;  // one per distinct owner
+};
+
+TrialResult run_seed_trial(std::uint64_t seed, double eps1, std::size_t n,
+                           double side, double p_sched) {
+  Rng rng(seed);
+  graph::GeometricSpec spec;
+  spec.n = n;
+  spec.side = side;
+  spec.r = 1.5;
+  const graph::DualGraph g = graph::random_geometric(spec, rng);
+  const auto params = SeedAlgParams::make(eps1, g.delta());
+  const auto ids = sim::assign_ids(g.size(), derive_seed(seed, 1));
+
+  sim::BernoulliScheduler sched(p_sched);
+  std::vector<std::unique_ptr<sim::Process>> procs;
+  Rng init_rng(derive_seed(seed, 2));
+  for (graph::Vertex v = 0; v < g.size(); ++v) {
+    procs.push_back(std::make_unique<SeedProcess>(params, ids[v], init_rng));
+  }
+  sim::Engine engine(g, sched, std::move(procs), derive_seed(seed, 3));
+  engine.run_rounds(params.total_rounds());
+
+  DecisionVector decisions(g.size());
+  for (graph::Vertex v = 0; v < g.size(); ++v) {
+    decisions[v] =
+        dynamic_cast<const SeedProcess&>(engine.process(v)).decision();
+  }
+  const auto res = check_seed_spec(g, ids, decisions);
+  TrialResult out;
+  out.well_formed = res.well_formed;
+  out.consistent = res.consistent;
+  out.owners_local = res.owners_local;
+  out.max_owners = res.max_neighborhood_owners;
+  for (const auto& [owner, value] : owner_seeds(decisions)) {
+    out.committed_seeds.push_back(value);
+  }
+  return out;
+}
+
+class SeedAgreement
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(SeedAgreement, SafetyHoldsAndOwnersBounded) {
+  const auto [eps1, p_sched] = GetParam();
+  const auto results =
+      stats::run_trials(24, 0x5eedULL ^ std::hash<double>{}(eps1 + p_sched),
+                        [&](std::size_t, std::uint64_t s) {
+                          return run_seed_trial(s, eps1, 48, 3.0, p_sched);
+                        });
+
+  // The paper's delta is O(r^2 log(1/eps1)); with r = 1.5 and calibrated
+  // constants a generous concrete ceiling is 6 * r^2 * log2(1/eps1) + 6.
+  const double delta_bound = 6.0 * 1.5 * 1.5 * std::log2(1.0 / eps1) + 6.0;
+  BernoulliTally agreement;
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.well_formed);   // deterministic: every execution
+    ASSERT_TRUE(r.consistent);    // deterministic: every execution
+    ASSERT_TRUE(r.owners_local);
+    agreement.record(static_cast<double>(r.max_owners) <= delta_bound);
+  }
+  // Agreement is probabilistic; with the generous bound it should
+  // essentially always hold.
+  EXPECT_TRUE(agreement.consistent_with_at_least(1.0 - eps1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SeedAgreement,
+    ::testing::Combine(::testing::Values(0.25, 0.1, 0.05),
+                       ::testing::Values(0.0, 0.5, 1.0)));
+
+TEST(SeedIndependence, CommittedSeedBitsAreBalanced) {
+  // Pool committed seed values across owners and trials; every bit position
+  // should be ~uniform (Condition 4: seeds are uniform independent draws).
+  std::vector<std::uint64_t> seeds;
+  const auto results = stats::run_trials(
+      40, 0xdeadULL, [&](std::size_t, std::uint64_t s) {
+        return run_seed_trial(s, 0.1, 32, 2.5, 0.5);
+      });
+  for (const auto& r : results) {
+    seeds.insert(seeds.end(), r.committed_seeds.begin(),
+                 r.committed_seeds.end());
+  }
+  ASSERT_GT(seeds.size(), 100u);
+  for (int bit = 0; bit < 64; ++bit) {
+    std::size_t ones = 0;
+    for (std::uint64_t s : seeds) {
+      ones += (s >> bit) & 1U;
+    }
+    const double freq = static_cast<double>(ones) / seeds.size();
+    EXPECT_NEAR(freq, 0.5, 0.2) << "bit " << bit;
+  }
+}
+
+TEST(SeedTiming, RoundComplexityMatchesFormula) {
+  // Theorem 3.1: O(log Delta * log^2(1/eps1)) rounds -- and the algorithm
+  // is synchronous, so the count is exact and deterministic.
+  for (std::size_t delta : {4, 16, 64}) {
+    for (double eps : {0.25, 0.05}) {
+      const auto params = SeedAlgParams::make(eps, delta);
+      EXPECT_EQ(params.total_rounds(),
+                params.num_phases * params.phase_length);
+      EXPECT_EQ(params.num_phases, ceil_log2(pow2_ceil(delta)));
+    }
+  }
+}
+
+TEST(SeedLocality, RoundCountIndependentOfN) {
+  // True locality: the algorithm's running time depends on Delta, never on
+  // the network size n.
+  const auto params = SeedAlgParams::make(0.1, 32);
+  for (std::size_t n : {10, 100, 1000}) {
+    (void)n;  // there is no n anywhere in the parameter computation
+    EXPECT_EQ(SeedAlgParams::make(0.1, 32).total_rounds(),
+              params.total_rounds());
+  }
+}
+
+}  // namespace
+}  // namespace dg::seed

@@ -1,0 +1,82 @@
+// End-to-end smoke tests: the full stack (generator -> scheduler -> engine
+// -> SeedAlg/LBAlg -> spec checkers) on small networks.  Fast and run first;
+// deeper per-module suites live alongside.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "graph/generators.h"
+#include "lb/simulation.h"
+#include "seed/seed_alg.h"
+#include "seed/spec.h"
+#include "sim/engine.h"
+#include "sim/scheduler.h"
+
+namespace dg {
+namespace {
+
+TEST(Smoke, SeedAlgDecidesEverywhere) {
+  Rng rng(42);
+  graph::GeometricSpec spec;
+  spec.n = 48;
+  spec.side = 3.0;
+  spec.r = 1.5;
+  const graph::DualGraph g = graph::random_geometric(spec, rng);
+
+  const auto params = seed::SeedAlgParams::make(0.1, g.delta());
+  const auto ids = sim::assign_ids(g.size(), 7);
+
+  sim::BernoulliScheduler sched(0.5);
+  std::vector<std::unique_ptr<sim::Process>> procs;
+  Rng seed_rng(99);
+  for (graph::Vertex v = 0; v < g.size(); ++v) {
+    procs.push_back(
+        std::make_unique<seed::SeedProcess>(params, ids[v], seed_rng));
+  }
+  sim::Engine engine(g, sched, std::move(procs), /*master_seed=*/1234);
+  engine.run_rounds(params.total_rounds());
+
+  seed::DecisionVector decisions(g.size());
+  for (graph::Vertex v = 0; v < g.size(); ++v) {
+    decisions[v] =
+        dynamic_cast<const seed::SeedProcess&>(engine.process(v)).decision();
+  }
+  const auto result = seed::check_seed_spec(g, ids, decisions);
+  EXPECT_TRUE(result.well_formed);
+  EXPECT_TRUE(result.consistent);
+  EXPECT_TRUE(result.owners_local);
+  EXPECT_GE(result.max_neighborhood_owners, 1u);
+}
+
+TEST(Smoke, LbAlgDeliversAndChecksClean) {
+  Rng rng(7);
+  graph::GeometricSpec spec;
+  spec.n = 32;
+  spec.side = 2.5;
+  spec.r = 1.5;
+  const graph::DualGraph g = graph::random_geometric(spec, rng);
+
+  lb::LbScales scales;
+  scales.ack_scale = 0.02;  // keep the smoke test fast
+  const auto params =
+      lb::LbParams::calibrated(0.1, spec.r, g.delta(), g.delta_prime(), scales);
+
+  lb::LbSimulation sim(g, std::make_unique<sim::BernoulliScheduler>(0.5),
+                       params, /*master_seed=*/2024);
+  sim.post_bcast(0, /*content=*/111);
+  sim.run_phases(params.t_ack_phases + 2);
+
+  const lb::LbSpecReport& report = sim.report();
+  EXPECT_TRUE(report.timely_ack_ok);
+  EXPECT_TRUE(report.validity_ok);
+  EXPECT_EQ(report.violations, 0u);
+  EXPECT_EQ(report.ack_count, 1u);
+  EXPECT_EQ(report.bcast_count, 1u);
+  // With a nonempty neighborhood, the message should reach someone.
+  if (!g.g_neighbors(0).empty()) {
+    EXPECT_GT(report.recv_count, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace dg

@@ -1,0 +1,100 @@
+// Tests for the statistics module: summaries, quantiles, the Monte Carlo
+// runner (determinism, parallel/sequential equivalence), and the probes.
+#include <gtest/gtest.h>
+
+#include "sim/packet.h"
+#include "stats/montecarlo.h"
+#include "stats/probes.h"
+#include "stats/summary.h"
+
+namespace dg::stats {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  const auto s = Summary::of({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+  EXPECT_NEAR(s.stddev, 1.5811, 1e-3);
+}
+
+TEST(Summary, EmptyAndSingle) {
+  EXPECT_EQ(Summary::of({}).count, 0u);
+  const auto s = Summary::of({7.0});
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 7.0);
+}
+
+TEST(Summary, UnsortedInputHandled) {
+  const auto s = Summary::of({5.0, 1.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+}
+
+TEST(QuantileSorted, Interpolates) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 1.0), 10.0);
+}
+
+TEST(RunTrials, DeterministicAcrossRuns) {
+  auto fn = [](std::size_t i, std::uint64_t seed) {
+    return static_cast<double>(splitmix64(seed) % 1000) + i;
+  };
+  const auto a = run_trials(64, 5, fn);
+  const auto b = run_trials(64, 5, fn);
+  EXPECT_EQ(a, b);
+  const auto c = run_trials(64, 6, fn);
+  EXPECT_NE(a, c);
+}
+
+TEST(RunTrials, ResultsIndexedByTrial) {
+  const auto r = run_trials(
+      16, 1, [](std::size_t i, std::uint64_t) { return i; });
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    EXPECT_EQ(r[i], i);
+  }
+}
+
+TEST(FirstReceptionProbe, RecordsOnlyFirstDataPacket) {
+  FirstReceptionProbe probe(2);
+  const sim::Packet data{1, sim::DataPayload{sim::MessageId{1, 1}, 5}};
+  const sim::Packet seed{1, sim::SeedPayload{1, 9}};
+  probe.on_receive(3, 0, 1, seed);   // ignored: not data
+  EXPECT_EQ(probe.first_reception(0), 0);
+  probe.on_receive(5, 0, 1, data);
+  probe.on_receive(9, 0, 1, data);   // not overwritten
+  EXPECT_EQ(probe.first_reception(0), 5);
+  EXPECT_EQ(probe.first_reception(1), 0);
+}
+
+TEST(ContentReceptionProbe, FiltersByContent) {
+  ContentReceptionProbe probe(1, /*tracked_content=*/42);
+  const sim::Packet other{1, sim::DataPayload{sim::MessageId{1, 1}, 5}};
+  const sim::Packet match{1, sim::DataPayload{sim::MessageId{1, 2}, 42}};
+  probe.on_receive(2, 0, 1, other);
+  EXPECT_EQ(probe.first_reception(0), 0);
+  probe.on_receive(4, 0, 1, match);
+  EXPECT_EQ(probe.first_reception(0), 4);
+}
+
+TEST(TrafficProbe, CountsAllEventKinds) {
+  TrafficProbe probe;
+  const sim::Packet data{1, sim::DataPayload{sim::MessageId{1, 1}, 5}};
+  probe.on_transmit(1, 0, data);
+  probe.on_transmit(1, 1, data);
+  probe.on_receive(1, 2, 0, data);
+  probe.on_silence(1, 3, true);
+  probe.on_silence(1, 4, false);
+  EXPECT_EQ(probe.transmissions(), 2u);
+  EXPECT_EQ(probe.receptions(), 1u);
+  EXPECT_EQ(probe.collisions(), 1u);
+}
+
+}  // namespace
+}  // namespace dg::stats

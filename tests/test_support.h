@@ -1,0 +1,88 @@
+// Shared helpers for the test suites: scripted processes with fully
+// deterministic behavior (for exercising the engine's collision semantics)
+// and small topology builders.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "graph/dual_graph.h"
+#include "sim/packet.h"
+#include "sim/process.h"
+
+namespace dg::test {
+
+/// Transmits a scripted data packet in designated rounds, listens otherwise,
+/// and logs everything it hears (including silence).
+class ScriptProcess final : public sim::Process {
+ public:
+  ScriptProcess(sim::ProcessId id, std::map<sim::Round, std::uint64_t> sends)
+      : sim::Process(id), sends_(std::move(sends)) {}
+
+  std::optional<sim::Packet> transmit(sim::RoundContext& ctx) override {
+    const auto it = sends_.find(ctx.round());
+    if (it == sends_.end()) return std::nullopt;
+    return sim::Packet{
+        id(), sim::DataPayload{sim::MessageId{id(), ++seq_}, it->second}};
+  }
+
+  void receive(const std::optional<sim::Packet>& packet,
+               sim::RoundContext& ctx) override {
+    if (packet.has_value() && packet->is_data()) {
+      heard.emplace_back(ctx.round(), packet->data().content);
+    } else {
+      silent_rounds.push_back(ctx.round());
+    }
+  }
+
+  std::vector<std::pair<sim::Round, std::uint64_t>> heard;
+  std::vector<sim::Round> silent_rounds;
+
+ private:
+  std::map<sim::Round, std::uint64_t> sends_;
+  std::uint32_t seq_ = 0;
+};
+
+/// A process that never transmits and records receptions.
+class SilentProcess final : public sim::Process {
+ public:
+  explicit SilentProcess(sim::ProcessId id) : sim::Process(id) {}
+
+  std::optional<sim::Packet> transmit(sim::RoundContext&) override {
+    return std::nullopt;
+  }
+  void receive(const std::optional<sim::Packet>& packet,
+               sim::RoundContext& ctx) override {
+    if (packet.has_value() && packet->is_data()) {
+      heard.emplace_back(ctx.round(), packet->data().content);
+    }
+  }
+
+  std::vector<std::pair<sim::Round, std::uint64_t>> heard;
+};
+
+/// Path a - b - c ... with consecutive vertices reliable.  For collision
+/// tests: vertex i and i+1 are G-neighbors; i and i+2 are not.
+inline graph::DualGraph reliable_path(std::size_t n) {
+  graph::DualGraph g(n);
+  for (graph::Vertex v = 0; v + 1 < n; ++v) {
+    g.add_reliable_edge(v, v + 1);
+  }
+  g.finalize();
+  return g;
+}
+
+/// Triangle where {0,1} and {0,2} are reliable but {1,2} is unreliable:
+/// the canonical topology for scheduler-dependent collision tests.
+inline graph::DualGraph unreliable_vee() {
+  graph::DualGraph g(3);
+  g.add_reliable_edge(0, 1);
+  g.add_reliable_edge(0, 2);
+  g.add_unreliable_edge(1, 2);
+  g.finalize();
+  return g;
+}
+
+}  // namespace dg::test

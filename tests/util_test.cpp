@@ -1,0 +1,289 @@
+// Unit tests for src/util: RNG streams, seed-bit expansion, integer math,
+// Wilson intervals, and table formatting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/bits.h"
+#include "util/interval.h"
+#include "util/intmath.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace dg {
+namespace {
+
+// ---- splitmix / derive_seed ----
+
+TEST(SplitMix, IsDeterministic) {
+  EXPECT_EQ(splitmix64(12345), splitmix64(12345));
+  EXPECT_NE(splitmix64(12345), splitmix64(12346));
+}
+
+TEST(SplitMix, DeriveSeedSeparatesStreams) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t s = 0; s < 64; ++s) {
+    seeds.insert(derive_seed(7, s));
+  }
+  EXPECT_EQ(seeds.size(), 64u);
+}
+
+// ---- Rng ----
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.bits(), b.bits());
+  }
+}
+
+TEST(Rng, DifferentStreamsDiffer) {
+  Rng a(99, 1), b(99, 2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.bits() == b.bits()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-0.5));
+    EXPECT_TRUE(rng.chance(2.0));
+  }
+}
+
+TEST(Rng, ChanceFrequencyNearP) {
+  Rng rng(2);
+  const int n = 20000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  const double freq = static_cast<double>(hits) / n;
+  EXPECT_NEAR(freq, 0.25, 0.02);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.between(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+// ---- SeedBits ----
+
+TEST(SeedBits, SameSeedSameStream) {
+  SeedBits a(42), b(42);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.take(3), b.take(3));
+  }
+}
+
+TEST(SeedBits, DifferentSeedsDiffer) {
+  SeedBits a(42), b(43);
+  int diff = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.take(8) != b.take(8)) ++diff;
+  }
+  EXPECT_GT(diff, 32);
+}
+
+TEST(SeedBits, TakeMatchesBitAt) {
+  SeedBits s(777);
+  std::vector<int> expanded;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    expanded.push_back(s.bit_at(i));
+  }
+  const std::uint64_t v = s.take(64);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ((v >> (63 - i)) & 1, static_cast<std::uint64_t>(expanded[i]));
+  }
+}
+
+TEST(SeedBits, SeekRealigns) {
+  SeedBits a(9), b(9);
+  a.take(13);
+  a.seek(5);
+  b.seek(5);
+  EXPECT_EQ(a.take(20), b.take(20));
+}
+
+TEST(SeedBits, TakeZeroBitsIsZero) {
+  SeedBits s(1);
+  EXPECT_EQ(s.take(0), 0u);
+  EXPECT_EQ(s.cursor(), 0u);
+}
+
+TEST(SeedBits, AllZeroFrequencyMatchesTwoToMinusK) {
+  // Across many seeds, P(take_all_zero(k)) should be close to 2^-k.
+  const int k = 3;
+  int hits = 0;
+  const int n = 8000;
+  for (int seed = 0; seed < n; ++seed) {
+    SeedBits s(static_cast<std::uint64_t>(seed) * 2654435761u + 17);
+    if (s.take_all_zero(k)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, std::ldexp(1.0, -k), 0.02);
+}
+
+TEST(SeedBits, BitsAreBalanced) {
+  // Bit frequency over a long stream from one seed.
+  SeedBits s(123456789);
+  int ones = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    ones += static_cast<int>(s.take(1));
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.5, 0.02);
+}
+
+// ---- intmath ----
+
+TEST(IntMath, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(4), 2);
+  EXPECT_EQ(floor_log2(1023), 9);
+  EXPECT_EQ(floor_log2(1024), 10);
+}
+
+TEST(IntMath, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1025), 11);
+}
+
+TEST(IntMath, Pow2Ceil) {
+  EXPECT_EQ(pow2_ceil(1), 1u);
+  EXPECT_EQ(pow2_ceil(2), 2u);
+  EXPECT_EQ(pow2_ceil(3), 4u);
+  EXPECT_EQ(pow2_ceil(17), 32u);
+}
+
+TEST(IntMath, Log2Clamped) {
+  EXPECT_DOUBLE_EQ(log2_clamped(0.5, 1.0), 1.0);   // below 1 clamps
+  EXPECT_DOUBLE_EQ(log2_clamped(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(log2_clamped(8.0), 3.0);
+  EXPECT_DOUBLE_EQ(log2_clamped(2.0, 2.0), 2.0);   // floor dominates
+}
+
+TEST(IntMath, CeilToInt) {
+  EXPECT_EQ(ceil_to_int(0.1), 1);
+  EXPECT_EQ(ceil_to_int(1.0), 1);
+  EXPECT_EQ(ceil_to_int(1.00001), 2);
+  EXPECT_EQ(ceil_to_int(-3.5), 1);  // clamped to >= 1
+}
+
+TEST(IntMath, RoundUp) {
+  EXPECT_EQ(round_up(0, 5), 0);
+  EXPECT_EQ(round_up(1, 5), 5);
+  EXPECT_EQ(round_up(5, 5), 5);
+  EXPECT_EQ(round_up(6, 5), 10);
+}
+
+// ---- Wilson intervals ----
+
+TEST(Wilson, ContainsTruthForFairCoin) {
+  const auto iv = wilson_interval(500, 1000, 2.58);
+  EXPECT_TRUE(iv.contains(0.5));
+  EXPECT_LT(iv.width(), 0.1);
+}
+
+TEST(Wilson, ExtremesClamp) {
+  const auto all = wilson_interval(100, 100);
+  EXPECT_LE(all.hi, 1.0);
+  EXPECT_GT(all.lo, 0.9);
+  const auto none = wilson_interval(0, 100);
+  EXPECT_GE(none.lo, 0.0);
+  EXPECT_LT(none.hi, 0.1);
+}
+
+TEST(Wilson, NarrowsWithTrials) {
+  const auto small = wilson_interval(5, 10);
+  const auto big = wilson_interval(5000, 10000);
+  EXPECT_LT(big.width(), small.width());
+}
+
+TEST(BernoulliTally, TracksCounts) {
+  BernoulliTally t;
+  for (int i = 0; i < 9; ++i) t.record(true);
+  t.record(false);
+  EXPECT_EQ(t.trials(), 10u);
+  EXPECT_EQ(t.successes(), 9u);
+  EXPECT_DOUBLE_EQ(t.frequency(), 0.9);
+}
+
+TEST(BernoulliTally, ConsistencyCheck) {
+  BernoulliTally t;
+  for (int i = 0; i < 95; ++i) t.record(true);
+  for (int i = 0; i < 5; ++i) t.record(false);
+  EXPECT_TRUE(t.consistent_with_at_least(0.9));
+  EXPECT_FALSE(t.consistent_with_at_least(0.9999));
+  BernoulliTally empty;
+  EXPECT_TRUE(empty.consistent_with_at_least(1.0));  // vacuous
+}
+
+// ---- Table ----
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(std::int64_t{42});
+  t.row().cell("b").cell(3.14159, 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.row().cell(1).cell(2);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, CellBeyondHeadersAborts) {
+  Table t({"only"});
+  t.row().cell("x");
+  EXPECT_DEATH(t.cell("overflow"), "precondition");
+}
+
+}  // namespace
+}  // namespace dg

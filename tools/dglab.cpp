@@ -1,0 +1,315 @@
+// dglab -- command-line laboratory for the dual-graph local broadcast stack.
+//
+//   dglab net   [topology flags]                  describe a network
+//   dglab seed  [topology flags] [--eps=0.1]      run seed agreement + spec
+//   dglab run   [topology flags] [run flags]      run LBAlg + spec report
+//   dglab sweep [--deltas=4,8,16,32] [run flags]  progress/delivery sweep
+//
+// Topology flags:
+//   --type=geometric|grid|clique|star|line   (default geometric)
+//   --n=64 --side=4.0 --r=1.5                (geometric)
+//   --cols=6 --rows=4 --spacing=1.0          (grid)
+//   --k=16                                   (clique size / star leaves / line length)
+// Run flags:
+//   --eps=0.1 --seed=1 --phases=30 --senders=2 --ack-scale=0.02
+//   --sched=bernoulli:0.5 | full-g | full-gprime | flicker:64:32
+//           | burst:16:0.5 | anti
+//   --reuse=1 (phases per seed)  --ablate (private coins)  --trace=N
+//
+// Example:
+//   dglab run --type=geometric --n=48 --sched=bernoulli:0.5 --phases=40
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baseline/decay.h"
+#include "graph/generators.h"
+#include "lb/simulation.h"
+#include "seed/seed_alg.h"
+#include "seed/spec.h"
+#include "sim/engine.h"
+#include "sim/scheduler.h"
+#include "sim/trace.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace dg;
+
+// ---- tiny flag parser: --key=value ----
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg.substr(2)] = "1";
+      } else {
+        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  std::string str(const std::string& key, const std::string& dflt) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? dflt : it->second;
+  }
+  double num(const std::string& key, double dflt) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? dflt : std::strtod(it->second.c_str(), nullptr);
+  }
+  std::uint64_t uint(const std::string& key, std::uint64_t dflt) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? dflt
+                               : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  bool flag(const std::string& key) const { return values_.contains(key); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, sep)) out.push_back(item);
+  return out;
+}
+
+// ---- builders ----
+
+graph::DualGraph build_network(const Flags& flags, Rng& rng) {
+  const std::string type = flags.str("type", "geometric");
+  const double r = flags.num("r", 1.5);
+  const auto k = static_cast<std::size_t>(flags.uint("k", 16));
+  if (type == "grid") {
+    return graph::grid(static_cast<std::size_t>(flags.uint("cols", 6)),
+                       static_cast<std::size_t>(flags.uint("rows", 4)),
+                       flags.num("spacing", 1.0), r);
+  }
+  if (type == "clique") return graph::clique_cluster(k);
+  if (type == "star") return graph::star_ring(k, r);
+  if (type == "line") return graph::line(k, flags.num("spacing", 1.0), r);
+  graph::GeometricSpec spec;
+  spec.n = static_cast<std::size_t>(flags.uint("n", 64));
+  spec.side = flags.num("side", 4.0);
+  spec.r = r;
+  return graph::random_geometric(spec, rng);
+}
+
+std::unique_ptr<sim::LinkScheduler> build_scheduler(const Flags& flags) {
+  const auto spec = split(flags.str("sched", "bernoulli:0.5"), ':');
+  const std::string& kind = spec[0];
+  const auto arg = [&](std::size_t i, double dflt) {
+    return spec.size() > i ? std::strtod(spec[i].c_str(), nullptr) : dflt;
+  };
+  if (kind == "full-g") return std::make_unique<sim::ConstantScheduler>(false);
+  if (kind == "full-gprime") {
+    return std::make_unique<sim::ConstantScheduler>(true);
+  }
+  if (kind == "flicker") {
+    return std::make_unique<sim::FlickerScheduler>(
+        static_cast<sim::Round>(arg(1, 64)),
+        static_cast<sim::Round>(arg(2, 32)));
+  }
+  if (kind == "burst") {
+    return std::make_unique<sim::BurstScheduler>(
+        static_cast<sim::Round>(arg(1, 16)), arg(2, 0.5));
+  }
+  if (kind == "anti") {
+    return std::make_unique<sim::AntiScheduleAdversary>(
+        [](sim::Round t) { return baseline::decay_probability(t, 7); },
+        1.0 / 16.0);
+  }
+  return std::make_unique<sim::BernoulliScheduler>(arg(1, 0.5));
+}
+
+void describe(const graph::DualGraph& g, const Flags& flags) {
+  std::cout << "network: n=" << g.size() << " Delta=" << g.delta()
+            << " Delta'=" << g.delta_prime()
+            << " unreliable-edges=" << g.unreliable_edge_count() << "\n";
+  if (g.embedding().has_value()) {
+    std::cout << "embedding: r-geographic(r=" << g.r() << ") -> "
+              << (graph::is_r_geographic(g, *g.embedding(), g.r())
+                      ? "valid"
+                      : "INVALID")
+              << "\n";
+  }
+  (void)flags;
+}
+
+// ---- subcommands ----
+
+int cmd_net(const Flags& flags) {
+  Rng rng(flags.uint("seed", 1));
+  const auto g = build_network(flags, rng);
+  describe(g, flags);
+  // Degree histogram.
+  std::map<std::size_t, std::size_t> hist;
+  for (graph::Vertex v = 0; v < g.size(); ++v) {
+    ++hist[g.g_neighbors(v).size()];
+  }
+  Table table({"G-degree", "vertices"});
+  for (const auto& [deg, count] : hist) {
+    table.row().cell(static_cast<std::uint64_t>(deg)).cell(
+        static_cast<std::uint64_t>(count));
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_seed(const Flags& flags) {
+  const std::uint64_t master = flags.uint("seed", 1);
+  Rng rng(master);
+  const auto g = build_network(flags, rng);
+  describe(g, flags);
+  const double eps = std::min(0.25, flags.num("eps", 0.1));
+  const auto params = seed::SeedAlgParams::make(eps, g.delta());
+  std::cout << "SeedAlg(eps=" << eps << "): " << params.num_phases
+            << " phases x " << params.phase_length << " rounds = "
+            << params.total_rounds() << " rounds\n";
+
+  const auto ids = sim::assign_ids(g.size(), derive_seed(master, 1));
+  auto sched = build_scheduler(flags);
+  std::vector<std::unique_ptr<sim::Process>> procs;
+  Rng init(derive_seed(master, 2));
+  for (graph::Vertex v = 0; v < g.size(); ++v) {
+    procs.push_back(std::make_unique<seed::SeedProcess>(params, ids[v], init));
+  }
+  sim::Engine engine(g, *sched, std::move(procs), derive_seed(master, 3));
+  engine.run_rounds(params.total_rounds());
+
+  seed::DecisionVector decisions(g.size());
+  for (graph::Vertex v = 0; v < g.size(); ++v) {
+    decisions[v] =
+        dynamic_cast<const seed::SeedProcess&>(engine.process(v)).decision();
+  }
+  const auto res = seed::check_seed_spec(g, ids, decisions);
+  std::cout << "spec: well-formed=" << (res.well_formed ? "OK" : "FAIL")
+            << " consistent=" << (res.consistent ? "OK" : "FAIL")
+            << " owners-local=" << (res.owners_local ? "OK" : "FAIL") << "\n"
+            << "distinct owners: " << res.distinct_owners
+            << "; max owners per closed G'-neighborhood: "
+            << res.max_neighborhood_owners << "\n";
+  return res.well_formed && res.consistent ? 0 : 1;
+}
+
+int cmd_run(const Flags& flags) {
+  const std::uint64_t master = flags.uint("seed", 1);
+  Rng rng(master);
+  const auto g = build_network(flags, rng);
+  describe(g, flags);
+
+  lb::LbScales scales;
+  scales.ack_scale = flags.num("ack-scale", 0.02);
+  auto params = lb::LbParams::calibrated(flags.num("eps", 0.1),
+                                         std::max(1.0, g.r()), g.delta(),
+                                         g.delta_prime(), scales);
+  params.phases_per_seed = static_cast<int>(flags.uint("reuse", 1));
+  params.use_shared_seeds = !flags.flag("ablate");
+
+  std::cout << "LBAlg: T_s=" << params.t_s << " T_prog=" << params.t_prog
+            << " phase=" << params.phase_length()
+            << " group=" << params.group_length()
+            << " T_ack=" << params.t_ack_phases << " phases"
+            << (params.use_shared_seeds ? "" : "  [ABLATED]") << "\n";
+
+  lb::LbSimulation sim(g, build_scheduler(flags), params, master);
+  sim::TraceRecorder trace(static_cast<std::size_t>(
+      std::max<std::uint64_t>(1, flags.uint("trace", 16))));
+  sim.add_observer(&trace);
+
+  const auto senders = flags.uint("senders", 2);
+  std::vector<graph::Vertex> busy;
+  for (std::uint64_t i = 0; i < senders && i < g.size(); ++i) {
+    busy.push_back(static_cast<graph::Vertex>(
+        (i * g.size()) / std::max<std::uint64_t>(senders, 1)));
+  }
+  sim.keep_busy(busy);
+  sim.run_phases(static_cast<std::int64_t>(flags.uint("phases", 30)));
+
+  const auto& r = sim.report();
+  std::cout << "\nafter " << sim.round() << " rounds:\n"
+            << "  timely-ack=" << (r.timely_ack_ok ? "OK" : "VIOLATED")
+            << " validity=" << (r.validity_ok ? "OK" : "VIOLATED")
+            << " violations=" << r.violations << "\n"
+            << "  bcast/ack/recv: " << r.bcast_count << "/" << r.ack_count
+            << "/" << r.recv_count << " (raw receptions "
+            << r.raw_receptions << ")\n"
+            << "  reliability: " << r.reliability.successes() << "/"
+            << r.reliability.trials() << "   progress: "
+            << r.progress.successes() << "/" << r.progress.trials() << "\n";
+  if (flags.flag("trace")) {
+    std::cout << "\ntrace tail:\n";
+    trace.print(std::cout);
+  }
+  return r.timely_ack_ok && r.validity_ok ? 0 : 1;
+}
+
+int cmd_sweep(const Flags& flags) {
+  Table table({"Delta", "phase", "progress mean (rounds)",
+               "reliability", "progress freq"});
+  for (const std::string& ds : split(flags.str("deltas", "4,8,16,32"), ',')) {
+    const auto clique = static_cast<std::size_t>(
+        std::strtoull(ds.c_str(), nullptr, 10));
+    const auto g = graph::clique_cluster(clique);
+    lb::LbScales scales;
+    scales.ack_scale = flags.num("ack-scale", 0.02);
+    const auto params = lb::LbParams::calibrated(
+        flags.num("eps", 0.1), 1.5, g.delta(), g.delta_prime(), scales);
+    lb::LbSimulation sim(g, build_scheduler(flags), params,
+                         flags.uint("seed", 1));
+    sim.keep_busy({0});
+    sim.run_phases(static_cast<std::int64_t>(flags.uint("phases", 20)));
+    const auto& r = sim.report();
+    // Mean first-reception latency across completed broadcasts.
+    double total = 0;
+    std::size_t count = 0;
+    for (const auto& rec : sim.checker().broadcasts()) {
+      for (const auto& [v, round] : rec.recv_rounds) {
+        total += static_cast<double>(round - rec.input_round);
+        ++count;
+      }
+    }
+    table.row()
+        .cell(static_cast<std::uint64_t>(clique))
+        .cell(params.phase_length())
+        .cell(count ? total / static_cast<double>(count) : 0.0, 1)
+        .cell(std::to_string(r.reliability.successes()) + "/" +
+              std::to_string(r.reliability.trials()))
+        .cell(r.progress.trials() ? r.progress.frequency() : 1.0, 3);
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+void usage() {
+  std::cout << "usage: dglab <net|seed|run|sweep> [--flags]\n"
+               "see the header of tools/dglab.cpp for the full flag list\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const Flags flags(argc, argv, 2);
+  if (cmd == "net") return cmd_net(flags);
+  if (cmd == "seed") return cmd_seed(flags);
+  if (cmd == "run") return cmd_run(flags);
+  if (cmd == "sweep") return cmd_sweep(flags);
+  usage();
+  return 2;
+}
