@@ -11,6 +11,11 @@
 // networks, collapses.  LBAlg draws its schedule from seeds agreed at
 // runtime, after the adversary has committed; the same adversary has
 // nothing to aim at.
+//
+// Expected output: mean first-reception latencies over 15 trials for Decay
+// and LBAlg under the benign and anti-schedule adversaries.  Decay degrades
+// by an order of magnitude or more under attack; LBAlg's degradation factor
+// stays near 1.  Exits 0.
 #include <iostream>
 #include <memory>
 

@@ -10,6 +10,11 @@
 // interface (bcast/ack/rcv) -- it compiles against *any* MAC
 // implementation.  Here it runs over LbMacLayer, the paper's dual-graph
 // implementation, and completes despite the link chaos.
+//
+// Expected output: the grid summary and derived (f_ack, f_prog, eps)
+// bounds, then full coverage -- "coverage: 72/72 (item, node) pairs" with
+// the completion round -- and OK timely-ack/validity verdicts from the
+// underlying LB layer.  Exits 0.
 #include <iostream>
 #include <memory>
 

@@ -8,6 +8,10 @@
 // protocol knows nothing about rounds, collisions, or link schedules -- it
 // sees only bcast/abort/ack/rcv.  Everything below the MAC interface is
 // this repository's LBAlg stack.
+//
+// Expected output: the eight proposals with their random priorities, then
+// -- after the run -- every device reporting the same decided value (the
+// value championed by the highest priority).  Exits 0.
 #include <iostream>
 #include <memory>
 

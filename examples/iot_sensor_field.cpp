@@ -11,6 +11,11 @@
 // only from (eps1, r, Delta, Delta') -- is the same whether one patch or a
 // thousand exist, and per-patch behavior does not change as the deployment
 // grows.  Locality is not an optimization here; it is the spec.
+//
+// Expected output: the deployment summary, the LBAlg parameter set (the
+// same for any `fields` value), per-patch reading/delivery counts -- every
+// patch fully broadcasting all 15 readings -- and OK global spec verdicts
+// with reliability 60/60 per 4 patches.  Exits 0.
 #include <cstdlib>
 #include <iostream>
 #include <memory>

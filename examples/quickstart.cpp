@@ -9,6 +9,11 @@
 //   3. derive the LBAlg parameters from (eps1, r, Delta, Delta'),
 //   4. broadcast a message and run phases,
 //   5. read the machine-checked verdicts and per-broadcast latencies.
+//
+// Expected output: a network/parameter summary, then "timely
+// acknowledgement: OK" and "validity: OK" verdicts, reliability 2/2,
+// a progress tally near its opportunity count, and the ack/delivery
+// latencies of node 0's broadcast.  Exits 0.
 #include <cstdlib>
 #include <iostream>
 #include <memory>

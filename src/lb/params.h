@@ -13,7 +13,7 @@
 // The paper's c1, c2 are "sufficiently large" proof constants; LbScales
 // exposes them (plus SeedAlg's c4 and an ack_scale knob) with practical
 // defaults calibrated so the Monte Carlo suite meets the target error
-// bounds at laptop scale (DESIGN.md substitution table).
+// bounds at laptop scale (docs/PAPER_MAP.md, substitutions table).
 #pragma once
 
 #include <cstdint>

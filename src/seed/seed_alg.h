@@ -27,7 +27,7 @@ namespace dg::seed {
 /// Parameters of SeedAlg(eps1).  The paper's c4 is a "sufficiently large"
 /// constant (>= 2 * 4^(c_r * c3)); the struct keeps the exact formula shape
 /// with a tunable c4 whose practical default is calibrated empirically
-/// (DESIGN.md, substitutions table).
+/// (docs/PAPER_MAP.md, substitutions table).
 struct SeedAlgParams {
   double eps1 = 0.25;          ///< error parameter, 0 < eps1 <= 1/4
   int num_phases = 1;          ///< log2(Delta), Delta rounded up to a power of 2

@@ -140,7 +140,7 @@ class AntiScheduleAdversary final : public LinkScheduler {
 /// scheduler; used by tests to script exact topologies.
 class ExplicitScheduler final : public LinkScheduler {
  public:
-  /// rounds_bitmap[t][e] == true -> edge e present in round t+1 (and in all
+  /// pattern[t][e] == true -> edge e present in round t+1 (and in all
   /// rounds congruent mod the pattern length).
   explicit ExplicitScheduler(std::vector<std::vector<bool>> pattern);
 

@@ -8,7 +8,7 @@
 // read byte-identical bit streams (which is all the shared-randomness
 // argument of LBAlg needs), and distinct owners hold independent uniform
 // values (which is what the Independence property of the Seed spec needs).
-// DESIGN.md documents this substitution; tests/seed_bits_test.cpp checks
+// docs/PAPER_MAP.md documents this substitution; tests/util_test.cpp checks
 // uniformity and cross-seed independence statistically.
 #pragma once
 

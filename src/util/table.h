@@ -29,6 +29,13 @@ class Table {
 
   std::size_t row_count() const noexcept { return rows_.size(); }
 
+  /// Column headers, in declaration order.
+  const std::vector<std::string>& headers() const noexcept { return headers_; }
+  /// Formatted cell values, one inner vector per row() call.
+  const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+
   /// Renders the aligned table.
   void print(std::ostream& os) const;
   /// Renders as CSV (for plotting scripts).
