@@ -6,36 +6,55 @@
 
 namespace dg::graph {
 
-DualGraph::DualGraph(std::size_t n)
-    : n_(n),
-      g_adj_(n),
-      gprime_adj_(n),
-      unreliable_adj_(n) {
-  DG_EXPECTS(n >= 1);
+namespace {
+
+/// Packs per-vertex builder lists into offsets + one contiguous data array,
+/// releasing the builder storage as it goes.
+template <typename T>
+void pack_csr(std::vector<std::vector<T>>& lists,
+              std::vector<std::size_t>& offsets, std::vector<T>& data) {
+  const std::size_t n = lists.size();
+  offsets.resize(n + 1);
+  std::size_t total = 0;
+  for (std::size_t u = 0; u < n; ++u) {
+    offsets[u] = total;
+    total += lists[u].size();
+  }
+  offsets[n] = total;
+  data.reserve(total);
+  for (auto& list : lists) {
+    data.insert(data.end(), list.begin(), list.end());
+    list = {};  // release per-vertex storage eagerly
+  }
+  lists = {};
 }
 
-void DualGraph::check_vertex(Vertex u) const { DG_EXPECTS(u < n_); }
+}  // namespace
 
-void DualGraph::check_builder() const { DG_EXPECTS(!finalized_); }
-
-void DualGraph::check_finalized() const { DG_EXPECTS(finalized_); }
+DualGraph::DualGraph(std::size_t n)
+    : n_(n),
+      build_g_adj_(n),
+      build_gprime_adj_(n),
+      build_unreliable_adj_(n) {
+  DG_EXPECTS(n >= 1);
+}
 
 void DualGraph::add_reliable_edge(Vertex u, Vertex v) {
   check_builder();
   check_vertex(u);
   check_vertex(v);
   DG_EXPECTS(u != v);
-  auto& au = g_adj_[u];
+  auto& au = build_g_adj_[u];
   if (std::find(au.begin(), au.end(), v) != au.end()) return;  // idempotent
   // Must not previously have been added as unreliable: E and E' \ E are
   // built disjointly (generators decide the class of each edge once).
   DG_EXPECTS(std::none_of(
-      unreliable_adj_[u].begin(), unreliable_adj_[u].end(),
+      build_unreliable_adj_[u].begin(), build_unreliable_adj_[u].end(),
       [v](const auto& entry) { return entry.second == v; }));
-  g_adj_[u].push_back(v);
-  g_adj_[v].push_back(u);
-  gprime_adj_[u].push_back(v);
-  gprime_adj_[v].push_back(u);
+  build_g_adj_[u].push_back(v);
+  build_g_adj_[v].push_back(u);
+  build_gprime_adj_[u].push_back(v);
+  build_gprime_adj_[v].push_back(u);
 }
 
 void DualGraph::add_unreliable_edge(Vertex u, Vertex v) {
@@ -43,19 +62,19 @@ void DualGraph::add_unreliable_edge(Vertex u, Vertex v) {
   check_vertex(u);
   check_vertex(v);
   DG_EXPECTS(u != v);
-  const auto& au = unreliable_adj_[u];
+  const auto& au = build_unreliable_adj_[u];
   if (std::any_of(au.begin(), au.end(),
                   [v](const auto& entry) { return entry.second == v; })) {
     return;  // idempotent
   }
-  DG_EXPECTS(std::find(g_adj_[u].begin(), g_adj_[u].end(), v) ==
-             g_adj_[u].end());
+  DG_EXPECTS(std::find(build_g_adj_[u].begin(), build_g_adj_[u].end(), v) ==
+             build_g_adj_[u].end());
   const auto id = static_cast<UnreliableEdgeId>(unreliable_edges_.size());
   unreliable_edges_.push_back(UnreliableEdge{u, v});
-  unreliable_adj_[u].emplace_back(id, v);
-  unreliable_adj_[v].emplace_back(id, u);
-  gprime_adj_[u].push_back(v);
-  gprime_adj_[v].push_back(u);
+  build_unreliable_adj_[u].emplace_back(id, v);
+  build_unreliable_adj_[v].emplace_back(id, u);
+  build_gprime_adj_[u].push_back(v);
+  build_gprime_adj_[v].push_back(u);
 }
 
 void DualGraph::set_embedding(geo::Embedding embedding, double r) {
@@ -72,45 +91,27 @@ void DualGraph::finalize() {
   delta_ = 1;
   delta_prime_ = 1;
   for (std::size_t u = 0; u < n_; ++u) {
-    std::sort(g_adj_[u].begin(), g_adj_[u].end());
-    std::sort(gprime_adj_[u].begin(), gprime_adj_[u].end());
-    delta_ = std::max(delta_, g_adj_[u].size() + 1);
-    delta_prime_ = std::max(delta_prime_, gprime_adj_[u].size() + 1);
+    std::sort(build_g_adj_[u].begin(), build_g_adj_[u].end());
+    std::sort(build_gprime_adj_[u].begin(), build_gprime_adj_[u].end());
+    // Unreliable incidence keeps insertion order: consumers (e.g. the
+    // targeted jammer's "first transmitting incident edge" rule) observe it.
+    delta_ = std::max(delta_, build_g_adj_[u].size() + 1);
+    delta_prime_ = std::max(delta_prime_, build_gprime_adj_[u].size() + 1);
   }
-}
-
-const std::vector<Vertex>& DualGraph::g_neighbors(Vertex u) const {
-  check_finalized();
-  check_vertex(u);
-  return g_adj_[u];
-}
-
-const std::vector<Vertex>& DualGraph::gprime_neighbors(Vertex u) const {
-  check_finalized();
-  check_vertex(u);
-  return gprime_adj_[u];
-}
-
-const std::vector<std::pair<UnreliableEdgeId, Vertex>>&
-DualGraph::unreliable_incident(Vertex u) const {
-  check_finalized();
-  check_vertex(u);
-  return unreliable_adj_[u];
+  pack_csr(build_g_adj_, g_offsets_, g_data_);
+  pack_csr(build_gprime_adj_, gprime_offsets_, gprime_data_);
+  pack_csr(build_unreliable_adj_, unreliable_offsets_, unreliable_data_);
 }
 
 bool DualGraph::has_reliable_edge(Vertex u, Vertex v) const {
-  check_finalized();
-  check_vertex(u);
   check_vertex(v);
-  const auto& adj = g_adj_[u];
+  const auto adj = g_neighbors(u);
   return std::binary_search(adj.begin(), adj.end(), v);
 }
 
 bool DualGraph::has_gprime_edge(Vertex u, Vertex v) const {
-  check_finalized();
-  check_vertex(u);
   check_vertex(v);
-  const auto& adj = gprime_adj_[u];
+  const auto adj = gprime_neighbors(u);
   return std::binary_search(adj.begin(), adj.end(), v);
 }
 

@@ -11,7 +11,8 @@ LbProcess::LbProcess(const LbParams& params, sim::ProcessId id,
     : sim::Process(id),
       params_(params),
       vertex_(vertex),
-      listener_(listener) {
+      listener_(listener),
+      group_len_(params.group_length()) {
   DG_EXPECTS(params.phases_per_seed >= 1);
 }
 
@@ -43,18 +44,18 @@ void LbProcess::begin_group(sim::RoundContext& ctx) {
 }
 
 std::optional<sim::Packet> LbProcess::transmit(sim::RoundContext& ctx) {
-  const sim::Round t = ctx.round();
+  advance_round_position();
 
-  if (group_pos(t) == 0) begin_group(ctx);
+  if (pos_in_group_ == 0) begin_group(ctx);
 
   // Promote a pending message at a phase boundary (a bcast received
   // mid-phase waits until here; the paper's "beginning of the next phase").
-  if (at_phase_boundary(t) && !current_.has_value() && pending_.has_value()) {
+  if (phase_boundary_now_ && !current_.has_value() && pending_.has_value()) {
     current_ = pending_;
     pending_.reset();
   }
 
-  if (in_preamble(t)) {
+  if (in_preamble_now()) {
     // The decision may still arrive via receive() in the final preamble
     // round, so the group seed is committed lazily on entering the body.
     DG_ASSERT(preamble_.has_value());
@@ -73,7 +74,7 @@ std::optional<sim::Packet> LbProcess::transmit(sim::RoundContext& ctx) {
   }
 
   if (!current_.has_value()) return std::nullopt;  // receiving state
-  return body_transmit(ctx, body_index(t));
+  return body_transmit(ctx, body_index_now());
 }
 
 std::optional<sim::Packet> LbProcess::body_transmit(sim::RoundContext& ctx,
@@ -121,14 +122,13 @@ std::optional<sim::Packet> LbProcess::body_transmit(sim::RoundContext& ctx,
 
 void LbProcess::receive(const std::optional<sim::Packet>& packet,
                         sim::RoundContext& ctx) {
-  const sim::Round t = ctx.round();
-  if (in_preamble(t)) {
+  if (in_preamble_now()) {
     DG_ASSERT(preamble_.has_value());
     preamble_->step_receive(packet);
     return;
   }
   if (packet.has_value() && packet->is_data()) {
-    handle_data(packet->data(), t);
+    handle_data(packet->data(), ctx.round());
   }
 }
 
@@ -141,9 +141,9 @@ void LbProcess::handle_data(const sim::DataPayload& data, sim::Round round) {
 }
 
 void LbProcess::end_round(sim::RoundContext& ctx) {
-  const sim::Round t = ctx.round();
-  if (!at_segment_end(t)) return;
+  if (!segment_end_now_) return;
   if (!current_.has_value()) return;
+  const sim::Round t = ctx.round();
   if (--current_->phases_left > 0) return;
   // End of the last round of the last sending phase: ack and return to the
   // receiving state.

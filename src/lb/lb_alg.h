@@ -97,27 +97,34 @@ class LbProcess final : public sim::Process {
   // by phases_per_seed body *segments* of T_prog rounds each (the paper's
   // baseline is one segment per group).  State transitions (promotion of a
   // pending message, ack countdown) happen at segment boundaries.
-  std::int64_t group_pos(sim::Round t) const noexcept {
-    return (t - 1) % params_.group_length();
+  //
+  // The position within the group is tracked *incrementally*: transmit() is
+  // called exactly once per round (the sim::Process contract) and advances
+  // the cursor; receive() and end_round() run later in the same round and
+  // reuse the cached predicates.  This keeps the per-round hot path free of
+  // the `(t - 1) % group_length` divisions the closed forms would need.
+  void advance_round_position() noexcept {
+    ++pos_in_group_;
+    if (pos_in_group_ == group_len_) pos_in_group_ = 0;
+    if (pos_in_group_ < params_.t_s) {
+      seg_round_ = -1;  // preamble
+    } else if (pos_in_group_ == params_.t_s) {
+      seg_round_ = 0;
+    } else {
+      ++seg_round_;
+      if (seg_round_ == params_.t_prog) seg_round_ = 0;
+    }
+    // Phase boundaries where a pending message may enter the sending state:
+    // the group start (= the paper's phase start for k = 1) and the starts
+    // of the second and later body segments of a group (k > 1 only).
+    phase_boundary_now_ =
+        pos_in_group_ == 0 || (pos_in_group_ > params_.t_s && seg_round_ == 0);
+    segment_end_now_ = seg_round_ == params_.t_prog - 1;
   }
-  bool in_preamble(sim::Round t) const noexcept {
-    return group_pos(t) < params_.t_s;
-  }
-  /// 0-based body round within the group (call only in body rounds).
-  std::int64_t body_index(sim::Round t) const noexcept {
-    return group_pos(t) - params_.t_s;
-  }
-  /// Phase boundaries where a pending message may enter the sending state:
-  /// the group start (= the paper's phase start for k = 1) and the starts
-  /// of the second and later body segments of a group (k > 1 only).
-  bool at_phase_boundary(sim::Round t) const noexcept {
-    const std::int64_t pos = group_pos(t);
-    return pos == 0 ||
-           (pos > params_.t_s && (pos - params_.t_s) % params_.t_prog == 0);
-  }
-  bool at_segment_end(sim::Round t) const noexcept {
-    return (group_pos(t) - params_.t_s + 1) % params_.t_prog == 0 &&
-           group_pos(t) >= params_.t_s;
+  bool in_preamble_now() const noexcept { return seg_round_ < 0; }
+  /// 0-based body round within the group (valid in body rounds).
+  std::int64_t body_index_now() const noexcept {
+    return pos_in_group_ - params_.t_s;
   }
 
   void begin_group(sim::RoundContext& ctx);
@@ -128,6 +135,13 @@ class LbProcess final : public sim::Process {
   LbParams params_;
   graph::Vertex vertex_;
   LbListener* listener_;
+
+  // Incremental round-position cursor (see advance_round_position()).
+  std::int64_t group_len_ = 1;
+  std::int64_t pos_in_group_ = -1;  ///< group position of the current round
+  std::int64_t seg_round_ = -1;     ///< round within body segment; -1 in preamble
+  bool phase_boundary_now_ = false;
+  bool segment_end_now_ = false;
 
   std::optional<ActiveMessage> pending_;  // awaiting next phase boundary
   std::optional<ActiveMessage> current_;  // being broadcast

@@ -14,7 +14,8 @@ LbSpecChecker::LbSpecChecker(const graph::DualGraph& g,
       params_(params),
       record_details_(record_details),
       active_(g.size()),
-      active_all_phase_(g.size(), true),
+      streak_start_(g.size(), 0),
+      active_until_(g.size(), -1),
       qualifying_reception_(g.size(), false) {
   DG_EXPECTS(ids_.size() == g.size());
   for (graph::Vertex v = 0; v < static_cast<graph::Vertex>(ids_.size()); ++v) {
@@ -32,6 +33,10 @@ void LbSpecChecker::on_bcast(graph::Vertex u, const sim::MessageId& m,
   entry.record_index = records_.size();
   active_[u] = entry;
   owner_of_[m] = u;
+  // A bcast in the round right after the previous activity ended continues
+  // the activity streak (the vertex is active in every round across the
+  // seam); any gap starts a new streak here.
+  if (active_until_[u] != round - 1) streak_start_[u] = round;
   ++report_.bcast_count;
 
   BroadcastRecord record;
@@ -49,7 +54,9 @@ void LbSpecChecker::on_abort(graph::Vertex u, const sim::MessageId& m,
   owner_of_.erase(m);
   // The abort takes effect at the input step of `round`: the node is no
   // longer actively broadcasting in that round, so the entry is dropped
-  // immediately (before on_round_end evaluates activity).
+  // immediately (before on_round_end evaluates activity) and the activity
+  // streak ends with the previous round.
+  active_until_[u] = round - 1;
   entry.reset();
 }
 
@@ -93,6 +100,8 @@ void LbSpecChecker::on_ack(graph::Vertex vertex, const sim::MessageId& m,
   entry->ack_round = round;  // marks "acked in this round" for phase stats
   // The entry is retired at end of round (activity in the ack round still
   // counts toward the progress condition's notion of "active").
+  retire_pending_.push_back(vertex);
+  active_until_[vertex] = round;
 }
 
 void LbSpecChecker::on_recv(graph::Vertex vertex, const sim::MessageId& m,
@@ -146,30 +155,36 @@ bool LbSpecChecker::actively_broadcasting(graph::Vertex v,
 }
 
 void LbSpecChecker::on_round_end(sim::Round round) {
-  // Fold this round's activity into the per-phase AND.
-  const auto n = static_cast<graph::Vertex>(graph_->size());
-  for (graph::Vertex v = 0; v < n; ++v) {
-    const bool active_now = actively_broadcasting(v, round);
-    if (!active_now) active_all_phase_[v] = false;
-    // Retire entries acked this round.
-    if (active_[v].has_value() && active_[v]->ack_round != 0) {
-      active_[v].reset();
-    }
-  }
   ++rounds_in_phase_;
-
   if (round % params_.t_prog_bound() == 0) {
+    // Evaluated before retirement: an entry acked in the phase's final
+    // round was active through the whole round, so it still counts.
     finish_phase(round);
   }
+  // Retire entries acked this round (the vertex is inactive from the next
+  // round on).
+  for (graph::Vertex v : retire_pending_) {
+    active_[v].reset();
+  }
+  retire_pending_.clear();
 }
 
-void LbSpecChecker::finish_phase(sim::Round /*phase_end_round*/) {
+void LbSpecChecker::finish_phase(sim::Round phase_end_round) {
   DG_ASSERT(rounds_in_phase_ == params_.t_prog_bound());
+  const sim::Round phase_start = phase_end_round - params_.t_prog_bound() + 1;
+  // v was active in every round of the phase iff its entry is still alive
+  // here and its activity *streak* predates the phase.  The streak (not the
+  // entry's own input_round) is what makes back-to-back messages count:
+  // an ack mid-phase followed immediately by a new bcast keeps the vertex
+  // active in every round even though no single entry spans the phase.
+  const auto fully_active = [&](graph::Vertex v) {
+    return active_[v].has_value() && streak_start_[v] <= phase_start;
+  };
   const auto n = static_cast<graph::Vertex>(graph_->size());
   for (graph::Vertex u = 0; u < n; ++u) {
     bool has_fully_active_neighbor = false;
     for (graph::Vertex v : graph_->g_neighbors(u)) {
-      if (active_all_phase_[v]) {
+      if (fully_active(v)) {
         has_fully_active_neighbor = true;
         break;
       }
@@ -179,7 +194,6 @@ void LbSpecChecker::finish_phase(sim::Round /*phase_end_round*/) {
       report_.progress.record(qualifying_reception_[u]);
     }
   }
-  std::fill(active_all_phase_.begin(), active_all_phase_.end(), true);
   std::fill(qualifying_reception_.begin(), qualifying_reception_.end(), false);
   rounds_in_phase_ = 0;
 }

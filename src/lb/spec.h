@@ -93,6 +93,9 @@ class LbSpecChecker final : public sim::Observer, public LbListener {
                std::uint64_t content, sim::Round round) override;
 
   // sim::Observer:
+  unsigned interest() const override {
+    return sim::Observer::kReceive | sim::Observer::kRoundEnd;
+  }
   void on_receive(sim::Round round, graph::Vertex u, graph::Vertex from,
                   const sim::Packet& packet) override;
   void on_round_end(sim::Round round) override;
@@ -136,8 +139,18 @@ class LbSpecChecker final : public sim::Observer, public LbListener {
   std::unordered_map<sim::MessageId, graph::Vertex, sim::MessageIdHash>
       owner_of_;
 
-  // Progress bookkeeping for the current t_prog-aligned phase.
-  std::vector<bool> active_all_phase_;   ///< v active in every round so far
+  // Progress bookkeeping for the current t_prog-aligned phase.  Whole-phase
+  // activity is evaluated from active_ at the phase boundary plus a
+  // per-vertex *activity streak*: streak_start_[v] is the first round of
+  // v's current unbroken run of activity, maintained across back-to-back
+  // messages (an ack at round m followed by a bcast at m+1 keeps the
+  // streak alive, exactly as the per-round AND this replaces counted it).
+  // v was active in every round of a phase iff its entry is still alive at
+  // the boundary and the streak predates the phase, so round ends are
+  // O(#acks) instead of an O(n) activity scan.
+  std::vector<graph::Vertex> retire_pending_;  ///< acked this round
+  std::vector<sim::Round> streak_start_;  ///< first round of current streak
+  std::vector<sim::Round> active_until_;  ///< last active round once retired
   std::vector<bool> qualifying_reception_;  ///< u received from an active v
   sim::Round rounds_in_phase_ = 0;
 };

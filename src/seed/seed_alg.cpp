@@ -29,9 +29,13 @@ SeedAlgRunner::SeedAlgRunner(const SeedAlgParams& params, sim::ProcessId self,
 
 std::optional<sim::SeedPayload> SeedAlgRunner::step_transmit(Rng& rng) {
   DG_EXPECTS(!done());
-  const int phase_index = step_ / params_.phase_length;  // 0-based
-  const int round_in_phase = step_ % params_.phase_length;
+  const int phase_index = phase_index_;  // 0-based
+  const int round_in_phase = round_in_phase_;
   ++step_;
+  if (++round_in_phase_ == params_.phase_length) {
+    round_in_phase_ = 0;
+    ++phase_index_;
+  }
 
   if (round_in_phase == 0 && status_ == Status::active) {
     // Leader election at the start of phase h = phase_index + 1 with

@@ -94,7 +94,9 @@ class SeedAlgRunner {
   sim::ProcessId self_;
   std::uint64_t initial_seed_;
   Status status_ = Status::active;
-  int step_ = 0;  // rounds already begun
+  int step_ = 0;            // rounds already begun
+  int phase_index_ = 0;     // == step_ / phase_length, kept incrementally
+  int round_in_phase_ = 0;  // == step_ % phase_length, kept incrementally
   std::optional<SeedDecision> decision_;
 };
 

@@ -8,7 +8,11 @@ void TargetedJammer::plan_round(Round, const graph::DualGraph& g,
                                 const std::vector<bool>& transmitting) {
   DG_EXPECTS(transmitting.size() == g.size());
   DG_EXPECTS(target_ < g.size());
-  include_.assign(g.unreliable_edge_count(), false);
+  if (include_.size() != g.unreliable_edge_count()) {
+    include_.resize(g.unreliable_edge_count());
+  } else {
+    include_.clear();
+  }
 
   // How many reliable neighbors of the target transmit this round?
   std::size_t reliable_transmitters = 0;
@@ -16,18 +20,15 @@ void TargetedJammer::plan_round(Round, const graph::DualGraph& g,
     if (transmitting[v]) ++reliable_transmitters;
   }
 
-  // Transmitting unreliable neighbors of the target (edge ids).
-  std::vector<graph::UnreliableEdgeId> jam_candidates;
-  for (const auto& [edge, v] : g.unreliable_incident(target_)) {
-    if (transmitting[v]) jam_candidates.push_back(edge);
-  }
-
   if (reliable_transmitters == 1) {
     // A lone reliable transmitter would deliver: add one unreliable
     // transmitter to collide with it, if any exists.
-    if (!jam_candidates.empty()) {
-      include_[jam_candidates.front()] = true;
-      ++interventions_;
+    for (const auto& [edge, v] : g.unreliable_incident(target_)) {
+      if (transmitting[v]) {
+        include_.set(edge);
+        ++interventions_;
+        break;
+      }
     }
   } else if (reliable_transmitters == 0) {
     // No reliable traffic: a lone unreliable transmitter would deliver.
@@ -39,7 +40,12 @@ void TargetedJammer::plan_round(Round, const graph::DualGraph& g,
 
 bool TargetedJammer::active(graph::UnreliableEdgeId edge) const {
   DG_EXPECTS(edge < include_.size());
-  return include_[edge];
+  return include_.test(edge);
+}
+
+void TargetedJammer::fill_round(Bitmap& out) const {
+  DG_EXPECTS(out.size() == include_.size());
+  out.copy_from(include_);
 }
 
 }  // namespace dg::sim

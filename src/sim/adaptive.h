@@ -19,6 +19,7 @@
 
 #include "graph/dual_graph.h"
 #include "sim/process.h"
+#include "util/bitmap.h"
 
 namespace dg::sim {
 
@@ -38,6 +39,17 @@ class AdaptiveAdversary {
   /// Whether unreliable edge `edge` is included in this round's topology
   /// (valid after the corresponding plan_round call).
   virtual bool active(graph::UnreliableEdgeId edge) const = 0;
+
+  /// Writes the planned round's whole edge subset into `out` (same bulk
+  /// contract as LinkScheduler::fill_round; the engine feeds both paths into
+  /// one bitmap).  Must equal active() bit-for-bit; the default loops it.
+  virtual void fill_round(Bitmap& out) const {
+    out.clear();
+    const auto edges = static_cast<graph::UnreliableEdgeId>(out.size());
+    for (graph::UnreliableEdgeId e = 0; e < edges; ++e) {
+      if (active(e)) out.set(e);
+    }
+  }
 };
 
 /// The jammer that realizes the [11] impossibility argument against a
@@ -60,13 +72,14 @@ class TargetedJammer final : public AdaptiveAdversary {
   void plan_round(Round round, const graph::DualGraph& g,
                   const std::vector<bool>& transmitting) override;
   bool active(graph::UnreliableEdgeId edge) const override;
+  void fill_round(Bitmap& out) const override;
 
   /// Rounds in which the jammer had to intervene (diagnostics).
   std::uint64_t interventions() const noexcept { return interventions_; }
 
  private:
   graph::Vertex target_;
-  std::vector<bool> include_;
+  Bitmap include_;
   std::uint64_t interventions_ = 0;
 };
 

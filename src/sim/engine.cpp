@@ -1,5 +1,6 @@
 #include "sim/engine.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "util/assert.h"
@@ -40,14 +41,20 @@ Engine::Engine(const graph::DualGraph& g, LinkScheduler& scheduler,
   }
   scheduler_->commit(g, derive_seed(master_seed, /*stream=*/0x5c4edULL));
 
-  outgoing_.resize(processes_.size());
-  heard_count_.resize(processes_.size());
-  heard_from_.resize(processes_.size());
+  outgoing_slab_.resize(processes_.size());
+  transmitting_.resize(processes_.size());
+  edge_active_.resize(g.unreliable_edge_count());
+  heard_.resize(processes_.size());
 }
 
 void Engine::add_observer(Observer* observer) {
   DG_EXPECTS(observer != nullptr);
-  observers_.push_back(observer);
+  const unsigned mask = observer->interest();
+  if (mask & Observer::kRoundBegin) obs_round_begin_.push_back(observer);
+  if (mask & Observer::kTransmit) obs_transmit_.push_back(observer);
+  if (mask & Observer::kReceive) obs_receive_.push_back(observer);
+  if (mask & Observer::kSilence) obs_silence_.push_back(observer);
+  if (mask & Observer::kRoundEnd) obs_round_end_.push_back(observer);
 }
 
 Process& Engine::process(graph::Vertex v) {
@@ -68,65 +75,108 @@ Rng& Engine::process_rng(graph::Vertex v) {
 void Engine::run_round() {
   const Round t = ++round_;
   const auto n = static_cast<graph::Vertex>(processes_.size());
+  // Per-event fan-out guards: executions with no (interested) observers --
+  // the Monte Carlo bulk -- skip the fan-outs entirely.
+  const bool obs_tx = !obs_transmit_.empty();
+  const bool obs_rx = !obs_receive_.empty();
+  const bool obs_sil = !obs_silence_.empty();
 
-  for (Observer* obs : observers_) {
+  for (Observer* obs : obs_round_begin_) {
     obs->on_round_begin(t);
   }
 
-  // Step 2: transmit decisions.
+  // Step 2: transmit decisions, into the packet slab + transmit bitmask.
+  // `unreliable_probes` counts the edge-presence tests the reception pass
+  // will make; it picks the scheduler consumption strategy below.
+  transmitting_.clear();
+  std::size_t unreliable_probes = 0;
   for (graph::Vertex v = 0; v < n; ++v) {
     RoundContext ctx(t, rngs_[v]);
-    outgoing_[v] = processes_[v]->transmit(ctx);
-    if (outgoing_[v].has_value()) {
-      // The wire carries the true sender id; processes cannot spoof.
-      DG_ASSERT(outgoing_[v]->sender == processes_[v]->id());
-      for (Observer* obs : observers_) {
-        obs->on_transmit(t, v, *outgoing_[v]);
+    auto packet = processes_[v]->transmit(ctx);
+    if (!packet.has_value()) continue;
+    // The wire carries the true sender id; processes cannot spoof.
+    DG_ASSERT(packet->sender == processes_[v]->id());
+    outgoing_slab_[v] = *std::move(packet);
+    transmitting_.set(v);
+    unreliable_probes += graph_->unreliable_incident(v).size();
+    if (obs_tx) {
+      for (Observer* obs : obs_transmit_) {
+        obs->on_transmit(t, v, outgoing_slab_[v]);
       }
     }
   }
 
   // Step 3: reception under the single-transmitter rule on the round
-  // topology G_t = E + {active unreliable edges}.  An installed adaptive
-  // adversary (E12 counterfactual; outside the paper's model) sees the
-  // transmit decisions first and overrides the oblivious scheduler.
+  // topology G_t = E + {active unreliable edges}.  The round's unreliable
+  // subset comes from the oblivious scheduler, or -- for the E12
+  // counterfactual, outside the paper's model -- from an installed adaptive
+  // adversary that sees the transmit decisions first.
+  //
+  // Strategy: materialize the whole subset into edge_active_ (one bit-probe
+  // per edge below) when the fill is word-cheap or the round is dense
+  // enough in transmitter-incident edges to amortize a per-edge fill;
+  // otherwise probe the scheduler per incident edge, so sparse rounds never
+  // pay for edges nobody transmits across.  Both paths are bit-identical by
+  // the fill_round() == active() contract.
+  bool use_bitmap = true;
   if (adaptive_ != nullptr) {
-    transmitting_.assign(processes_.size(), false);
-    for (graph::Vertex v = 0; v < n; ++v) {
-      transmitting_[v] = outgoing_[v].has_value();
-    }
-    adaptive_->plan_round(t, *graph_, transmitting_);
-  }
-  std::fill(heard_count_.begin(), heard_count_.end(), 0U);
-  for (graph::Vertex v = 0; v < n; ++v) {
-    if (!outgoing_[v].has_value()) continue;
-    for (graph::Vertex u : graph_->g_neighbors(v)) {
-      ++heard_count_[u];
-      heard_from_[u] = v;
-    }
-    for (const auto& [edge, u] : graph_->unreliable_incident(v)) {
-      const bool on = adaptive_ != nullptr ? adaptive_->active(edge)
-                                           : scheduler_->active(edge, t);
-      if (on) {
-        ++heard_count_[u];
-        heard_from_[u] = v;
-      }
-    }
+    transmitting_bools_.assign(processes_.size(), false);
+    transmitting_.for_each_set(
+        [&](std::size_t v) { transmitting_bools_[v] = true; });
+    adaptive_->plan_round(t, *graph_, transmitting_bools_);
+    adaptive_->fill_round(edge_active_);
+  } else if (unreliable_probes == 0) {
+    use_bitmap = false;  // neither path will probe anything
+  } else if (scheduler_->fill_round_is_word_cheap() ||
+             unreliable_probes * 2 >= edge_active_.size()) {
+    scheduler_->fill_round(t, edge_active_);
+  } else {
+    use_bitmap = false;
   }
 
+  // Fused heard-count/heard-from pass: one packed word per vertex (high 32
+  // bits last sender, low 32 bits count), scanned over CSR adjacency.
+  std::fill(heard_.begin(), heard_.end(), 0U);
+  transmitting_.for_each_set([&](std::size_t vi) {
+    const auto v = static_cast<graph::Vertex>(vi);
+    const std::uint64_t sender_word = static_cast<std::uint64_t>(v) << 32;
+    for (graph::Vertex u : graph_->g_neighbors(v)) {
+      heard_[u] = sender_word | ((heard_[u] + 1) & 0xffffffffULL);
+    }
+    if (use_bitmap) {
+      for (const auto& [edge, u] : graph_->unreliable_incident(v)) {
+        if (edge_active_.test(edge)) {
+          heard_[u] = sender_word | ((heard_[u] + 1) & 0xffffffffULL);
+        }
+      }
+    } else {
+      for (const auto& [edge, u] : graph_->unreliable_incident(v)) {
+        if (scheduler_->active(edge, t)) {
+          heard_[u] = sender_word | ((heard_[u] + 1) & 0xffffffffULL);
+        }
+      }
+    }
+  });
+
   for (graph::Vertex u = 0; u < n; ++u) {
-    if (outgoing_[u].has_value()) continue;  // transmitters do not receive
+    if (transmitting_.test(u)) continue;  // transmitters do not receive
     RoundContext ctx(t, rngs_[u]);
-    if (heard_count_[u] == 1) {
-      const graph::Vertex from = heard_from_[u];
-      const Packet& packet = *outgoing_[from];
-      for (Observer* obs : observers_) {
-        obs->on_receive(t, u, from, packet);
+    const std::uint64_t h = heard_[u];
+    const auto count = static_cast<std::uint32_t>(h);
+    if (count == 1) {
+      const auto from = static_cast<graph::Vertex>(h >> 32);
+      const Packet& packet = outgoing_slab_[from];
+      if (obs_rx) {
+        for (Observer* obs : obs_receive_) {
+          obs->on_receive(t, u, from, packet);
+        }
       }
       processes_[u]->receive(packet, ctx);
     } else {
-      for (Observer* obs : observers_) {
-        obs->on_silence(t, u, /*collision=*/heard_count_[u] > 1);
+      if (obs_sil) {
+        for (Observer* obs : obs_silence_) {
+          obs->on_silence(t, u, /*collision=*/count > 1);
+        }
       }
       processes_[u]->receive(std::nullopt, ctx);
     }
@@ -138,7 +188,7 @@ void Engine::run_round() {
     processes_[v]->end_round(ctx);
   }
 
-  for (Observer* obs : observers_) {
+  for (Observer* obs : obs_round_end_) {
     obs->on_round_end(t);
   }
 }

@@ -10,6 +10,14 @@
 // interact with typed Process subclasses *between* calls to run_round(),
 // which realizes the paper's inputs -> transmit -> receive -> outputs round
 // micro-structure.
+//
+// Hot-path layout: outgoing packets live in a flat per-vertex slab gated by
+// a transmit bitmask (no per-round optional churn), the scheduler's round
+// subset is materialized once per round into an edge bitmap (one bit-probe
+// per edge instead of a virtual call), and reception folds heard-count +
+// heard-from into a single packed word per vertex over the graph's CSR
+// adjacency.  None of this changes the observable round semantics
+// (tests/determinism_test.cpp pins golden execution digests).
 #pragma once
 
 #include <cstdint>
@@ -22,6 +30,7 @@
 #include "sim/packet.h"
 #include "sim/process.h"
 #include "sim/scheduler.h"
+#include "util/bitmap.h"
 
 namespace dg::sim {
 
@@ -81,14 +90,24 @@ class Engine {
   AdaptiveAdversary* adaptive_ = nullptr;
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<Rng> rngs_;
-  std::vector<Observer*> observers_;
+  // Per-event fan-out lists (filtered by Observer::interest() at
+  // registration, in registration order), so uninterested observers cost
+  // nothing per event.
+  std::vector<Observer*> obs_round_begin_;
+  std::vector<Observer*> obs_transmit_;
+  std::vector<Observer*> obs_receive_;
+  std::vector<Observer*> obs_silence_;
+  std::vector<Observer*> obs_round_end_;
   Round round_ = 0;
 
-  // Scratch buffers reused every round.
-  std::vector<std::optional<Packet>> outgoing_;
-  std::vector<std::uint32_t> heard_count_;
-  std::vector<graph::Vertex> heard_from_;
-  std::vector<bool> transmitting_;
+  // Scratch reused every round, sized once at construction.
+  std::vector<Packet> outgoing_slab_;   ///< packet of v iff v transmits
+  Bitmap transmitting_;                 ///< bit v = v transmits this round
+  EdgeBitmap edge_active_;              ///< this round's unreliable subset
+  /// Packed reception state: high 32 bits = last heard-from vertex, low 32
+  /// bits = number of round-topology transmitters heard.
+  std::vector<std::uint64_t> heard_;
+  std::vector<bool> transmitting_bools_;  ///< adaptive plan_round view
 };
 
 }  // namespace dg::sim

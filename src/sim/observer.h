@@ -16,7 +16,24 @@ namespace dg::sim {
 
 class Observer {
  public:
+  /// Event-interest bits.  The engine partitions observers per event at
+  /// registration time, so an observer that only watches receptions never
+  /// costs a virtual call on the (far more frequent) silences.
+  enum : unsigned {
+    kRoundBegin = 1u << 0,
+    kTransmit = 1u << 1,
+    kReceive = 1u << 2,
+    kSilence = 1u << 3,
+    kRoundEnd = 1u << 4,
+    kAllEvents = (1u << 5) - 1,
+  };
+
   virtual ~Observer() = default;
+
+  /// Which events this observer wants delivered.  Default: everything.
+  /// Overriders MUST include the bit for every handler they override --
+  /// events outside the mask are never delivered.
+  virtual unsigned interest() const { return kAllEvents; }
 
   virtual void on_round_begin(Round round) { (void)round; }
 

@@ -32,6 +32,25 @@ bool BernoulliScheduler::active(graph::UnreliableEdgeId edge,
   return h < threshold_;
 }
 
+void BernoulliScheduler::fill_round(Round round, EdgeBitmap& out) const {
+  if (p_ >= 1.0) {
+    out.set_all();
+    return;
+  }
+  if (p_ <= 0.0) {
+    out.clear();
+    return;
+  }
+  // Same per-edge hash as active(), accumulated into whole words so the
+  // bitmap is written once per 64 edges.
+  out.fill_from([&](std::size_t e) {
+    const std::uint64_t h = splitmix64(
+        seed_ ^ splitmix64(static_cast<std::uint64_t>(e) * 0x100000001b3ULL +
+                           static_cast<std::uint64_t>(round)));
+    return h < threshold_;
+  });
+}
+
 std::string BernoulliScheduler::name() const {
   return "bernoulli(p=" + std::to_string(p_) + ")";
 }
@@ -57,6 +76,16 @@ bool FlickerScheduler::active(graph::UnreliableEdgeId edge,
   DG_EXPECTS(edge < phase_.size());
   const Round pos = (round + phase_[edge]) % period_;
   return pos < duty_;
+}
+
+void FlickerScheduler::fill_round(Round round, EdgeBitmap& out) const {
+  DG_EXPECTS(out.size() <= phase_.size());
+  const Round base = round % period_;
+  out.fill_from([&](std::size_t e) {
+    Round pos = base + phase_[e];
+    if (pos >= period_) pos -= period_;
+    return pos < duty_;
+  });
 }
 
 std::string FlickerScheduler::name() const {
@@ -89,6 +118,24 @@ bool BurstScheduler::active(graph::UnreliableEdgeId edge, Round round) const {
   return h < threshold_;
 }
 
+void BurstScheduler::fill_round(Round round, EdgeBitmap& out) const {
+  if (p_up_ >= 1.0) {
+    out.set_all();
+    return;
+  }
+  if (p_up_ <= 0.0) {
+    out.clear();
+    return;
+  }
+  const auto epoch = static_cast<std::uint64_t>((round - 1) / epoch_length_);
+  out.fill_from([&](std::size_t e) {
+    const std::uint64_t h = splitmix64(
+        seed_ ^ splitmix64(static_cast<std::uint64_t>(e) * 0x9e3779b1ULL +
+                           epoch));
+    return h < threshold_;
+  });
+}
+
 std::string BurstScheduler::name() const {
   return "burst(epoch=" + std::to_string(epoch_length_) +
          ",p=" + std::to_string(p_up_) + ")";
@@ -113,6 +160,15 @@ bool AntiScheduleAdversary::active(graph::UnreliableEdgeId,
   return schedule_(round) > pivot_;
 }
 
+void AntiScheduleAdversary::fill_round(Round round, EdgeBitmap& out) const {
+  // All-or-nothing per round: evaluate the target schedule once.
+  if (schedule_(round) > pivot_) {
+    out.set_all();
+  } else {
+    out.clear();
+  }
+}
+
 std::string AntiScheduleAdversary::name() const { return "anti-schedule"; }
 
 // ---- ExplicitScheduler ----
@@ -123,8 +179,15 @@ ExplicitScheduler::ExplicitScheduler(std::vector<std::vector<bool>> pattern)
 }
 
 void ExplicitScheduler::commit(const graph::DualGraph& g, std::uint64_t) {
+  packed_.clear();
+  packed_.reserve(pattern_.size());
   for (const auto& row : pattern_) {
     DG_EXPECTS(row.size() == g.unreliable_edge_count());
+    EdgeBitmap packed(row.size());
+    for (std::size_t e = 0; e < row.size(); ++e) {
+      if (row[e]) packed.set(e);
+    }
+    packed_.push_back(std::move(packed));
   }
 }
 
@@ -136,6 +199,16 @@ bool ExplicitScheduler::active(graph::UnreliableEdgeId edge,
                                         static_cast<Round>(pattern_.size()))];
   DG_EXPECTS(edge < row.size());
   return row[edge];
+}
+
+void ExplicitScheduler::fill_round(Round round, EdgeBitmap& out) const {
+  DG_EXPECTS(round >= 1);
+  DG_EXPECTS(!packed_.empty());  // requires commit()
+  const auto& packed =
+      packed_[static_cast<std::size_t>((round - 1) %
+                                       static_cast<Round>(packed_.size()))];
+  DG_EXPECTS(out.size() == packed.size());
+  out.copy_from(packed);
 }
 
 }  // namespace dg::sim

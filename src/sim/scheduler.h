@@ -6,6 +6,13 @@
 // before round 1 with a private random seed, after which active() is a pure
 // function of (edge id, round) -- the scheduler never sees any execution
 // state, transmission history, or process randomness.
+//
+// The engine consumes schedules in bulk: once per round it calls
+// fill_round(), which materializes the round's whole unreliable-edge subset
+// into an EdgeBitmap, so the reception pass costs one bit-probe per edge
+// instead of a virtual active() call.  fill_round() must agree bit-for-bit
+// with active() (tests/scheduler_bitmap_test.cpp sweeps the contract);
+// active() remains the semantic definition and the default implementation.
 #pragma once
 
 #include <cstdint>
@@ -16,8 +23,12 @@
 
 #include "graph/dual_graph.h"
 #include "sim/process.h"
+#include "util/bitmap.h"
 
 namespace dg::sim {
+
+/// Word-packed set of UnreliableEdgeIds: bit e = edge e present this round.
+using EdgeBitmap = Bitmap;
 
 class LinkScheduler {
  public:
@@ -29,6 +40,25 @@ class LinkScheduler {
   /// Whether unreliable edge `edge` is present in the topology of `round`.
   /// Must be deterministic after commit().
   virtual bool active(graph::UnreliableEdgeId edge, Round round) const = 0;
+
+  /// Writes the whole round-`round` edge subset into `out` (sized by the
+  /// caller to the graph's unreliable edge count).  Must equal active()
+  /// bit-for-bit.  The default loops active(); concrete schedulers override
+  /// with word-filling implementations.
+  virtual void fill_round(Round round, EdgeBitmap& out) const {
+    out.clear();
+    const auto edges = static_cast<graph::UnreliableEdgeId>(out.size());
+    for (graph::UnreliableEdgeId e = 0; e < edges; ++e) {
+      if (active(e, round)) out.set(e);
+    }
+  }
+
+  /// True when fill_round() costs O(edges / 64) words rather than per-edge
+  /// work (constant or pre-materialized schedules).  The engine then always
+  /// takes the bulk path; otherwise it materializes the bitmap only in
+  /// rounds dense enough in transmitters to amortize the per-edge fill,
+  /// falling back to per-incident-edge active() probes in sparse rounds.
+  virtual bool fill_round_is_word_cheap() const { return false; }
 
   virtual std::string name() const = 0;
 };
@@ -43,6 +73,14 @@ class ConstantScheduler final : public LinkScheduler {
   bool active(graph::UnreliableEdgeId, Round) const override {
     return include_all_;
   }
+  void fill_round(Round, EdgeBitmap& out) const override {
+    if (include_all_) {
+      out.set_all();
+    } else {
+      out.clear();
+    }
+  }
+  bool fill_round_is_word_cheap() const override { return true; }
   std::string name() const override {
     return include_all_ ? "full-G'" : "full-G";
   }
@@ -61,6 +99,10 @@ class BernoulliScheduler final : public LinkScheduler {
 
   void commit(const graph::DualGraph& g, std::uint64_t seed) override;
   bool active(graph::UnreliableEdgeId edge, Round round) const override;
+  void fill_round(Round round, EdgeBitmap& out) const override;
+  bool fill_round_is_word_cheap() const override {
+    return p_ <= 0.0 || p_ >= 1.0;  // degenerate: set_all / clear
+  }
   std::string name() const override;
 
  private:
@@ -78,6 +120,7 @@ class FlickerScheduler final : public LinkScheduler {
 
   void commit(const graph::DualGraph& g, std::uint64_t seed) override;
   bool active(graph::UnreliableEdgeId edge, Round round) const override;
+  void fill_round(Round round, EdgeBitmap& out) const override;
   std::string name() const override;
 
  private:
@@ -97,6 +140,7 @@ class BurstScheduler final : public LinkScheduler {
 
   void commit(const graph::DualGraph& g, std::uint64_t seed) override;
   bool active(graph::UnreliableEdgeId edge, Round round) const override;
+  void fill_round(Round round, EdgeBitmap& out) const override;
   std::string name() const override;
 
  private:
@@ -128,6 +172,8 @@ class AntiScheduleAdversary final : public LinkScheduler {
 
   void commit(const graph::DualGraph& g, std::uint64_t seed) override;
   bool active(graph::UnreliableEdgeId edge, Round round) const override;
+  void fill_round(Round round, EdgeBitmap& out) const override;
+  bool fill_round_is_word_cheap() const override { return true; }
   std::string name() const override;
 
  private:
@@ -146,10 +192,14 @@ class ExplicitScheduler final : public LinkScheduler {
 
   void commit(const graph::DualGraph& g, std::uint64_t seed) override;
   bool active(graph::UnreliableEdgeId edge, Round round) const override;
+  void fill_round(Round round, EdgeBitmap& out) const override;
+  bool fill_round_is_word_cheap() const override { return true; }
   std::string name() const override { return "explicit"; }
 
  private:
   std::vector<std::vector<bool>> pattern_;
+  /// pattern_ pre-packed into words at commit() for the bulk path.
+  std::vector<EdgeBitmap> packed_;
 };
 
 }  // namespace dg::sim

@@ -31,6 +31,9 @@ class TraceRecorder final : public Observer {
   /// Keeps at most `capacity` events (oldest dropped first).
   explicit TraceRecorder(std::size_t capacity = 4096);
 
+  unsigned interest() const override {
+    return kTransmit | kReceive | kSilence;
+  }
   void on_transmit(Round round, graph::Vertex v, const Packet& p) override;
   void on_receive(Round round, graph::Vertex u, graph::Vertex from,
                   const Packet& p) override;

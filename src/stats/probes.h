@@ -16,6 +16,7 @@ class FirstReceptionProbe final : public sim::Observer {
  public:
   explicit FirstReceptionProbe(std::size_t n) : first_round_(n, 0) {}
 
+  unsigned interest() const override { return kReceive; }
   void on_receive(sim::Round round, graph::Vertex u, graph::Vertex,
                   const sim::Packet& packet) override {
     if (!packet.is_data()) return;
@@ -41,6 +42,7 @@ class ContentReceptionProbe final : public sim::Observer {
   ContentReceptionProbe(std::size_t n, std::uint64_t tracked_content)
       : tracked_(tracked_content), first_round_(n, 0) {}
 
+  unsigned interest() const override { return kReceive; }
   void on_receive(sim::Round round, graph::Vertex u, graph::Vertex,
                   const sim::Packet& packet) override {
     if (!packet.is_data() || packet.data().content != tracked_) return;
@@ -60,6 +62,9 @@ class ContentReceptionProbe final : public sim::Observer {
 /// and contention diagnostics).
 class TrafficProbe final : public sim::Observer {
  public:
+  unsigned interest() const override {
+    return kTransmit | kReceive | kSilence;
+  }
   void on_transmit(sim::Round, graph::Vertex, const sim::Packet&) override {
     ++transmissions_;
   }

@@ -139,6 +139,41 @@ TEST(LbSpecChecker, ProgressTallyCountsQualifyingReceptions) {
   EXPECT_EQ(checker.report().progress.successes(), 1u);
 }
 
+TEST(LbSpecChecker, ProgressCountsBackToBackMessagesAsFullyActive) {
+  // A vertex that acks message A mid-phase and posts message B in the very
+  // next round is actively broadcasting in *every* round of the phase, so
+  // its neighbors still have the A^u_alpha progress opportunity -- even
+  // though no single broadcast entry spans the whole phase.  Regression
+  // guard for the event-driven activity streak (a saturated keep_busy
+  // workload is exactly this pattern).
+  Fixture f;
+  LbSpecChecker checker(f.g, f.ids, f.params);
+  const sim::Round bound = f.params.t_prog_bound();
+  const sim::MessageId a{f.ids[0], 1};
+  const sim::MessageId b{f.ids[0], 2};
+  const sim::Round ack_round = bound / 2;
+  checker.on_bcast(0, a, 1);
+  for (sim::Round t = 1; t <= bound; ++t) {
+    if (t == ack_round) checker.on_ack(0, a, t);
+    checker.on_round_end(t);
+    if (t == ack_round) checker.on_bcast(0, b, t + 1);  // seamless repost
+  }
+  // Vertex 0 was active rounds 1..bound; both clique neighbors had the
+  // opportunity (and no qualifying reception -> both recorded as misses).
+  EXPECT_EQ(checker.report().progress.trials(), 2u);
+
+  // A *gap* before the repost must break the streak: next phase, retire B
+  // mid-phase and repost two rounds later.
+  const sim::MessageId c{f.ids[0], 3};
+  const sim::Round ack2 = bound + bound / 2;
+  for (sim::Round t = bound + 1; t <= 2 * bound; ++t) {
+    if (t == ack2) checker.on_ack(0, b, t);
+    checker.on_round_end(t);
+    if (t == ack2 + 1) checker.on_bcast(0, c, t + 1);  // one idle round
+  }
+  EXPECT_EQ(checker.report().progress.trials(), 2u);  // no new opportunities
+}
+
 TEST(LbSpecChecker, ActivelyBroadcastingWindow) {
   Fixture f;
   LbSpecChecker checker(f.g, f.ids, f.params);

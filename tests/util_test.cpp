@@ -1,11 +1,13 @@
 // Unit tests for src/util: RNG streams, seed-bit expansion, integer math,
-// Wilson intervals, and table formatting.
+// word-packed bitmaps, Wilson intervals, and table formatting.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <vector>
 
+#include "util/bitmap.h"
 #include "util/bits.h"
 #include "util/interval.h"
 #include "util/intmath.h"
@@ -283,6 +285,64 @@ TEST(Table, CellBeyondHeadersAborts) {
   Table t({"only"});
   t.row().cell("x");
   EXPECT_DEATH(t.cell("overflow"), "precondition");
+}
+
+// ---- Bitmap ----
+
+TEST(Bitmap, SetTestResetAcrossWordBoundary) {
+  Bitmap b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_EQ(b.word_count(), 3u);
+  for (std::size_t i : {0u, 63u, 64u, 127u, 128u, 129u}) {
+    EXPECT_FALSE(b.test(i));
+    b.set(i);
+    EXPECT_TRUE(b.test(i));
+  }
+  EXPECT_EQ(b.count(), 6u);
+  b.reset(64);
+  EXPECT_FALSE(b.test(64));
+  EXPECT_EQ(b.count(), 5u);
+  b.clear();
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(Bitmap, SetAllMasksTailBits) {
+  for (std::size_t size : {1u, 63u, 64u, 65u, 130u}) {
+    Bitmap b(size);
+    b.set_all();
+    EXPECT_EQ(b.count(), size) << "size " << size;
+    for (std::size_t i = 0; i < size; ++i) EXPECT_TRUE(b.test(i));
+    // Tail bits beyond size() stay zero so word scans are exact.
+    if (size % 64 != 0) {
+      EXPECT_EQ(b.words().back() >> (size % 64), 0u);
+    }
+  }
+}
+
+TEST(Bitmap, ForEachSetVisitsInOrder) {
+  Bitmap b(200);
+  const std::vector<std::size_t> expect = {0, 5, 63, 64, 100, 199};
+  for (std::size_t i : expect) b.set(i);
+  std::vector<std::size_t> seen;
+  b.for_each_set([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, expect);
+}
+
+TEST(Bitmap, WordMaskCoversPartialLastWord) {
+  Bitmap b(70);
+  EXPECT_EQ(b.word_mask(0), ~0ULL);
+  EXPECT_EQ(b.word_mask(1), (1ULL << 6) - 1);
+  Bitmap exact(128);
+  EXPECT_EQ(exact.word_mask(1), ~0ULL);
+}
+
+TEST(Bitmap, EqualityComparesSizeAndBits) {
+  Bitmap a(70), b(70), c(71);
+  a.set(69);
+  EXPECT_FALSE(a == b);
+  b.set(69);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
 }
 
 }  // namespace

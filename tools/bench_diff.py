@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Compare two bench_out/ directories: wall-clock and key-metric deltas.
+
+Usage: bench_diff.py BASELINE_DIR CURRENT_DIR [--metrics] [--threshold PCT]
+
+For every BENCH_<name>.json present in both directories (the
+bench_support.h / engine_micro_report.py shape: {"elapsed_ms", "sections"}),
+prints the wall-clock delta.  For engine_micro, also prints per-benchmark
+time and rounds/sec deltas (the tentpole throughput metric).  With
+--metrics, additionally diffs every numeric cell of structurally matching
+tables and reports those that moved by more than --threshold percent
+(default 5) -- the guard against silent metric drift in perf PRs.
+
+Exit status is always 0: the tool documents change, it does not gate.
+"""
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"  warning: cannot read {path}: {err}", file=sys.stderr)
+        return None
+
+
+def fmt_delta(old, new):
+    if not isinstance(old, (int, float)) or not isinstance(new, (int, float)):
+        return f"{old} -> {new}"
+    if old == 0:
+        return f"{old:g} -> {new:g}"
+    pct = (new - old) / old * 100.0
+    return f"{old:g} -> {new:g} ({pct:+.1f}%)"
+
+
+def rows_by_key(section_tables, key_column):
+    """Maps key-column value -> row dict for the first table having the key."""
+    out = {}
+    for table in section_tables:
+        for row in table.get("rows", []):
+            if key_column in row:
+                out.setdefault(str(row[key_column]), row)
+    return out
+
+
+def engine_micro_rows(report):
+    rows = {}
+    for section in report.get("sections", []):
+        rows.update(rows_by_key(section.get("tables", []), "benchmark"))
+    if not rows:
+        # Legacy shape: raw google-benchmark output (pre engine_micro_report).
+        for bench in report.get("benchmarks", []):
+            time_ns = bench.get("real_time")
+            rows[bench.get("name", "?")] = {
+                "benchmark": bench.get("name", "?"),
+                "time_ns": time_ns,
+                "rounds_per_sec": (1e9 / time_ns) if time_ns else None,
+            }
+    return rows
+
+
+def diff_engine_micro(base, cur):
+    base_rows = engine_micro_rows(base)
+    cur_rows = engine_micro_rows(cur)
+    for name in sorted(base_rows.keys() & cur_rows.keys()):
+        b, c = base_rows[name], cur_rows[name]
+        line = f"    {name}: time_ns {fmt_delta(b.get('time_ns'), c.get('time_ns'))}"
+        if b.get("rounds_per_sec") and c.get("rounds_per_sec"):
+            ratio = c["rounds_per_sec"] / b["rounds_per_sec"]
+            line += (f", rounds/sec "
+                     f"{fmt_delta(b['rounds_per_sec'], c['rounds_per_sec'])}"
+                     f" = {ratio:.2f}x")
+        print(line)
+    for name in sorted(cur_rows.keys() - base_rows.keys()):
+        print(f"    {name}: new benchmark")
+
+
+def diff_metrics(name, base, cur, threshold_pct):
+    """Diffs numeric cells of structurally matching tables."""
+    moved = []
+    base_sections = base.get("sections", [])
+    cur_sections = cur.get("sections", [])
+    for si, (bs, cs) in enumerate(zip(base_sections, cur_sections)):
+        for ti, (bt, ct) in enumerate(
+                zip(bs.get("tables", []), cs.get("tables", []))):
+            for ri, (br, cr) in enumerate(
+                    zip(bt.get("rows", []), ct.get("rows", []))):
+                for col in br.keys() & cr.keys():
+                    b, c = br[col], cr[col]
+                    if not isinstance(b, (int, float)) or \
+                       not isinstance(c, (int, float)) or b == c:
+                        continue
+                    pct = abs(c - b) / abs(b) * 100.0 if b else float("inf")
+                    if pct > threshold_pct:
+                        moved.append(
+                            f"    s{si}/t{ti}/row{ri} {col}: {fmt_delta(b, c)}")
+    if moved:
+        print(f"  metrics moved > threshold in {name}:")
+        for line in moved:
+            print(line)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--metrics", action="store_true",
+                        help="also diff numeric table cells")
+    parser.add_argument("--threshold", type=float, default=5.0,
+                        help="percent change to report with --metrics")
+    args = parser.parse_args()
+
+    def bench_names(d):
+        return {f[len("BENCH_"):-len(".json")]
+                for f in os.listdir(d)
+                if f.startswith("BENCH_") and f.endswith(".json")}
+
+    base_names = bench_names(args.baseline)
+    cur_names = bench_names(args.current)
+
+    print(f"bench diff: {args.baseline} -> {args.current}")
+    for name in sorted(base_names & cur_names):
+        base = load(os.path.join(args.baseline, f"BENCH_{name}.json"))
+        cur = load(os.path.join(args.current, f"BENCH_{name}.json"))
+        if base is None or cur is None:
+            continue
+        print(f"  {name}: elapsed_ms "
+              f"{fmt_delta(base.get('elapsed_ms'), cur.get('elapsed_ms'))}")
+        if name == "engine_micro":
+            diff_engine_micro(base, cur)
+        if args.metrics:
+            diff_metrics(name, base, cur, args.threshold)
+    for name in sorted(cur_names - base_names):
+        print(f"  {name}: new bench (no baseline)")
+    for name in sorted(base_names - cur_names):
+        print(f"  {name}: missing from current run")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

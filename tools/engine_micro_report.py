@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Run bench_engine_micro and write a bench_support-shaped JSON report.
+
+The experiment benches (bench_support.h) all emit
+    {"elapsed_ms": ..., "sections": [{"experiment", "claim", "tables"}]}
+but bench_engine_micro is google-benchmark, whose native JSON has neither
+elapsed_ms nor table rows -- so the perf trajectory recorded
+`elapsed_ms: null` and no throughput at all.  This wrapper runs the binary,
+converts its native report into the standard shape (one row per benchmark,
+with a rounds/sec column derived from real_time), and keeps the console
+output as the .txt mirror.
+
+Usage: engine_micro_report.py BINARY OUT_JSON OUT_TXT [extra gbench args...]
+"""
+import json
+import subprocess
+import sys
+import tempfile
+import time
+import os
+
+
+def main() -> int:
+    if len(sys.argv) < 4:
+        print(__doc__, file=sys.stderr)
+        return 2
+    binary, out_json, out_txt = sys.argv[1:4]
+    extra = sys.argv[4:]
+
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        native_path = tmp.name
+    try:
+        start = time.monotonic()
+        with open(out_txt, "w") as txt:
+            proc = subprocess.run(
+                [binary,
+                 f"--benchmark_out={native_path}",
+                 "--benchmark_out_format=json",
+                 "--benchmark_format=console", *extra],
+                stdout=txt, stderr=subprocess.STDOUT)
+        elapsed_ms = (time.monotonic() - start) * 1000.0
+        if proc.returncode != 0:
+            print(f"engine_micro_report: bench exited {proc.returncode}; "
+                  f"see {out_txt}", file=sys.stderr)
+            return proc.returncode
+        with open(native_path) as f:
+            native = json.load(f)
+    finally:
+        try:
+            os.unlink(native_path)
+        except OSError:
+            pass
+
+    rows = []
+    for bench in native.get("benchmarks", []):
+        if bench.get("run_type") not in (None, "iteration"):
+            continue  # skip aggregates; raw runs carry the timing
+        time_ns = bench.get("real_time")
+        unit = bench.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit, 1.0)
+        time_ns = None if time_ns is None else time_ns * scale
+        row = {
+            "benchmark": bench.get("name", "?"),
+            "time_ns": time_ns,
+            "iterations": bench.get("iterations"),
+            # One iteration of BM_EngineRound is one engine round, so
+            # rounds/sec is the reciprocal of the per-iteration time.  For
+            # the other micro benches this is generically iterations/sec.
+            "rounds_per_sec": (1e9 / time_ns) if time_ns else None,
+        }
+        if "items_per_second" in bench:
+            row["items_per_sec"] = bench["items_per_second"]
+        rows.append(row)
+
+    columns = ["benchmark", "time_ns", "iterations", "rounds_per_sec",
+               "items_per_sec"]
+    report = {
+        "elapsed_ms": elapsed_ms,
+        "sections": [{
+            "experiment": "engine_micro",
+            "claim": ("Simulator substrate throughput (regression guard, "
+                      "not a paper claim): per-round execution time and "
+                      "rounds/sec of the flat-memory engine."),
+            "tables": [{
+                "columns": columns,
+                "rows": [{c: r.get(c) for c in columns if c in r}
+                         for r in rows],
+            }],
+        }],
+    }
+    with open(out_json, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,9 +7,11 @@
 #   FILTER     only run benches whose name contains this substring
 #
 # Each bench_* binary mirrors its stdout tables into $DG_BENCH_JSON (see
-# bench/bench_support.h); bench_engine_micro is google-benchmark and emits
-# JSON natively.  Every run produces a BENCH_<name>.json with per-bench
-# timing and metric rows, plus the human-readable table in BENCH_<name>.txt.
+# bench/bench_support.h); bench_engine_micro is google-benchmark, so
+# tools/engine_micro_report.py converts its native report into the same
+# {elapsed_ms, sections} shape with rounds/sec rows.  Every run produces a
+# BENCH_<name>.json with per-bench timing and metric rows, plus the
+# human-readable table in BENCH_<name>.txt.
 set -u
 
 BUILD_DIR=${1:-build}
@@ -40,8 +42,7 @@ for bin in "$BUILD_DIR"/bench/bench_*; do
   rm -f "$json" "$txt"
   echo "== bench_$name -> $json"
   if [ "$name" = engine_micro ]; then
-    "$bin" --benchmark_out="$json" --benchmark_out_format=json \
-           --benchmark_format=console > "$txt" 2>&1
+    python3 "$(dirname "$0")/engine_micro_report.py" "$bin" "$json" "$txt"
   else
     DG_BENCH_JSON="$json" "$bin" > "$txt" 2>&1
   fi
