@@ -19,6 +19,7 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "graph/dual_graph.h"
@@ -110,7 +111,18 @@ class JsonReport {
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - start_)
             .count();
-    os << "{\n  \"elapsed_ms\": " << elapsed << ",\n  \"sections\": [";
+    // Machine/build provenance: timings are only comparable on the same
+    // hardware and source revision, and tools/bench_diff.py refuses
+    // cross-machine diffs based on these stamps.
+#ifdef DG_GIT_SHA
+    const char* git_sha = DG_GIT_SHA;
+#else
+    const char* git_sha = "unknown";
+#endif
+    os << "{\n  \"elapsed_ms\": " << elapsed
+       << ",\n  \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << ",\n  \"git_sha\": \""
+       << json_escape(git_sha) << "\",\n  \"sections\": [";
     for (std::size_t i = 0; i < sections_.size(); ++i) {
       const auto& s = sections_[i];
       os << (i ? ",\n" : "\n") << "    {\n      \"experiment\": \""

@@ -32,22 +32,44 @@ class LbSimulation::Fanout final : public LbListener {
 LbSimulation::LbSimulation(const graph::DualGraph& g,
                            std::unique_ptr<sim::LinkScheduler> scheduler,
                            const LbParams& params, std::uint64_t master_seed)
+    : LbSimulation(g, std::move(scheduler), nullptr, params, master_seed) {}
+
+LbSimulation::LbSimulation(const graph::DualGraph& g,
+                           std::unique_ptr<phys::ChannelModel> channel,
+                           const LbParams& params, std::uint64_t master_seed)
+    : LbSimulation(g, nullptr, std::move(channel), params, master_seed) {}
+
+LbSimulation::LbSimulation(const graph::DualGraph& g,
+                           std::unique_ptr<sim::LinkScheduler> scheduler,
+                           std::unique_ptr<phys::ChannelModel> channel,
+                           const LbParams& params, std::uint64_t master_seed)
     : graph_(&g),
       params_(params),
       scheduler_(std::move(scheduler)),
+      channel_(std::move(channel)),
       ids_(sim::assign_ids(g.size(), derive_seed(master_seed, 0x1d5ULL))),
       fanout_(std::make_unique<Fanout>(*this)),
       checker_(std::make_unique<LbSpecChecker>(g, ids_, params)),
       content_counter_(g.size(), 0) {
-  DG_EXPECTS(scheduler_ != nullptr);
+  DG_EXPECTS((scheduler_ != nullptr) != (channel_ != nullptr));
   std::vector<std::unique_ptr<sim::Process>> processes;
   processes.reserve(g.size());
   for (graph::Vertex v = 0; v < static_cast<graph::Vertex>(g.size()); ++v) {
     processes.push_back(
         std::make_unique<LbProcess>(params_, ids_[v], v, fanout_.get()));
   }
-  engine_ = std::make_unique<sim::Engine>(g, *scheduler_,
-                                          std::move(processes), master_seed);
+  engine_ = channel_ != nullptr
+                ? std::make_unique<sim::Engine>(g, *channel_,
+                                                std::move(processes),
+                                                master_seed)
+                : std::make_unique<sim::Engine>(g, *scheduler_,
+                                                std::move(processes),
+                                                master_seed);
+  // A physical channel's ground truth may deliver beyond the declared G';
+  // grade validity accordingly (see LbSpecChecker docs).
+  if (channel_ != nullptr) {
+    checker_->set_require_gprime_adjacency(channel_->respects_dual_graph());
+  }
   engine_->add_observer(checker_.get());
 }
 

@@ -19,6 +19,7 @@
 #include "lb/lb_alg.h"
 #include "lb/params.h"
 #include "lb/spec.h"
+#include "phys/channel.h"
 #include "sim/engine.h"
 #include "sim/scheduler.h"
 
@@ -27,9 +28,17 @@ namespace dg::lb {
 class LbSimulation {
  public:
   /// The graph must outlive the simulation; the scheduler is owned.
+  /// Reception follows the Section 2 dual-graph rule under the scheduler.
   LbSimulation(const graph::DualGraph& g,
                std::unique_ptr<sim::LinkScheduler> scheduler,
                const LbParams& params, std::uint64_t master_seed);
+
+  /// Same stack, but reception is decided by an explicit channel model
+  /// (e.g. phys::SinrChannel ground truth); the channel is owned.
+  LbSimulation(const graph::DualGraph& g,
+               std::unique_ptr<phys::ChannelModel> channel,
+               const LbParams& params, std::uint64_t master_seed);
+
   ~LbSimulation();  // out of line: Fanout is incomplete here
 
   // ---- environment-side controls ----
@@ -87,9 +96,16 @@ class LbSimulation {
  private:
   class Fanout;  // forwards process outputs to checker + extra listener
 
+  /// Shared constructor body: exactly one of scheduler/channel is set.
+  LbSimulation(const graph::DualGraph& g,
+               std::unique_ptr<sim::LinkScheduler> scheduler,
+               std::unique_ptr<phys::ChannelModel> channel,
+               const LbParams& params, std::uint64_t master_seed);
+
   const graph::DualGraph* graph_;
   LbParams params_;
   std::unique_ptr<sim::LinkScheduler> scheduler_;
+  std::unique_ptr<phys::ChannelModel> channel_;
   std::vector<sim::ProcessId> ids_;
   std::unique_ptr<Fanout> fanout_;
   std::unique_ptr<LbSpecChecker> checker_;

@@ -120,7 +120,7 @@ void LbSpecChecker::on_recv(graph::Vertex vertex, const sim::MessageId& m,
   const bool origin_active = entry.has_value() && entry->id == m &&
                              entry->input_round <= round;
   const bool origin_is_gprime_neighbor =
-      graph_->has_gprime_edge(origin, vertex);
+      !require_gprime_adjacency_ || graph_->has_gprime_edge(origin, vertex);
   if (!origin_active || !origin_is_gprime_neighbor) {
     report_.validity_ok = false;
     ++report_.violations;

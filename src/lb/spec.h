@@ -77,6 +77,17 @@ class LbSpecChecker final : public sim::Observer, public LbListener {
 
   // ---- wiring (called by the simulation wrapper) ----
 
+  /// The validity condition's "some v in N_G'(u)" clause presumes the wire
+  /// is confined to G' -- true for the dual-graph reception rule, but a
+  /// physical channel (phys::SinrChannel ground truth) may legitimately
+  /// deliver across pairs the declared graph does not connect.  Setting
+  /// this false keeps the active-broadcaster half of validity and drops
+  /// the adjacency half, so SINR executions are not flagged for obeying
+  /// physics.  Default: true (the paper's model).
+  void set_require_gprime_adjacency(bool require) {
+    require_gprime_adjacency_ = require;
+  }
+
   /// Reports a bcast(m)_u input (round = the round whose input step carries
   /// it, i.e. engine.round() + 1 at post time).
   void on_bcast(graph::Vertex u, const sim::MessageId& m, sim::Round round);
@@ -129,6 +140,7 @@ class LbSpecChecker final : public sim::Observer, public LbListener {
   std::unordered_map<sim::ProcessId, graph::Vertex> vertex_of_;
   LbParams params_;
   bool record_details_;
+  bool require_gprime_adjacency_ = true;
 
   LbSpecReport report_;
   std::vector<BroadcastRecord> records_;

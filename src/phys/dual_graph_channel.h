@@ -1,0 +1,49 @@
+// The Section 2 dual-graph reception rule as a ChannelModel.
+//
+// A listening vertex u receives iff exactly one neighbor in the round
+// topology G_t = E + {scheduler's active unreliable edges} transmitted.
+// This code is the former Engine::run_round() reception pass, extracted
+// verbatim behind the channel seam: the scheduler-consumption strategy
+// (bulk bitmap fill vs per-incident-edge probes), the adaptive-adversary
+// override and the fused heard-count/heard-from scan are all preserved, and
+// the golden execution digests of tests/determinism_test.cpp pin that the
+// extraction is bit-for-bit.
+#pragma once
+
+#include <string>
+
+#include "phys/channel.h"
+#include "sim/scheduler.h"
+
+namespace dg::phys {
+
+class DualGraphChannel final : public ChannelModel {
+ public:
+  /// The scheduler must outlive the channel.  bind() commits it (with the
+  /// same seed stream the engine historically used), so a scheduler must
+  /// not be shared across channels.
+  explicit DualGraphChannel(sim::LinkScheduler& scheduler)
+      : scheduler_(&scheduler) {}
+
+  void bind(const graph::DualGraph& g, std::uint64_t master_seed) override;
+  void compute_round(sim::Round round, const Bitmap& transmitting,
+                     std::span<std::uint64_t> heard) override;
+  void set_adaptive_adversary(sim::AdaptiveAdversary* adversary) override {
+    adaptive_ = adversary;
+  }
+  bool respects_dual_graph() const override { return true; }
+  std::string name() const override;
+
+  const sim::LinkScheduler& scheduler() const noexcept { return *scheduler_; }
+
+ private:
+  const graph::DualGraph* graph_ = nullptr;
+  sim::LinkScheduler* scheduler_;
+  sim::AdaptiveAdversary* adaptive_ = nullptr;
+
+  // Scratch reused every round, sized at bind().
+  sim::EdgeBitmap edge_active_;           ///< this round's unreliable subset
+  std::vector<bool> transmitting_bools_;  ///< adaptive plan_round view
+};
+
+}  // namespace dg::phys

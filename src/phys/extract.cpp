@@ -1,0 +1,139 @@
+#include "phys/extract.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace dg::phys {
+
+namespace {
+
+/// Delivery frequency of tx -> rx over `contexts` sampled interference
+/// contexts: every node in `others` transmits independently with
+/// probability p, and tx delivers iff its signal clears beta against noise
+/// plus the sampled interference (with beta >= 1, clearing is equivalent to
+/// delivering: no second sender can clear simultaneously).
+double delivery_frequency(const SinrParams& sinr, double signal_gain,
+                          const std::vector<double>& other_gains,
+                          std::size_t contexts, double p, Rng& rng) {
+  std::size_t delivered = 0;
+  for (std::size_t k = 0; k < contexts; ++k) {
+    double interference = 0.0;
+    for (double g : other_gains) {
+      if (rng.chance(p)) interference += g;
+    }
+    if (signal_gain >= sinr.beta * (sinr.noise + interference)) ++delivered;
+  }
+  return static_cast<double>(delivered) / static_cast<double>(contexts);
+}
+
+}  // namespace
+
+SinrExtraction extract_dual_graph(const geo::Embedding& embedding,
+                                  const SinrExtractParams& params,
+                                  std::uint64_t seed) {
+  const auto n = static_cast<graph::Vertex>(embedding.size());
+  DG_EXPECTS(n >= 1);
+  DG_EXPECTS(params.contexts >= 1);
+  DG_EXPECTS(params.sinr.beta >= 1.0);
+  DG_EXPECTS(params.reliable_threshold >= params.unreliable_threshold);
+
+  const double range = params.sinr.max_signal_range();
+  const double range_sq = range * range;
+
+  enum class Class : std::uint8_t { kAbsent, kUnreliable, kReliable };
+  struct Pair {
+    graph::Vertex u, v;
+    Class cls;
+  };
+  std::vector<Pair> edges;
+
+  ExtractionStats stats;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  double min_nonreliable_dist = kInf;  // over ALL pairs not classified reliable
+  double max_edge_dist = 0.0;          // over pairs that got an edge
+
+  // Interference gain scratch: gains at the receiver from every node other
+  // than the pair itself, rebuilt per direction.
+  std::vector<double> other_gains;
+  other_gains.reserve(n);
+
+  std::uint64_t pair_index = 0;
+  for (graph::Vertex u = 0; u < n; ++u) {
+    for (graph::Vertex v = u + 1; v < n; ++v) {
+      const double d2 = geo::distance_sq(embedding[u], embedding[v]);
+      const double d = std::sqrt(d2);
+      if (d2 > range_sq) {
+        // Beyond decodable range: absent by definition, no sampling needed.
+        min_nonreliable_dist = std::min(min_nonreliable_dist, d);
+        continue;
+      }
+      ++stats.candidate_pairs;
+      // One private stream per ordered pair keeps the extraction
+      // deterministic and independent of scan order.
+      Rng rng(seed, pair_index++);
+      double freq_min = 1.0, freq_max = 0.0;
+      for (const auto& [rx, tx] : {std::pair{u, v}, std::pair{v, u}}) {
+        other_gains.clear();
+        for (graph::Vertex w = 0; w < n; ++w) {
+          if (w == rx || w == tx) continue;
+          other_gains.push_back(path_gain(
+              params.sinr, geo::distance_sq(embedding[rx], embedding[w])));
+        }
+        const double freq = delivery_frequency(
+            params.sinr, path_gain(params.sinr, d2), other_gains,
+            params.contexts, params.tx_probability, rng);
+        freq_min = std::min(freq_min, freq);
+        freq_max = std::max(freq_max, freq);
+      }
+      Class cls = Class::kAbsent;
+      if (freq_min >= params.reliable_threshold) {
+        cls = Class::kReliable;
+        ++stats.reliable_edges;
+      } else if (freq_max >= params.unreliable_threshold) {
+        cls = Class::kUnreliable;
+        ++stats.unreliable_edges;
+      }
+      if (cls != Class::kReliable) {
+        min_nonreliable_dist = std::min(min_nonreliable_dist, d);
+      }
+      if (cls != Class::kAbsent) {
+        max_edge_dist = std::max(max_edge_dist, d);
+        edges.push_back(Pair{u, v, cls});
+      }
+    }
+  }
+
+  // Rescale so the r-geographic conditions hold structurally (see header):
+  // unit distance lands just below the closest non-reliable pair.  The
+  // relative margins dominate any float error when is_r_geographic
+  // recomputes distances from the scaled coordinates.
+  constexpr double kMargin = 1e-9;
+  if (min_nonreliable_dist < kInf) {
+    DG_EXPECTS(min_nonreliable_dist > 0.0);  // coincident non-reliable pair
+    stats.scale = (1.0 + kMargin) / min_nonreliable_dist;
+  }
+  stats.r = std::max(1.0, max_edge_dist * stats.scale * (1.0 + kMargin));
+
+  graph::DualGraph g(n);
+  for (const Pair& e : edges) {
+    if (e.cls == Class::kReliable) {
+      g.add_reliable_edge(e.u, e.v);
+    } else {
+      g.add_unreliable_edge(e.u, e.v);
+    }
+  }
+  geo::Embedding scaled;
+  scaled.reserve(n);
+  for (const geo::Point& p : embedding) {
+    scaled.push_back(geo::Point{p.x * stats.scale, p.y * stats.scale});
+  }
+  g.set_embedding(std::move(scaled), stats.r);
+  g.finalize();
+  return SinrExtraction{std::move(g), stats};
+}
+
+}  // namespace dg::phys

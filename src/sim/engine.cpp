@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "phys/dual_graph_channel.h"
 #include "util/assert.h"
 #include "util/rng.h"
 
@@ -26,8 +27,21 @@ Engine::Engine(const graph::DualGraph& g, LinkScheduler& scheduler,
                std::vector<std::unique_ptr<Process>> processes,
                std::uint64_t master_seed)
     : graph_(&g),
-      scheduler_(&scheduler),
+      owned_channel_(std::make_unique<phys::DualGraphChannel>(scheduler)),
+      channel_(owned_channel_.get()),
       processes_(std::move(processes)) {
+  init(master_seed);
+}
+
+Engine::Engine(const graph::DualGraph& g, phys::ChannelModel& channel,
+               std::vector<std::unique_ptr<Process>> processes,
+               std::uint64_t master_seed)
+    : graph_(&g), channel_(&channel), processes_(std::move(processes)) {
+  init(master_seed);
+}
+
+void Engine::init(std::uint64_t master_seed) {
+  const graph::DualGraph& g = *graph_;
   DG_EXPECTS(g.finalized());
   DG_EXPECTS(processes_.size() == g.size());
   for (const auto& p : processes_) {
@@ -39,11 +53,12 @@ Engine::Engine(const graph::DualGraph& g, LinkScheduler& scheduler,
     // of the same master seed (scheduler, id assignment, generators).
     rngs_.emplace_back(master_seed, 0x900000000ULL + v);
   }
-  scheduler_->commit(g, derive_seed(master_seed, /*stream=*/0x5c4edULL));
+  // The channel derives its randomness (scheduler commitment, SINR fading)
+  // from the same master seed the pre-seam engine handed the scheduler.
+  channel_->bind(g, master_seed);
 
   outgoing_slab_.resize(processes_.size());
   transmitting_.resize(processes_.size());
-  edge_active_.resize(g.unreliable_edge_count());
   heard_.resize(processes_.size());
 }
 
@@ -86,10 +101,7 @@ void Engine::run_round() {
   }
 
   // Step 2: transmit decisions, into the packet slab + transmit bitmask.
-  // `unreliable_probes` counts the edge-presence tests the reception pass
-  // will make; it picks the scheduler consumption strategy below.
   transmitting_.clear();
-  std::size_t unreliable_probes = 0;
   for (graph::Vertex v = 0; v < n; ++v) {
     RoundContext ctx(t, rngs_[v]);
     auto packet = processes_[v]->transmit(ctx);
@@ -98,7 +110,6 @@ void Engine::run_round() {
     DG_ASSERT(packet->sender == processes_[v]->id());
     outgoing_slab_[v] = *std::move(packet);
     transmitting_.set(v);
-    unreliable_probes += graph_->unreliable_incident(v).size();
     if (obs_tx) {
       for (Observer* obs : obs_transmit_) {
         obs->on_transmit(t, v, outgoing_slab_[v]);
@@ -106,57 +117,12 @@ void Engine::run_round() {
     }
   }
 
-  // Step 3: reception under the single-transmitter rule on the round
-  // topology G_t = E + {active unreliable edges}.  The round's unreliable
-  // subset comes from the oblivious scheduler, or -- for the E12
-  // counterfactual, outside the paper's model -- from an installed adaptive
-  // adversary that sees the transmit decisions first.
-  //
-  // Strategy: materialize the whole subset into edge_active_ (one bit-probe
-  // per edge below) when the fill is word-cheap or the round is dense
-  // enough in transmitter-incident edges to amortize a per-edge fill;
-  // otherwise probe the scheduler per incident edge, so sparse rounds never
-  // pay for edges nobody transmits across.  Both paths are bit-identical by
-  // the fill_round() == active() contract.
-  bool use_bitmap = true;
-  if (adaptive_ != nullptr) {
-    transmitting_bools_.assign(processes_.size(), false);
-    transmitting_.for_each_set(
-        [&](std::size_t v) { transmitting_bools_[v] = true; });
-    adaptive_->plan_round(t, *graph_, transmitting_bools_);
-    adaptive_->fill_round(edge_active_);
-  } else if (unreliable_probes == 0) {
-    use_bitmap = false;  // neither path will probe anything
-  } else if (scheduler_->fill_round_is_word_cheap() ||
-             unreliable_probes * 2 >= edge_active_.size()) {
-    scheduler_->fill_round(t, edge_active_);
-  } else {
-    use_bitmap = false;
-  }
-
-  // Fused heard-count/heard-from pass: one packed word per vertex (high 32
-  // bits last sender, low 32 bits count), scanned over CSR adjacency.
+  // Step 3: reception, decided by the channel model (the Section 2
+  // single-transmitter rule under DualGraphChannel, SINR physics under
+  // SinrChannel).  The channel fills one packed heard word per vertex (high
+  // 32 bits last sender, low 32 bits decodable-sender count).
   std::fill(heard_.begin(), heard_.end(), 0U);
-  transmitting_.for_each_set([&](std::size_t vi) {
-    const auto v = static_cast<graph::Vertex>(vi);
-    const std::uint64_t sender_word = static_cast<std::uint64_t>(v) << 32;
-    for (graph::Vertex u : graph_->g_neighbors(v)) {
-      heard_[u] = sender_word | ((heard_[u] + 1) & 0xffffffffULL);
-    }
-    if (use_bitmap) {
-      for (const auto& [edge, u] : graph_->unreliable_incident(v)) {
-        if (edge_active_.test(edge)) {
-          heard_[u] = sender_word | ((heard_[u] + 1) & 0xffffffffULL);
-        }
-      }
-    } else {
-      for (const auto& [edge, u] : graph_->unreliable_incident(v)) {
-        if (scheduler_->active(edge, t)) {
-          heard_[u] = sender_word | ((heard_[u] + 1) & 0xffffffffULL);
-        }
-      }
-    }
-  });
+  channel_->compute_round(t, transmitting_, heard_);
 
   for (graph::Vertex u = 0; u < n; ++u) {
     if (transmitting_.test(u)) continue;  // transmitters do not receive

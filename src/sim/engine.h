@@ -11,13 +11,19 @@
 // which realizes the paper's inputs -> transmit -> receive -> outputs round
 // micro-structure.
 //
+// Reception physics is delegated to a phys::ChannelModel: the default
+// DualGraphChannel realizes the Section 2 single-transmitter rule over the
+// scheduled round topology, while SinrChannel replaces it with SINR
+// ground-truth physics over an embedding.  The engine itself only owns the
+// round structure: transmit decisions, the channel call, delivery of the
+// channel's verdicts, and observer fan-out.
+//
 // Hot-path layout: outgoing packets live in a flat per-vertex slab gated by
-// a transmit bitmask (no per-round optional churn), the scheduler's round
-// subset is materialized once per round into an edge bitmap (one bit-probe
-// per edge instead of a virtual call), and reception folds heard-count +
-// heard-from into a single packed word per vertex over the graph's CSR
-// adjacency.  None of this changes the observable round semantics
-// (tests/determinism_test.cpp pins golden execution digests).
+// a transmit bitmask (no per-round optional churn), and the channel folds
+// heard-count + heard-from into a single packed word per vertex (see
+// phys/channel.h for the contract).  None of this changes the observable
+// round semantics (tests/determinism_test.cpp pins golden execution
+// digests).
 #pragma once
 
 #include <cstdint>
@@ -25,6 +31,7 @@
 #include <vector>
 
 #include "graph/dual_graph.h"
+#include "phys/channel.h"
 #include "sim/adaptive.h"
 #include "sim/observer.h"
 #include "sim/packet.h"
@@ -43,8 +50,16 @@ class Engine {
  public:
   /// The graph and scheduler must outlive the engine.  `processes[v]` is the
   /// process at graph vertex v; the scheduler is committed here (with a
-  /// stream derived from master_seed), before any round executes.
+  /// stream derived from master_seed), before any round executes.  Wraps the
+  /// scheduler in an engine-owned phys::DualGraphChannel.
   Engine(const graph::DualGraph& g, LinkScheduler& scheduler,
+         std::vector<std::unique_ptr<Process>> processes,
+         std::uint64_t master_seed);
+
+  /// Same, but with an explicit channel model deciding reception (e.g.
+  /// phys::SinrChannel).  The channel must outlive the engine and not be
+  /// shared; it is bound here, before any round executes.
+  Engine(const graph::DualGraph& g, phys::ChannelModel& channel,
          std::vector<std::unique_ptr<Process>> processes,
          std::uint64_t master_seed);
 
@@ -58,9 +73,13 @@ class Engine {
   /// Installs an ADAPTIVE adversary (see sim/adaptive.h) that overrides the
   /// oblivious scheduler for unreliable edges.  Deliberately outside the
   /// paper's model -- used only by the E12 impossibility counterfactual.
+  /// Requires a scheduler-driven channel (the default DualGraphChannel).
   void set_adaptive_adversary(AdaptiveAdversary* adversary) {
-    adaptive_ = adversary;
+    channel_->set_adaptive_adversary(adversary);
   }
+
+  /// The channel model deciding reception for this execution.
+  const phys::ChannelModel& channel() const noexcept { return *channel_; }
 
   /// Rounds executed so far (0 before the first run_round()).
   Round round() const noexcept { return round_; }
@@ -85,9 +104,11 @@ class Engine {
   Rng& process_rng(graph::Vertex v);
 
  private:
+  void init(std::uint64_t master_seed);  ///< shared constructor tail
+
   const graph::DualGraph* graph_;
-  LinkScheduler* scheduler_;
-  AdaptiveAdversary* adaptive_ = nullptr;
+  std::unique_ptr<phys::ChannelModel> owned_channel_;  ///< scheduler ctor only
+  phys::ChannelModel* channel_;
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<Rng> rngs_;
   // Per-event fan-out lists (filtered by Observer::interest() at
@@ -103,11 +124,9 @@ class Engine {
   // Scratch reused every round, sized once at construction.
   std::vector<Packet> outgoing_slab_;   ///< packet of v iff v transmits
   Bitmap transmitting_;                 ///< bit v = v transmits this round
-  EdgeBitmap edge_active_;              ///< this round's unreliable subset
-  /// Packed reception state: high 32 bits = last heard-from vertex, low 32
-  /// bits = number of round-topology transmitters heard.
+  /// Packed reception state written by the channel: high 32 bits = last
+  /// heard-from vertex, low 32 bits = number of decodable senders.
   std::vector<std::uint64_t> heard_;
-  std::vector<bool> transmitting_bools_;  ///< adaptive plan_round view
 };
 
 }  // namespace dg::sim

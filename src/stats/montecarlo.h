@@ -5,8 +5,17 @@
 // receives the trial index and a derived seed, and returns a sample
 // structure; results come back in trial order regardless of scheduling, so
 // output is deterministic for a given base seed.
+//
+// Scheduling is work-stealing over a shared atomic trial index rather than
+// static striping: trial costs are heterogeneous (an SINR-channel trial is
+// far pricier than a dual-graph trial, and within one sweep larger
+// configurations cost more), so a fixed stride would leave workers idle
+// behind whichever stripe drew the expensive trials.  A trial's seed
+// depends only on its index, never on which worker claims it, so the
+// result vector stays bit-identical across thread counts and schedules.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -35,11 +44,14 @@ auto run_trials(std::size_t trials, std::uint64_t base_seed, Fn&& fn)
     return results;
   }
 
+  std::atomic<std::size_t> next{0};
   std::vector<std::thread> pool;
   pool.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
-    pool.emplace_back([&, w] {
-      for (std::size_t t = w; t < trials; t += workers) {
+    pool.emplace_back([&] {
+      for (std::size_t t = next.fetch_add(1, std::memory_order_relaxed);
+           t < trials;
+           t = next.fetch_add(1, std::memory_order_relaxed)) {
         results[t] = fn(t, derive_seed(base_seed, t));
       }
     });

@@ -62,6 +62,71 @@ TEST(GridPartition, MinCellDistanceForSeparatedCells) {
                    std::sqrt(0.5));
 }
 
+// The SINR bucket grid (phys/sinr.h) buckets arbitrary deployments, so the
+// negative-quadrant and cell-boundary paths are load-bearing, not just
+// analysis corner cases.
+
+TEST(GridPartition, RegionOfAtNegativeBoundaries) {
+  GridPartition part(0.5, 1.0);
+  // Half-open rule on the negative axes: -0.5 starts cell -1, and any
+  // negative epsilon already belongs to cell -1 (floor, not truncation).
+  EXPECT_EQ(part.region_of({-0.5, 0.0}), (RegionId{-1, 0}));
+  EXPECT_EQ(part.region_of({-1e-12, -1e-12}), (RegionId{-1, -1}));
+  EXPECT_EQ(part.region_of({-0.50001, -1.0}), (RegionId{-2, -2}));
+  EXPECT_EQ(part.corner({-3, -2}), (Point{-1.5, -1.0}));
+}
+
+TEST(GridPartition, MinCellDistanceIsTranslationInvariant) {
+  GridPartition part(0.5, 1.0);
+  // Shifting both cells by the same offset (into and across the negative
+  // quadrant) must not change the gap.
+  for (const std::int32_t dx : {-7, -1, 0, 3}) {
+    for (const std::int32_t dy : {-4, 0, 5}) {
+      EXPECT_DOUBLE_EQ(
+          part.min_cell_distance({dx, dy}, {dx + 3, dy}),
+          part.min_cell_distance({0, 0}, {3, 0}))
+          << "offset " << dx << "," << dy;
+      EXPECT_DOUBLE_EQ(
+          part.min_cell_distance({dx, dy}, {dx + 2, dy + 3}),
+          part.min_cell_distance({0, 0}, {2, 3}))
+          << "offset " << dx << "," << dy;
+    }
+  }
+}
+
+TEST(GridPartition, MinCellDistanceAcrossTheOrigin) {
+  GridPartition part(0.5, 1.0);
+  // Cells {-2,0} and {1,0}: indices 3 apart -> 2 whole cells of gap.
+  EXPECT_DOUBLE_EQ(part.min_cell_distance({-2, 0}, {1, 0}), 1.0);
+  // Touching across the origin (indices -1 and 0) -> 0.
+  EXPECT_DOUBLE_EQ(part.min_cell_distance({-1, -1}, {0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(part.min_cell_distance({-1, 2}, {0, 2}), 0.0);
+  // Symmetry in the arguments.
+  EXPECT_DOUBLE_EQ(part.min_cell_distance({-5, -3}, {2, 4}),
+                   part.min_cell_distance({2, 4}, {-5, -3}));
+}
+
+TEST(GridPartition, AdjacencyAtNegativeCoordinates) {
+  GridPartition part(0.5, 1.5);
+  // The region-graph neighborhood must be identical in every quadrant.
+  const auto at_origin = part.neighbors({0, 0}).size();
+  EXPECT_EQ(part.neighbors({-6, -9}).size(), at_origin);
+  EXPECT_EQ(part.neighbors({-1, 4}).size(), at_origin);
+  // Touching cells across the axis are adjacent; cells separated by more
+  // than r are not.
+  EXPECT_TRUE(part.adjacent({-1, 0}, {0, 0}));
+  EXPECT_TRUE(part.adjacent({-2, -2}, {1, -2}));  // gap 1.0 <= r
+  EXPECT_TRUE(part.adjacent({-4, 0}, {0, 0}));    // gap 1.5 == r (closed)
+  EXPECT_FALSE(part.adjacent({-5, 0}, {0, 0}));   // gap 2.0 > r
+}
+
+TEST(GridPartition, AdjacencyExactlyAtTheRadius) {
+  // Gap of exactly r counts as adjacent (closed condition d <= r).
+  GridPartition part(0.5, 1.0);
+  EXPECT_TRUE(part.adjacent({-3, 0}, {0, 0}));   // gap = 2 cells = 1.0 == r
+  EXPECT_FALSE(part.adjacent({-4, 0}, {0, 0}));  // gap = 3 cells = 1.5 > r
+}
+
 TEST(GridPartition, AdjacencyIsSymmetricAndIrreflexive) {
   GridPartition part(0.5, 1.5);
   const RegionId a{0, 0};

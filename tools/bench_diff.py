@@ -2,6 +2,7 @@
 """Compare two bench_out/ directories: wall-clock and key-metric deltas.
 
 Usage: bench_diff.py BASELINE_DIR CURRENT_DIR [--metrics] [--threshold PCT]
+                     [--force]
 
 For every BENCH_<name>.json present in both directories (the
 bench_support.h / engine_micro_report.py shape: {"elapsed_ms", "sections"}),
@@ -10,6 +11,12 @@ time and rounds/sec deltas (the tentpole throughput metric).  With
 --metrics, additionally diffs every numeric cell of structurally matching
 tables and reports those that moved by more than --threshold percent
 (default 5) -- the guard against silent metric drift in perf PRs.
+
+Reports carry machine/build stamps (hardware_concurrency, git_sha).  When
+the hardware stamps differ the timing comparison is refused -- wall-clock
+deltas across machines are noise dressed up as signal -- unless --force is
+given; differing git SHAs are reported but do not block (comparing
+revisions on one machine is the tool's main use).
 
 Exit status is always 0: the tool documents change, it does not gate.
 """
@@ -113,6 +120,8 @@ def main():
                         help="also diff numeric table cells")
     parser.add_argument("--threshold", type=float, default=5.0,
                         help="percent change to report with --metrics")
+    parser.add_argument("--force", action="store_true",
+                        help="compare even when hardware stamps differ")
     args = parser.parse_args()
 
     def bench_names(d):
@@ -129,11 +138,29 @@ def main():
         cur = load(os.path.join(args.current, f"BENCH_{name}.json"))
         if base is None or cur is None:
             continue
-        print(f"  {name}: elapsed_ms "
-              f"{fmt_delta(base.get('elapsed_ms'), cur.get('elapsed_ms'))}")
-        if name == "engine_micro":
-            diff_engine_micro(base, cur)
-        if args.metrics:
+        base_hw = base.get("hardware_concurrency")
+        cur_hw = cur.get("hardware_concurrency")
+        cross_machine = (base_hw is not None and cur_hw is not None
+                         and base_hw != cur_hw and not args.force)
+        base_sha = base.get("git_sha")
+        cur_sha = cur.get("git_sha")
+        sha_note = (f"  [git {base_sha} -> {cur_sha}]"
+                    if base_sha and cur_sha and base_sha != cur_sha else "")
+        if cross_machine:
+            # Only timing comparisons are machine-dependent; experiment
+            # metric cells are seed-deterministic (montecarlo.h) and still
+            # diff meaningfully across machines.  engine_micro's table IS
+            # timings, so its metric diff is refused too.
+            print(f"  {name}: timing REFUSED -- hardware_concurrency "
+                  f"{base_hw} vs {cur_hw} (cross-machine timings are not "
+                  f"comparable; --force to override){sha_note}")
+        else:
+            print(f"  {name}: elapsed_ms "
+                  f"{fmt_delta(base.get('elapsed_ms'), cur.get('elapsed_ms'))}"
+                  f"{sha_note}")
+            if name == "engine_micro":
+                diff_engine_micro(base, cur)
+        if args.metrics and not (cross_machine and name == "engine_micro"):
             diff_metrics(name, base, cur, args.threshold)
     for name in sorted(cur_names - base_names):
         print(f"  {name}: new bench (no baseline)")

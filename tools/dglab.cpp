@@ -14,10 +14,16 @@
 //   --eps=0.1 --seed=1 --phases=30 --senders=2 --ack-scale=0.02
 //   --sched=bernoulli:0.5 | full-g | full-gprime | flicker:64:32
 //           | burst:16:0.5 | anti
+//   --channel=dual | sinr:alpha,beta,noise   (reception physics; sinr needs
+//           an embedded topology and makes --sched irrelevant)
 //   --reuse=1 (phases per seed)  --ablate (private coins)  --trace=N
+//
+// Unknown --flags are rejected (a typo like --schd= must not silently run
+// the default configuration).
 //
 // Example:
 //   dglab run --type=geometric --n=48 --sched=bernoulli:0.5 --phases=40
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
@@ -30,6 +36,7 @@
 #include "baseline/decay.h"
 #include "graph/generators.h"
 #include "lb/simulation.h"
+#include "phys/sinr.h"
 #include "seed/seed_alg.h"
 #include "seed/spec.h"
 #include "sim/engine.h"
@@ -43,20 +50,41 @@ using namespace dg;
 
 // ---- tiny flag parser: --key=value ----
 
+/// Every flag any subcommand understands; parsing rejects the rest.
+constexpr const char* kValidFlags[] = {
+    "type", "n", "side", "r", "cols", "rows", "spacing", "k",   // topology
+    "eps", "seed", "phases", "senders", "ack-scale",            // run
+    "sched", "channel", "reuse", "ablate", "trace", "deltas",   // run/sweep
+};
+
 class Flags {
  public:
   Flags(int argc, char** argv, int first) {
     for (int i = first; i < argc; ++i) {
       std::string arg = argv[i];
-      if (arg.rfind("--", 0) != 0) continue;
+      if (arg.rfind("--", 0) != 0) {
+        unknown_.push_back(arg);
+        continue;
+      }
       const auto eq = arg.find('=');
+      const std::string key =
+          eq == std::string::npos ? arg.substr(2) : arg.substr(2, eq - 2);
+      if (std::find_if(std::begin(kValidFlags), std::end(kValidFlags),
+                       [&](const char* f) { return key == f; }) ==
+          std::end(kValidFlags)) {
+        unknown_.push_back(arg);
+        continue;
+      }
       if (eq == std::string::npos) {
-        values_[arg.substr(2)] = "1";
+        values_[key] = "1";
       } else {
-        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+        values_[key] = arg.substr(eq + 1);
       }
     }
   }
+
+  /// Arguments that matched no known flag (typos like --schd=).
+  const std::vector<std::string>& unknown() const noexcept { return unknown_; }
 
   std::string str(const std::string& key, const std::string& dflt) const {
     const auto it = values_.find(key);
@@ -75,6 +103,7 @@ class Flags {
 
  private:
   std::map<std::string, std::string> values_;
+  std::vector<std::string> unknown_;
 };
 
 std::vector<std::string> split(const std::string& s, char sep) {
@@ -133,6 +162,82 @@ std::unique_ptr<sim::LinkScheduler> build_scheduler(const Flags& flags) {
   return std::make_unique<sim::BernoulliScheduler>(arg(1, 0.5));
 }
 
+/// Parses --channel=dual | sinr:alpha,beta,noise.  Returns nullptr for the
+/// default dual-graph reception (the scheduler decides the round topology);
+/// for sinr, the graph must carry a plane embedding.  Exits with a message
+/// on a malformed spec or a missing embedding.
+std::unique_ptr<phys::ChannelModel> build_channel(const Flags& flags,
+                                                  const graph::DualGraph& g) {
+  const std::string spec = flags.str("channel", "dual");
+  if (spec == "dual") return nullptr;
+  const auto colon = spec.find(':');
+  if (spec.substr(0, colon) != "sinr") {
+    std::cerr << "dglab: unknown channel '" << spec
+              << "' (expected dual or sinr:alpha,beta,noise)\n";
+    std::exit(2);
+  }
+  phys::SinrParams params;
+  if (colon != std::string::npos) {
+    // Accept ':' as a separator too (the --sched flags use it), so
+    // sinr:3:9:0.5 and sinr:3,9,0.5 mean the same thing.
+    std::string body = spec.substr(colon + 1);
+    std::replace(body.begin(), body.end(), ':', ',');
+    const auto nums = split(body, ',');
+    if (nums.size() > 3) {
+      std::cerr << "dglab: --channel=sinr takes at most three numbers "
+                   "(alpha,beta,noise); got '"
+                << spec << "'\n";
+      std::exit(2);
+    }
+    const auto num = [&](std::size_t i, double dflt) {
+      if (nums.size() <= i || nums[i].empty()) return dflt;
+      char* end = nullptr;
+      const double v = std::strtod(nums[i].c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        std::cerr << "dglab: malformed --channel number '" << nums[i]
+                  << "' in '" << spec << "'\n";
+        std::exit(2);
+      }
+      return v;
+    };
+    params.alpha = num(0, params.alpha);
+    params.beta = num(1, params.beta);
+    params.noise = num(2, params.noise);
+  }
+  // Validate here so bad CLI input gets a message + exit 2 instead of the
+  // SinrChannel constructor's contract abort.  Negated comparisons so NaN
+  // (which fails every ordering test) is rejected too.
+  if (!(params.alpha > 0.0) || !(params.beta >= 1.0) ||
+      !(params.noise > 0.0)) {
+    std::cerr << "dglab: --channel=sinr needs alpha > 0, beta >= 1 "
+                 "(unique-decode regime), noise > 0; got alpha="
+              << params.alpha << " beta=" << params.beta
+              << " noise=" << params.noise << "\n";
+    std::exit(2);
+  }
+  if (!g.embedding().has_value()) {
+    std::cerr << "dglab: --channel=sinr needs an embedded topology "
+                 "(geometric, grid, star, or line)\n";
+    std::exit(2);
+  }
+  return std::make_unique<phys::SinrChannel>(params);
+}
+
+/// Builds the LB simulation with --channel deciding reception: an explicit
+/// channel model when one is requested, the dual-graph scheduler otherwise.
+std::unique_ptr<lb::LbSimulation> make_simulation(const Flags& flags,
+                                                  const graph::DualGraph& g,
+                                                  const lb::LbParams& params,
+                                                  std::uint64_t master) {
+  auto channel = build_channel(flags, g);
+  if (channel != nullptr) {
+    return std::make_unique<lb::LbSimulation>(g, std::move(channel), params,
+                                              master);
+  }
+  return std::make_unique<lb::LbSimulation>(g, build_scheduler(flags), params,
+                                            master);
+}
+
 void describe(const graph::DualGraph& g, const Flags& flags) {
   std::cout << "network: n=" << g.size() << " Delta=" << g.delta()
             << " Delta'=" << g.delta_prime()
@@ -179,19 +284,29 @@ int cmd_seed(const Flags& flags) {
             << params.total_rounds() << " rounds\n";
 
   const auto ids = sim::assign_ids(g.size(), derive_seed(master, 1));
-  auto sched = build_scheduler(flags);
+  auto channel = build_channel(flags, g);
   std::vector<std::unique_ptr<sim::Process>> procs;
   Rng init(derive_seed(master, 2));
   for (graph::Vertex v = 0; v < g.size(); ++v) {
     procs.push_back(std::make_unique<seed::SeedProcess>(params, ids[v], init));
   }
-  sim::Engine engine(g, *sched, std::move(procs), derive_seed(master, 3));
-  engine.run_rounds(params.total_rounds());
+  std::unique_ptr<sim::LinkScheduler> sched;
+  std::unique_ptr<sim::Engine> engine;
+  if (channel != nullptr) {
+    engine = std::make_unique<sim::Engine>(g, *channel, std::move(procs),
+                                           derive_seed(master, 3));
+  } else {
+    sched = build_scheduler(flags);
+    engine = std::make_unique<sim::Engine>(g, *sched, std::move(procs),
+                                           derive_seed(master, 3));
+  }
+  std::cout << "channel: " << engine->channel().name() << "\n";
+  engine->run_rounds(params.total_rounds());
 
   seed::DecisionVector decisions(g.size());
   for (graph::Vertex v = 0; v < g.size(); ++v) {
     decisions[v] =
-        dynamic_cast<const seed::SeedProcess&>(engine.process(v)).decision();
+        dynamic_cast<const seed::SeedProcess&>(engine->process(v)).decision();
   }
   const auto res = seed::check_seed_spec(g, ids, decisions);
   std::cout << "spec: well-formed=" << (res.well_formed ? "OK" : "FAIL")
@@ -223,7 +338,9 @@ int cmd_run(const Flags& flags) {
             << " T_ack=" << params.t_ack_phases << " phases"
             << (params.use_shared_seeds ? "" : "  [ABLATED]") << "\n";
 
-  lb::LbSimulation sim(g, build_scheduler(flags), params, master);
+  auto sim_ptr = make_simulation(flags, g, params, master);
+  lb::LbSimulation& sim = *sim_ptr;
+  std::cout << "channel: " << sim.engine().channel().name() << "\n";
   sim::TraceRecorder trace(static_cast<std::size_t>(
       std::max<std::uint64_t>(1, flags.uint("trace", 16))));
   sim.add_observer(&trace);
@@ -266,8 +383,8 @@ int cmd_sweep(const Flags& flags) {
     scales.ack_scale = flags.num("ack-scale", 0.02);
     const auto params = lb::LbParams::calibrated(
         flags.num("eps", 0.1), 1.5, g.delta(), g.delta_prime(), scales);
-    lb::LbSimulation sim(g, build_scheduler(flags), params,
-                         flags.uint("seed", 1));
+    auto sim_ptr = make_simulation(flags, g, params, flags.uint("seed", 1));
+    lb::LbSimulation& sim = *sim_ptr;
     sim.keep_busy({0});
     sim.run_phases(static_cast<std::int64_t>(flags.uint("phases", 20)));
     const auto& r = sim.report();
@@ -294,6 +411,7 @@ int cmd_sweep(const Flags& flags) {
 
 void usage() {
   std::cout << "usage: dglab <net|seed|run|sweep> [--flags]\n"
+               "  --channel=dual | sinr:alpha,beta,noise  reception physics\n"
                "see the header of tools/dglab.cpp for the full flag list\n";
 }
 
@@ -306,6 +424,15 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = argv[1];
   const Flags flags(argc, argv, 2);
+  if (!flags.unknown().empty()) {
+    for (const std::string& arg : flags.unknown()) {
+      std::cerr << "dglab: unknown flag '" << arg << "'\n";
+    }
+    std::cerr << "valid flags:";
+    for (const char* f : kValidFlags) std::cerr << " --" << f;
+    std::cerr << "\n";
+    return 2;
+  }
   if (cmd == "net") return cmd_net(flags);
   if (cmd == "seed") return cmd_seed(flags);
   if (cmd == "run") return cmd_run(flags);

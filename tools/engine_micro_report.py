@@ -72,10 +72,28 @@ def main() -> int:
             row["items_per_sec"] = bench["items_per_second"]
         rows.append(row)
 
+    # Same machine/build stamps bench_support.h writes, so bench_diff.py can
+    # refuse cross-machine comparisons of the micro bench too.  The SHA is
+    # read from the build tree's configure-time DG_GIT_SHA file (the binary
+    # lives in <build>/bench/), NOT from `git rev-parse` at report time:
+    # after a commit without a reconfigure the checkout's HEAD would
+    # misattribute stale-binary timings to the new revision.
+    git_sha = "unknown"
+    sha_file = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(binary))),
+        "DG_GIT_SHA")
+    try:
+        with open(sha_file) as f:
+            git_sha = f.read().strip() or "unknown"
+    except OSError:
+        pass
+
     columns = ["benchmark", "time_ns", "iterations", "rounds_per_sec",
                "items_per_sec"]
     report = {
         "elapsed_ms": elapsed_ms,
+        "hardware_concurrency": os.cpu_count() or 0,
+        "git_sha": git_sha or "unknown",
         "sections": [{
             "experiment": "engine_micro",
             "claim": ("Simulator substrate throughput (regression guard, "
