@@ -2,150 +2,64 @@
 // dual-graph *abstraction* of a deployment vs the same stack on the SINR
 // *ground truth*, over identical embeddings.
 //
-// Pipeline per trial: sample a plane deployment; phys::extract_dual_graph
-// turns its SINR physics into a Section 2 dual graph (reliable /
-// grey-zone-unreliable / absent pairs, rescaled to r-geographic form); LBAlg
-// then runs twice with identical parameters and master seed --
-//   (a) abstraction: dual-graph reception, Bernoulli(0.5) link scheduler
-//       over the extracted unreliable edges;
-//   (b) ground truth: phys::SinrChannel reception over the raw embedding.
-// Measured, with one saturated sender: mean first-data-reception round over
-// all other vertices (horizon-clamped), the fraction of vertices reached,
-// raw delivery counts, and acknowledgement latency, plus the relative
-// deltas.  Small deltas mean the dual graph is a faithful abstraction of
-// interference-limited radio for the LB layer's guarantees.  (Ack latency
-// is quantized to LBAlg phase boundaries, so it typically matches exactly
-// while the flood-shape metrics expose the channel difference.)
-#include <algorithm>
+// Pipeline per trial (src/scn/workload.cpp, abstraction_fidelity): sample a
+// plane deployment; phys::extract_dual_graph turns its SINR physics into a
+// Section 2 dual graph; LBAlg then runs twice with identical parameters and
+// master seed -- (a) dual-graph reception + Bernoulli(0.5) scheduler, (b)
+// phys::SinrChannel over the raw embedding.  Small deltas mean the dual
+// graph is a faithful abstraction of interference-limited radio for the LB
+// layer's guarantees.  (Ack latency is quantized to LBAlg phase boundaries,
+// so it typically matches exactly while the flood-shape metrics expose the
+// channel difference.)
+//
+// Ported: the size sweep is campaigns/e14_sinr.json (seeds 0xe14 + n);
+// this binary runs it through scn::CampaignRunner and prints the
+// historical table from the per-trial metric rows.
+#include <iostream>
 #include <numeric>
-#include <memory>
+#include <string>
+#include <vector>
 
 #include "bench_support.h"
-#include "phys/extract.h"
-#include "phys/sinr.h"
-#include "stats/montecarlo.h"
-#include "stats/probes.h"
+#include "scn/campaign.h"
 
-namespace dg {
 namespace {
-
-constexpr std::int64_t kHorizonPhases = 16;
-
-struct RunStats {
-  double progress_rounds = 0;  // mean first data reception, horizon-clamped
-  double reached_frac = 0;     // fraction of non-senders that ever received
-  double receptions = 0;       // raw single-transmitter deliveries
-  double ack_latency = 0;      // mean over acked broadcasts; 0 if none
-  double acked = 0;
-};
-
-RunStats measure(lb::LbSimulation& sim, graph::Vertex sender) {
-  const std::size_t n = sim.network().size();
-  stats::FirstReceptionProbe probe(n);
-  stats::TrafficProbe traffic;
-  sim.add_observer(&probe);
-  sim.add_observer(&traffic);
-  sim.keep_busy({sender});
-  sim.run_phases(kHorizonPhases);
-
-  RunStats out;
-  const auto horizon = static_cast<double>(sim.round());
-  double progress_total = 0;
-  for (graph::Vertex v = 0; v < static_cast<graph::Vertex>(n); ++v) {
-    if (v == sender) continue;
-    const auto first = probe.first_reception(v);
-    if (first != 0) out.reached_frac += 1;
-    progress_total += first != 0 ? static_cast<double>(first) : horizon;
-  }
-  out.progress_rounds = progress_total / static_cast<double>(n - 1);
-  out.reached_frac /= static_cast<double>(n - 1);
-  out.receptions = static_cast<double>(traffic.receptions());
-  double total = 0;
-  for (const auto& rec : sim.checker().broadcasts()) {
-    if (!rec.acked()) continue;
-    total += static_cast<double>(rec.ack_round - rec.input_round);
-    out.acked += 1;
-  }
-  out.ack_latency = out.acked != 0 ? total / out.acked : 0;
-  return out;
-}
-
-struct Sample {
-  RunStats dual, sinr;
-  double reliable_edges = 0;
-  double unreliable_edges = 0;
-};
-
-Sample trial(std::uint64_t seed, std::size_t n, double side) {
-  Rng rng(seed);
-  geo::Embedding emb;
-  emb.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    emb.push_back(geo::Point{rng.uniform(0.0, side), rng.uniform(0.0, side)});
-  }
-  phys::SinrExtractParams xp;  // alpha=3, beta=2, noise=0.1 defaults
-  const auto ext = phys::extract_dual_graph(emb, xp, derive_seed(seed, 1));
-
-  const graph::Vertex sender = 0;
-  lb::LbScales scales;
-  scales.ack_scale = 0.02;
-  const auto params = lb::LbParams::calibrated(
-      0.1, std::max(1.0, ext.graph.r()), ext.graph.delta(),
-      ext.graph.delta_prime(), scales);
-  const std::uint64_t master = derive_seed(seed, 2);
-
-  Sample out;
-  out.reliable_edges = static_cast<double>(ext.stats.reliable_edges);
-  out.unreliable_edges = static_cast<double>(ext.stats.unreliable_edges);
-  {
-    lb::LbSimulation sim(ext.graph,
-                         std::make_unique<sim::BernoulliScheduler>(0.5),
-                         params, master);
-    out.dual = measure(sim, sender);
-  }
-  {
-    // Same processes and parameters, but reception is SINR physics over the
-    // RAW deployment coordinates (the extracted graph's embedding is
-    // rescaled; the physics must see the real geometry).
-    lb::LbSimulation sim(
-        ext.graph, std::make_unique<phys::SinrChannel>(xp.sinr, emb), params,
-        master);
-    out.sinr = measure(sim, sender);
-  }
-  return out;
-}
 
 double pct_delta(double base, double other) {
   return base != 0 ? (other - base) / base * 100.0 : 0.0;
 }
 
 }  // namespace
-}  // namespace dg
 
 int main() {
   using namespace dg;
+  const std::string path = bench::campaign_file("e14_sinr.json");
+  const auto parsed = scn::parse_campaign_file(path);
+  if (!parsed.ok()) {
+    std::cerr << parsed.error << "\n";
+    return 2;
+  }
+  const auto result = scn::run_campaign(parsed.campaign, scn::RunOptions{});
+
   bench::print_header(
       "E14: dual-graph abstraction vs SINR ground truth (extension)",
       "Not a paper claim: the dual graph abstracts radio unreliability; "
       "this bench\nextracts a dual graph from an SINR deployment "
       "(phys::extract_dual_graph) and\ncompares LBAlg progress/ack latency "
       "under dual-graph reception vs SINR\nreception on the same "
-      "embeddings.");
+      "embeddings.\nScenario: " +
+          path);
 
   Table table({"n", "edges E/E'-E", "progress dual", "progress sinr",
                "progress delta %", "reached dual", "reached sinr",
                "recv dual", "recv sinr", "acks dual", "acks sinr",
                "ack dual", "ack sinr", "ack delta %"});
-  const std::size_t trials = 6;
-  for (const auto& [n, side] :
-       {std::pair<std::size_t, double>{32, 3.5},
-        std::pair<std::size_t, double>{48, 4.0},
-        std::pair<std::size_t, double>{64, 4.5}}) {
-    const auto samples = stats::run_trials(
-        trials, 0xe14ULL + n,
-        [&, n = n, side = side](std::size_t, std::uint64_t s) {
-          return trial(s, n, side);
-        });
+  // Metric row layout (scn::metric_names, abstraction_fidelity):
+  //   0 dual_progress, 1 dual_reached, 2 dual_receptions,
+  //   3 dual_ack_latency, 4 dual_acked, 5..9 same for sinr,
+  //   10 reliable_edges, 11 unreliable_edges.
+  for (const auto& v : result.variants) {
+    const double t = static_cast<double>(v.trials.size());
     double rel = 0, unrel = 0;
     // Ack latency is pooled over all acked broadcasts (latency-sum /
     // ack-count), not averaged over per-trial means: the two channels can
@@ -153,23 +67,22 @@ int main() {
     // that asymmetry so a latency delta is never read without it.
     double ack_sum_d = 0, ack_cnt_d = 0, ack_sum_s = 0, ack_cnt_s = 0;
     std::vector<double> pd, ps, rd, rs, vd, vs;
-    for (const auto& s : samples) {
-      rel += s.reliable_edges;
-      unrel += s.unreliable_edges;
-      pd.push_back(s.dual.progress_rounds);
-      ps.push_back(s.sinr.progress_rounds);
-      rd.push_back(s.dual.reached_frac);
-      rs.push_back(s.sinr.reached_frac);
-      vd.push_back(s.dual.receptions);
-      vs.push_back(s.sinr.receptions);
-      ack_sum_d += s.dual.ack_latency * s.dual.acked;
-      ack_cnt_d += s.dual.acked;
-      ack_sum_s += s.sinr.ack_latency * s.sinr.acked;
-      ack_cnt_s += s.sinr.acked;
+    for (const auto& row : v.trials) {
+      rel += row[10];
+      unrel += row[11];
+      pd.push_back(row[0]);
+      ps.push_back(row[5]);
+      rd.push_back(row[1]);
+      rs.push_back(row[6]);
+      vd.push_back(row[2]);
+      vs.push_back(row[7]);
+      ack_sum_d += row[3] * row[4];
+      ack_cnt_d += row[4];
+      ack_sum_s += row[8] * row[9];
+      ack_cnt_s += row[9];
     }
     const double ack_mean_d = ack_cnt_d != 0 ? ack_sum_d / ack_cnt_d : 0;
     const double ack_mean_s = ack_cnt_s != 0 ? ack_sum_s / ack_cnt_s : 0;
-    const double t = static_cast<double>(trials);
     const auto mean = [](const std::vector<double>& xs) {
       return xs.empty()
                  ? 0.0
@@ -177,7 +90,7 @@ int main() {
                        static_cast<double>(xs.size());
     };
     table.row()
-        .cell(static_cast<std::uint64_t>(n))
+        .cell(static_cast<std::uint64_t>(v.spec.topology.n))
         .cell(std::to_string(static_cast<int>(rel / t)) + "/" +
               std::to_string(static_cast<int>(unrel / t)))
         .cell(mean(pd), 1)

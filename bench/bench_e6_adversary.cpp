@@ -10,92 +10,42 @@
 // always).  Metric: progress latency at the receiver, normalized per
 // algorithm to its own benign baseline -- the shape claim is the
 // adversarial/benign ratio.
-#include <memory>
+//
+// Ported: the algorithm x scheduler cross-product is the checked-in
+// campaigns/e6_adversary.json matrix (seeds 0xe6 + kind*131 + algo[0],
+// exactly the hand-written formula); this binary runs it through
+// scn::CampaignRunner and prints the historical table.  Never-received
+// trials clamp to the horizon (Decay: horizon_rounds; LBAlg:
+// horizon_phases * phase_length), as the pre-port trial functions did.
+#include <iostream>
+#include <map>
+#include <string>
 
-#include "baseline/decay.h"
 #include "bench_support.h"
-#include "stats/montecarlo.h"
+#include "scn/campaign.h"
 
-namespace dg {
 namespace {
 
-constexpr std::size_t kUnreliable = 64;
-constexpr int kLogDelta = 7;
-
-enum class Sched { benign, anti, flood };
-
-std::unique_ptr<sim::LinkScheduler> make_sched(Sched kind) {
-  switch (kind) {
-    case Sched::benign:
-      return std::make_unique<sim::ConstantScheduler>(false);
-    case Sched::anti:
-      return std::make_unique<sim::AntiScheduleAdversary>(
-          [](sim::Round t) {
-            return baseline::decay_probability(t, kLogDelta);
-          },
-          /*pivot=*/1.0 / 16.0);
-    case Sched::flood:
-      return std::make_unique<sim::ConstantScheduler>(true);
-  }
-  return nullptr;
-}
-
-const char* sched_name(Sched kind) {
-  switch (kind) {
-    case Sched::benign:
-      return "benign";
-    case Sched::anti:
-      return "anti-schedule";
-    case Sched::flood:
-      return "flood";
-  }
-  return "?";
-}
-
-double decay_trial(Sched kind, std::uint64_t seed) {
-  const auto g = bench::contention_star(kUnreliable);
-  const auto ids = sim::assign_ids(g.size(), seed);
-  baseline::DecayParams params;
-  params.log_delta = kLogDelta;
-  params.ack_rounds = 1 << 20;
-  auto sched = make_sched(kind);
-  std::vector<std::unique_ptr<sim::Process>> procs;
-  for (graph::Vertex v = 0; v < g.size(); ++v) {
-    procs.push_back(
-        std::make_unique<baseline::DecayProcess>(params, ids[v], v, nullptr));
-  }
-  sim::Engine engine(g, *sched, std::move(procs), seed);
-  stats::FirstReceptionProbe probe(g.size());
-  engine.add_observer(&probe);
-  for (graph::Vertex v = 1; v < g.size(); ++v) {
-    dynamic_cast<baseline::DecayProcess&>(engine.process(v)).post_bcast(v);
-  }
-  const sim::Round horizon = 4096;
-  engine.run_rounds(horizon);
-  const auto first = probe.first_reception(0);
-  return static_cast<double>(first == 0 ? horizon : first);
-}
-
-double lbalg_trial(Sched kind, std::uint64_t seed) {
-  const auto g = bench::contention_star(kUnreliable);
-  lb::LbScales scales;
-  scales.ack_scale = 0.01;
-  const auto params =
-      lb::LbParams::calibrated(0.1, 1.5, g.delta(), g.delta_prime(), scales);
-  std::vector<graph::Vertex> senders;
-  for (graph::Vertex v = 1; v < g.size(); ++v) senders.push_back(v);
-  const auto latency = bench::lb_progress_latency(
-      g, make_sched(kind), params, senders, /*receiver=*/0,
-      /*horizon_phases=*/10, seed);
-  return static_cast<double>(
-      latency == 0 ? 10 * params.phase_length() : latency);
+// Labels come from the variant's *spec*, not its name, so reordering the
+// campaign's matrix axes cannot mislabel a row.
+const char* sched_display(const std::string& scheduler_spec) {
+  if (scheduler_spec == "full-g") return "benign";
+  if (scheduler_spec.rfind("anti", 0) == 0) return "anti-schedule";
+  return "flood";
 }
 
 }  // namespace
-}  // namespace dg
 
 int main() {
   using namespace dg;
+  const std::string path = bench::campaign_file("e6_adversary.json");
+  const auto parsed = scn::parse_campaign_file(path);
+  if (!parsed.ok()) {
+    std::cerr << parsed.error << "\n";
+    return 2;
+  }
+  const auto result = scn::run_campaign(parsed.campaign, scn::RunOptions{});
+
   bench::print_header(
       "E6: fixed schedules vs seed-permuted schedules under an oblivious "
       "adversary",
@@ -104,31 +54,43 @@ int main() {
       "runtime seeds, so the same\nadversary cannot target it.  Receiver "
       "with 1 reliable sender + 64 unreliable\nneighbors, all saturated.  "
       "Metric: mean progress latency (rounds), and the\nratio to the "
-      "algorithm's own benign baseline.");
+      "algorithm's own benign baseline.\nScenario: " +
+          path);
 
   Table table({"algorithm", "scheduler", "progress mean", "progress p90",
                "vs own benign"});
-  const int trials = 20;
-
-  for (const char* algo : {"decay", "lbalg"}) {
-    double benign_mean = 0;
-    for (Sched kind : {Sched::benign, Sched::anti, Sched::flood}) {
-      const auto samples = stats::run_trials(
-          trials,
-          0xe6ULL + static_cast<std::uint64_t>(kind) * 131 + algo[0],
-          [&](std::size_t, std::uint64_t s) {
-            return std::string(algo) == "decay" ? decay_trial(kind, s)
-                                                : lbalg_trial(kind, s);
-          });
-      const auto summary = stats::Summary::of(samples);
-      if (kind == Sched::benign) benign_mean = summary.mean;
-      table.row()
-          .cell(algo)
-          .cell(sched_name(kind))
-          .cell(summary.mean, 1)
-          .cell(summary.p90, 1)
-          .cell(summary.mean / benign_mean, 2);
+  const auto summarize = [](const scn::VariantResult& v) {
+    // Horizon clamp for never-received trials (latency metric 0): Decay
+    // clamps to horizon_rounds, LBAlg to horizon_phases * phase_length.
+    const bool decay = v.spec.algorithm.type == "decay_progress";
+    std::vector<double> samples;
+    for (const auto& row : v.trials) {
+      const double clamp =
+          decay ? row[1]
+                : static_cast<double>(v.spec.algorithm.horizon_phases) *
+                      row[1];
+      samples.push_back(row[0] > 0 ? row[0] : clamp);
     }
+    return stats::Summary::of(samples);
+  };
+  // First pass: each algorithm's own benign (full-g) baseline, so the
+  // ratio column is robust to the variants' emission order.
+  std::map<std::string, double> benign_mean;
+  for (const auto& v : result.variants) {
+    if (v.spec.scheduler == "full-g") {
+      benign_mean[v.spec.algorithm.type] = summarize(v).mean;
+    }
+  }
+  for (const auto& v : result.variants) {
+    const bool decay = v.spec.algorithm.type == "decay_progress";
+    const auto summary = summarize(v);
+    const double benign = benign_mean[v.spec.algorithm.type];
+    table.row()
+        .cell(decay ? "decay" : "lbalg")
+        .cell(sched_display(v.spec.scheduler))
+        .cell(summary.mean, 1)
+        .cell(summary.p90, 1)
+        .cell(benign > 0 ? summary.mean / benign : 0.0, 2);
   }
   bench::print_table(table);
   std::cout << "\nShape check: Decay's anti-schedule ratio blows up "

@@ -158,4 +158,28 @@ DualGraph bridged_clusters(std::size_t per_cluster, double r) {
   return g;
 }
 
+DualGraph contention_star(std::size_t unreliable_neighbors) {
+  DualGraph g(unreliable_neighbors + 2);
+  g.add_reliable_edge(0, 1);
+  for (Vertex v = 2; v < unreliable_neighbors + 2; ++v) {
+    g.add_unreliable_edge(0, v);
+  }
+  g.finalize();
+  return g;
+}
+
+DualGraph disjoint_cliques(std::size_t cliques, std::size_t clique_size) {
+  DualGraph g(cliques * clique_size);
+  for (std::size_t c = 0; c < cliques; ++c) {
+    for (std::size_t i = 0; i < clique_size; ++i) {
+      for (std::size_t j = i + 1; j < clique_size; ++j) {
+        g.add_reliable_edge(static_cast<Vertex>(c * clique_size + i),
+                            static_cast<Vertex>(c * clique_size + j));
+      }
+    }
+  }
+  g.finalize();
+  return g;
+}
+
 }  // namespace dg::graph

@@ -1,6 +1,8 @@
-// Topology generators.  Every generator returns a finalized, r-geographic
-// DualGraph with its embedding attached, so tests can re-validate the
-// Section 2 constraints and the analysis tooling can partition the plane.
+// Topology generators.  Every generator returns a finalized DualGraph; the
+// geometric families attach their r-geographic embedding, so tests can
+// re-validate the Section 2 constraints and the analysis tooling can
+// partition the plane.  The purely combinatorial families (contention_star,
+// disjoint_cliques) carry no embedding.
 #pragma once
 
 #include <cstddef>
@@ -52,5 +54,16 @@ DualGraph line(std::size_t n, double spacing, double r);
 /// edges: communication across the cut exists only when the scheduler allows
 /// it.  Exercises progress/validity under total link unreliability.
 DualGraph bridged_clusters(std::size_t per_cluster, double r);
+
+/// The contention-star topology of the paper's Discussion section: receiver
+/// 0, one reliable sender (vertex 1), and `unreliable_neighbors` vertices
+/// attached to the receiver by unreliable edges only.  No embedding (the
+/// topology is combinatorial, not geometric).
+DualGraph contention_star(std::size_t unreliable_neighbors);
+
+/// Disjoint union of `cliques` cliques of `clique_size` mutually-reliable
+/// nodes: the fixed-Delta, growing-n family for the locality experiments.
+/// No embedding.
+DualGraph disjoint_cliques(std::size_t cliques, std::size_t clique_size);
 
 }  // namespace dg::graph

@@ -1,0 +1,57 @@
+// Reusable LBAlg workload measurements.
+//
+// These were born inside the bench binaries (bench_support.h's
+// lb_progress_latency, bench_e14's flood measurement); the scenario
+// subsystem (src/scn/) runs the same workloads declaratively, so the
+// measurement logic lives here and both layers share one definition.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/dual_graph.h"
+#include "lb/params.h"
+#include "lb/simulation.h"
+#include "sim/scheduler.h"
+
+namespace dg::lb {
+
+/// Measures LBAlg progress latency: rounds until the designated receiver's
+/// first data reception, with `senders` kept saturated.  Returns 0 when the
+/// receiver never received within `horizon_phases`.
+sim::Round progress_latency(const graph::DualGraph& g,
+                            std::unique_ptr<sim::LinkScheduler> scheduler,
+                            const LbParams& params,
+                            const std::vector<graph::Vertex>& senders,
+                            graph::Vertex receiver,
+                            std::int64_t horizon_phases, std::uint64_t seed);
+
+/// Same measurement, but reception decided by an explicit channel model
+/// (e.g. phys::SinrChannel ground truth) instead of the scheduler.
+sim::Round progress_latency(const graph::DualGraph& g,
+                            std::unique_ptr<phys::ChannelModel> channel,
+                            const LbParams& params,
+                            const std::vector<graph::Vertex>& senders,
+                            graph::Vertex receiver,
+                            std::int64_t horizon_phases, std::uint64_t seed);
+
+/// Flood-shape statistics of one saturated-sender LBAlg execution (the E14
+/// abstraction-fidelity metrics): mean first-data-reception round over all
+/// non-sender vertices (horizon-clamped), the fraction reached, raw
+/// single-transmitter deliveries, and acknowledgement latency/count.
+struct FloodStats {
+  double progress_rounds = 0;  ///< mean first data reception, clamped
+  double reached_frac = 0;     ///< fraction of non-senders that received
+  double receptions = 0;       ///< raw single-transmitter deliveries
+  double ack_latency = 0;      ///< mean over acked broadcasts; 0 if none
+  double acked = 0;            ///< acked broadcast count
+};
+
+/// Runs `sim` for `horizon_phases` phases with `sender` kept saturated and
+/// collects FloodStats.  The simulation must be freshly constructed (no
+/// rounds executed, no probes attached).
+FloodStats run_flood(LbSimulation& sim, graph::Vertex sender,
+                     std::int64_t horizon_phases);
+
+}  // namespace dg::lb

@@ -1,0 +1,73 @@
+#include "phys/channel_spec.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace dg::phys {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, sep)) out.push_back(item);
+  return out;
+}
+
+}  // namespace
+
+std::string parse_channel_spec(const std::string& spec, ChannelSpec& out) {
+  out = ChannelSpec{};
+  if (spec == "dual" || spec == "dual_graph") return "";
+  const auto colon = spec.find(':');
+  if (spec.substr(0, colon) != "sinr") {
+    return "unknown channel '" + spec +
+           "' (expected dual_graph or sinr:alpha,beta,noise)";
+  }
+  out.is_sinr = true;
+  if (colon != std::string::npos) {
+    // Accept ':' as a separator too (scheduler specs use it), so
+    // sinr:3:2:0.1 and sinr:3,2,0.1 mean the same thing.
+    std::string body = spec.substr(colon + 1);
+    std::replace(body.begin(), body.end(), ':', ',');
+    const auto nums = split(body, ',');
+    if (nums.size() > 3) {
+      return "channel 'sinr' takes at most three numbers "
+             "(alpha,beta,noise); got '" +
+             spec + "'";
+    }
+    std::string error;
+    const auto num = [&](std::size_t i, double dflt) {
+      if (nums.size() <= i || nums[i].empty()) return dflt;
+      char* end = nullptr;
+      const double v = std::strtod(nums[i].c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        error = "malformed channel number '" + nums[i] + "' in '" + spec +
+                "'";
+        return dflt;
+      }
+      return v;
+    };
+    out.sinr.alpha = num(0, out.sinr.alpha);
+    out.sinr.beta = num(1, out.sinr.beta);
+    out.sinr.noise = num(2, out.sinr.noise);
+    if (!error.empty()) return error;
+  }
+  // Negated comparisons so NaN (which fails every ordering test) is
+  // rejected too.
+  if (!(out.sinr.alpha > 0.0) || !(out.sinr.beta >= 1.0) ||
+      !(out.sinr.noise > 0.0)) {
+    std::ostringstream os;
+    os << "channel 'sinr' needs alpha > 0, beta >= 1 (unique-decode "
+          "regime), noise > 0; got alpha="
+       << out.sinr.alpha << " beta=" << out.sinr.beta
+       << " noise=" << out.sinr.noise;
+    return os.str();
+  }
+  return "";
+}
+
+}  // namespace dg::phys

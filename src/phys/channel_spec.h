@@ -1,0 +1,27 @@
+// Textual channel specs: "dual_graph" (alias "dual") selects the Section 2
+// scheduler-driven reception rule; "sinr[:alpha,beta,noise]" selects SINR
+// ground-truth physics.  One parser serves every surface that accepts the
+// spec (dglab --channel, scenario files, campaign validation), so the
+// accepted grammar and the error messages cannot drift apart.
+#pragma once
+
+#include <string>
+
+#include "phys/sinr.h"
+
+namespace dg::phys {
+
+struct ChannelSpec {
+  bool is_sinr = false;  ///< false: dual-graph reception via the scheduler
+  SinrParams sinr;       ///< meaningful only when is_sinr
+};
+
+/// Parses "dual" | "dual_graph" | "sinr" | "sinr:alpha,beta,noise" (':' is
+/// accepted as a number separator too, so sinr:3:2:0.1 == sinr:3,2,0.1;
+/// trailing numbers may be omitted to keep the defaults).  Validates the
+/// SINR ranges (alpha > 0, beta >= 1, noise > 0; NaN rejected).  Returns
+/// the empty string and fills `out` on success, else a human-readable
+/// error naming the offending token.
+std::string parse_channel_spec(const std::string& spec, ChannelSpec& out);
+
+}  // namespace dg::phys

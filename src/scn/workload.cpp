@@ -1,0 +1,256 @@
+#include "scn/workload.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "baseline/decay.h"
+#include "lb/measure.h"
+#include "lb/simulation.h"
+#include "phys/extract.h"
+#include "phys/sinr.h"
+#include "seed/seed_alg.h"
+#include "seed/spec.h"
+#include "sim/engine.h"
+#include "stats/probes.h"
+#include "util/assert.h"
+
+namespace dg::scn {
+
+namespace {
+
+std::vector<graph::Vertex> resolve_senders(const AlgorithmSpec& a,
+                                           std::size_t n) {
+  if (!a.senders_all_but_receiver) return a.senders;
+  std::vector<graph::Vertex> out;
+  out.reserve(n - 1);
+  for (graph::Vertex v = 0; v < static_cast<graph::Vertex>(n); ++v) {
+    if (static_cast<std::int64_t>(v) != a.receiver) out.push_back(v);
+  }
+  return out;
+}
+
+graph::Vertex resolve_receiver(const AlgorithmSpec& a,
+                               const graph::DualGraph& g,
+                               const std::vector<graph::Vertex>& senders) {
+  if (a.receiver >= 0) return static_cast<graph::Vertex>(a.receiver);
+  // -1: the first G-neighbor of the first sender (fallback: vertex 1) --
+  // the E13 convention for measuring progress one reliable hop out.
+  const graph::Vertex sender = senders.empty() ? 0 : senders.front();
+  const auto neighbors = g.g_neighbors(sender);
+  return neighbors.empty() ? 1 : neighbors.front();
+}
+
+lb::LbParams lb_params_for(const AlgorithmSpec& a,
+                           const graph::DualGraph& g) {
+  lb::LbScales scales;
+  scales.ack_scale = a.ack_scale;
+  const double r = a.r > 0 ? a.r : std::max(1.0, g.r());
+  return lb::LbParams::calibrated(a.eps1, r, g.delta(), g.delta_prime(),
+                                  scales);
+}
+
+// ---- lb_progress (the E3/E6 trial body) ----
+
+std::vector<double> run_lb_progress(const ScenarioSpec& spec,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  const auto g = build_topology(spec.topology, rng);
+  const auto params = lb_params_for(spec.algorithm, g);
+  const auto senders = resolve_senders(spec.algorithm, g.size());
+  const auto receiver = resolve_receiver(spec.algorithm, g, senders);
+  sim::Round latency = 0;
+  if (spec.channel_spec.is_sinr) {
+    latency = lb::progress_latency(
+        g, std::make_unique<phys::SinrChannel>(spec.channel_spec.sinr),
+        params, senders, receiver, spec.algorithm.horizon_phases, seed);
+  } else {
+    latency = lb::progress_latency(g, build_scheduler(spec.scheduler),
+                                   params, senders, receiver,
+                                   spec.algorithm.horizon_phases, seed);
+  }
+  return {static_cast<double>(latency),
+          static_cast<double>(params.phase_length())};
+}
+
+// ---- decay_progress (the E6 Decay trial body) ----
+
+std::vector<double> run_decay_progress(const ScenarioSpec& spec,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  const auto g = build_topology(spec.topology, rng);
+  const auto ids = sim::assign_ids(g.size(), seed);
+  baseline::DecayParams params;
+  params.log_delta = spec.algorithm.log_delta;
+  params.ack_rounds = spec.algorithm.ack_rounds;
+  auto sched = build_scheduler(spec.scheduler);
+  std::vector<std::unique_ptr<sim::Process>> procs;
+  for (graph::Vertex v = 0; v < g.size(); ++v) {
+    procs.push_back(
+        std::make_unique<baseline::DecayProcess>(params, ids[v], v, nullptr));
+  }
+  sim::Engine engine(g, *sched, std::move(procs), seed);
+  stats::FirstReceptionProbe probe(g.size());
+  engine.add_observer(&probe);
+  const auto receiver =
+      static_cast<graph::Vertex>(std::max<std::int64_t>(
+          0, spec.algorithm.receiver));
+  for (graph::Vertex v = 0; v < g.size(); ++v) {
+    if (v == receiver) continue;
+    dynamic_cast<baseline::DecayProcess&>(engine.process(v)).post_bcast(v);
+  }
+  engine.run_rounds(spec.algorithm.horizon_rounds);
+  return {static_cast<double>(probe.first_reception(receiver)),
+          static_cast<double>(spec.algorithm.horizon_rounds)};
+}
+
+// ---- seed_agreement (one SeedAlg execution + spec check) ----
+
+seed::SeedSpecResult run_seed_check(const ScenarioSpec& spec,
+                                    const graph::DualGraph& g,
+                                    std::uint64_t seed) {
+  const auto sparams =
+      seed::SeedAlgParams::make(spec.algorithm.seed_eps, g.delta());
+  const auto ids = sim::assign_ids(g.size(), derive_seed(seed, 1));
+  std::vector<std::unique_ptr<sim::Process>> procs;
+  Rng init(derive_seed(seed, 2));
+  for (graph::Vertex v = 0; v < g.size(); ++v) {
+    procs.push_back(
+        std::make_unique<seed::SeedProcess>(sparams, ids[v], init));
+  }
+  std::unique_ptr<sim::Engine> engine;
+  std::unique_ptr<sim::LinkScheduler> sched;
+  std::unique_ptr<phys::ChannelModel> channel;
+  if (spec.channel_spec.is_sinr) {
+    channel = std::make_unique<phys::SinrChannel>(spec.channel_spec.sinr);
+    engine = std::make_unique<sim::Engine>(g, *channel, std::move(procs),
+                                           derive_seed(seed, 3));
+  } else {
+    sched = build_scheduler(spec.scheduler);
+    engine = std::make_unique<sim::Engine>(g, *sched, std::move(procs),
+                                           derive_seed(seed, 3));
+  }
+  engine->run_rounds(sparams.total_rounds());
+  seed::DecisionVector decisions(g.size());
+  for (graph::Vertex v = 0; v < g.size(); ++v) {
+    decisions[v] =
+        dynamic_cast<const seed::SeedProcess&>(engine->process(v)).decision();
+  }
+  return seed::check_seed_spec(g, ids, decisions);
+}
+
+std::vector<double> run_seed_agreement(const ScenarioSpec& spec,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  const auto g = build_topology(spec.topology, rng);
+  const auto res = run_seed_check(spec, g, seed);
+  return {res.well_formed ? 1.0 : 0.0,
+          res.consistent ? 1.0 : 0.0,
+          res.owners_local ? 1.0 : 0.0,
+          static_cast<double>(res.distinct_owners),
+          static_cast<double>(res.max_neighborhood_owners)};
+}
+
+// ---- seed_then_progress (the E13 trial body: SeedAlg safety + LBAlg
+// progress on one geometric deployment, shared trial seed) ----
+
+std::vector<double> run_seed_then_progress(const ScenarioSpec& spec,
+                                           std::uint64_t seed) {
+  Rng rng(seed);
+  const auto g = build_topology(spec.topology, rng);
+  const auto res = run_seed_check(spec, g, seed);
+  const auto params = lb_params_for(spec.algorithm, g);
+  const auto senders = resolve_senders(spec.algorithm, g.size());
+  const auto receiver = resolve_receiver(spec.algorithm, g, senders);
+  const auto latency = lb::progress_latency(
+      g, build_scheduler(spec.scheduler), params, senders, receiver,
+      spec.algorithm.horizon_phases, derive_seed(seed, 4));
+  return {static_cast<double>(latency),
+          static_cast<double>(res.max_neighborhood_owners),
+          res.consistent ? 1.0 : 0.0};
+}
+
+// ---- abstraction_fidelity (the E14 trial body: dual-graph abstraction
+// vs SINR ground truth over one sampled deployment) ----
+
+std::vector<double> run_abstraction_fidelity(const ScenarioSpec& spec,
+                                             std::uint64_t seed) {
+  Rng rng(seed);
+  geo::Embedding emb;
+  emb.reserve(spec.topology.n);
+  for (std::size_t i = 0; i < spec.topology.n; ++i) {
+    emb.push_back(geo::Point{rng.uniform(0.0, spec.topology.side),
+                             rng.uniform(0.0, spec.topology.side)});
+  }
+  phys::SinrExtractParams xp;
+  xp.sinr = spec.channel_spec.sinr;
+  const auto ext = phys::extract_dual_graph(emb, xp, derive_seed(seed, 1));
+
+  const auto senders = resolve_senders(spec.algorithm, ext.graph.size());
+  const graph::Vertex sender = senders.empty() ? 0 : senders.front();
+  const auto params = lb_params_for(spec.algorithm, ext.graph);
+  const std::uint64_t master = derive_seed(seed, 2);
+
+  lb::FloodStats dual;
+  {
+    lb::LbSimulation sim(ext.graph, build_scheduler(spec.scheduler), params,
+                         master);
+    dual = lb::run_flood(sim, sender, spec.algorithm.horizon_phases);
+  }
+  lb::FloodStats sinr;
+  {
+    // Same processes and parameters, but reception is SINR physics over
+    // the RAW deployment coordinates (the extracted graph's embedding is
+    // rescaled; the physics must see the real geometry).
+    lb::LbSimulation sim(
+        ext.graph, std::make_unique<phys::SinrChannel>(xp.sinr, emb), params,
+        master);
+    sinr = lb::run_flood(sim, sender, spec.algorithm.horizon_phases);
+  }
+  return {dual.progress_rounds,
+          dual.reached_frac,
+          dual.receptions,
+          dual.ack_latency,
+          dual.acked,
+          sinr.progress_rounds,
+          sinr.reached_frac,
+          sinr.receptions,
+          sinr.ack_latency,
+          sinr.acked,
+          static_cast<double>(ext.stats.reliable_edges),
+          static_cast<double>(ext.stats.unreliable_edges)};
+}
+
+}  // namespace
+
+std::vector<std::string> metric_names(const ScenarioSpec& spec) {
+  const std::string& t = spec.algorithm.type;
+  if (t == "lb_progress") return {"latency", "phase_len"};
+  if (t == "decay_progress") return {"latency", "horizon"};
+  if (t == "seed_agreement") {
+    return {"well_formed", "consistent", "owners_local", "distinct_owners",
+            "max_owners"};
+  }
+  if (t == "seed_then_progress") {
+    return {"latency", "max_owners", "consistent"};
+  }
+  DG_EXPECTS(t == "abstraction_fidelity");
+  return {"dual_progress", "dual_reached", "dual_receptions",
+          "dual_ack_latency", "dual_acked", "sinr_progress", "sinr_reached",
+          "sinr_receptions", "sinr_ack_latency", "sinr_acked",
+          "reliable_edges", "unreliable_edges"};
+}
+
+std::vector<double> run_trial(const ScenarioSpec& spec,
+                              std::uint64_t trial_seed) {
+  const std::string& t = spec.algorithm.type;
+  if (t == "lb_progress") return run_lb_progress(spec, trial_seed);
+  if (t == "decay_progress") return run_decay_progress(spec, trial_seed);
+  if (t == "seed_agreement") return run_seed_agreement(spec, trial_seed);
+  if (t == "seed_then_progress") {
+    return run_seed_then_progress(spec, trial_seed);
+  }
+  DG_EXPECTS(t == "abstraction_fidelity");
+  return run_abstraction_fidelity(spec, trial_seed);
+}
+
+}  // namespace dg::scn

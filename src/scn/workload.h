@@ -1,0 +1,39 @@
+// Workload execution for scenario variants: one trial = one seeded
+// execution of the variant's algorithm stack, returning a fixed row of
+// seed-deterministic metrics.
+//
+// Metric rows are pure functions of (spec, trial_seed) -- no wall-clock,
+// no thread identity -- which is what makes campaign counter files
+// byte-identical across --threads settings and machines.  Each workload
+// reproduces the trial body of the hand-written bench it subsumed
+// (bench_e3/e6/e13/e14), including the exact derive_seed() stream layout,
+// so ported campaigns regenerate the pre-port numbers from the same seeds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scn/scenario.h"
+
+namespace dg::scn {
+
+/// Metric names (column order of trial rows) for the variant's workload:
+///   lb_progress:          latency, phase_len
+///   decay_progress:       latency, horizon
+///   seed_agreement:       well_formed, consistent, owners_local,
+///                         distinct_owners, max_owners
+///   seed_then_progress:   latency, max_owners, consistent
+///   abstraction_fidelity: dual_progress, dual_reached, dual_receptions,
+///                         dual_ack_latency, dual_acked, sinr_progress,
+///                         sinr_reached, sinr_receptions, sinr_ack_latency,
+///                         sinr_acked, reliable_edges, unreliable_edges
+std::vector<std::string> metric_names(const ScenarioSpec& spec);
+
+/// Runs one trial of the variant's workload with the given per-trial seed
+/// (stats::run_trials derives it as derive_seed(spec.seed, trial_index)).
+/// Returns one value per metric_names() entry.
+std::vector<double> run_trial(const ScenarioSpec& spec,
+                              std::uint64_t trial_seed);
+
+}  // namespace dg::scn

@@ -26,16 +26,24 @@
 namespace dg::stats {
 
 /// Runs `trials` invocations of fn(trial_index, trial_seed) across up to
-/// hardware_concurrency() threads; returns results indexed by trial.
+/// `max_workers` threads (0 = hardware_concurrency()); returns results
+/// indexed by trial.  The worker cap changes scheduling only, never
+/// results: a trial's seed depends only on its index, so the result vector
+/// is bit-identical for any thread count (the scenario runner's
+/// --threads 1 vs --threads N determinism guarantee rests on this).
 template <typename Fn>
-auto run_trials(std::size_t trials, std::uint64_t base_seed, Fn&& fn)
+auto run_trials(std::size_t trials, std::uint64_t base_seed, Fn&& fn,
+                std::size_t max_workers = 0)
     -> std::vector<decltype(fn(std::size_t{}, std::uint64_t{}))> {
   using Result = decltype(fn(std::size_t{}, std::uint64_t{}));
   DG_EXPECTS(trials >= 1);
   std::vector<Result> results(trials);
 
-  const std::size_t hw = std::thread::hardware_concurrency();
-  const std::size_t workers = std::min(trials, hw == 0 ? 1 : hw);
+  if (max_workers == 0) {
+    const std::size_t hw = std::thread::hardware_concurrency();
+    max_workers = hw == 0 ? 1 : hw;
+  }
+  const std::size_t workers = std::min(trials, max_workers);
 
   if (workers <= 1) {
     for (std::size_t t = 0; t < trials; ++t) {

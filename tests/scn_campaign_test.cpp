@@ -1,0 +1,104 @@
+// Integration tests over the checked-in campaign files (campaigns/):
+// every file must validate, the smoke campaign must reproduce the golden
+// counters byte-for-byte (the same gate CI applies via
+// tools/bench_diff.py --counters-only), and the full experiment campaigns
+// must execute at reduced trial counts (the nightly job's shape).
+//
+// The golden compare is the in-repo replica of the CI counter-regression
+// gate: if an intentional semantic change moves the counters, regenerate
+// with
+//   dgcampaign run campaigns/smoke.json --out=<dir>
+//   cp <dir>/COUNTERS_smoke.json campaigns/golden/smoke_counters.json
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scn/campaign.h"
+#include "scn/scenario.h"
+
+namespace dg::scn {
+namespace {
+
+std::string campaign_dir() {
+  const char* dir = std::getenv("DG_CAMPAIGN_DIR");
+  if (dir != nullptr && *dir != '\0') return dir;
+#ifdef DG_CAMPAIGN_DIR
+  return DG_CAMPAIGN_DIR;
+#else
+  return "campaigns";
+#endif
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  EXPECT_TRUE(static_cast<bool>(is)) << path;
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+TEST(CheckedInCampaigns, AllFilesValidate) {
+  namespace fs = std::filesystem;
+  std::size_t seen = 0;
+  for (const auto& entry : fs::directory_iterator(campaign_dir())) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".json") {
+      continue;
+    }
+    ++seen;
+    const auto parsed = parse_campaign_file(entry.path().string());
+    EXPECT_TRUE(parsed.ok()) << parsed.error;
+    EXPECT_FALSE(parsed.campaign.variants.empty()) << entry.path();
+  }
+  // smoke + the four ported experiment campaigns, at minimum.
+  EXPECT_GE(seen, 5u);
+}
+
+TEST(CheckedInCampaigns, SmokeMatchesGoldenCountersAnyThreadCount) {
+  const auto parsed =
+      parse_campaign_file(campaign_dir() + "/smoke.json");
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+
+  RunOptions one;
+  one.threads = 1;
+  const std::string counters_one =
+      counters_json(run_campaign(parsed.campaign, one));
+  RunOptions many;  // hardware concurrency
+  const std::string counters_many =
+      counters_json(run_campaign(parsed.campaign, many));
+  EXPECT_EQ(counters_one, counters_many)
+      << "counter output must not depend on the thread count";
+
+  const std::string golden =
+      slurp(campaign_dir() + "/golden/smoke_counters.json");
+  EXPECT_EQ(counters_one, golden)
+      << "seed-deterministic counters moved; if intentional, regenerate "
+         "campaigns/golden/smoke_counters.json (see this file's header)";
+}
+
+// Nightly-shaped sweep: every experiment campaign executes end to end at
+// reduced trials.  Labeled "slow" in tests/CMakeLists.txt -- PR CI runs
+// tier1 only, the nightly workflow runs everything.
+TEST(CheckedInCampaigns, ExperimentCampaignsRunReduced) {
+  for (const char* name :
+       {"e3_progress", "e6_adversary", "e13_r_sensitivity", "e14_sinr"}) {
+    const auto parsed = parse_campaign_file(campaign_dir() + "/" +
+                                            std::string(name) + ".json");
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    RunOptions options;
+    options.max_trials = 2;
+    const auto result = run_campaign(parsed.campaign, options);
+    EXPECT_EQ(result.variants.size(), parsed.campaign.variants.size());
+    for (const auto& v : result.variants) {
+      EXPECT_EQ(v.trials.size(), 2u) << v.spec.name;
+      EXPECT_FALSE(v.metrics.empty()) << v.spec.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dg::scn

@@ -61,6 +61,21 @@ TEST(RunTrials, ResultsIndexedByTrial) {
   }
 }
 
+TEST(RunTrials, WorkerCapDoesNotChangeResults) {
+  // The scenario runner's --threads guarantee: per-trial seeds depend on
+  // the trial index only, so any worker cap yields identical results.
+  auto fn = [](std::size_t i, std::uint64_t seed) {
+    return static_cast<double>(splitmix64(seed + i) % 100000);
+  };
+  const auto one = run_trials(37, 11, fn, 1);
+  const auto three = run_trials(37, 11, fn, 3);
+  const auto many = run_trials(37, 11, fn, 64);
+  const auto dflt = run_trials(37, 11, fn);
+  EXPECT_EQ(one, three);
+  EXPECT_EQ(one, many);
+  EXPECT_EQ(one, dflt);
+}
+
 TEST(FirstReceptionProbe, RecordsOnlyFirstDataPacket) {
   FirstReceptionProbe probe(2);
   const sim::Packet data{1, sim::DataPayload{sim::MessageId{1, 1}, 5}};

@@ -3,6 +3,7 @@
 
 Usage: bench_diff.py BASELINE_DIR CURRENT_DIR [--metrics] [--threshold PCT]
                      [--force]
+       bench_diff.py --counters-only GOLDEN.json CURRENT.json
 
 For every BENCH_<name>.json present in both directories (the
 bench_support.h / engine_micro_report.py shape: {"elapsed_ms", "sections"}),
@@ -18,7 +19,17 @@ deltas across machines are noise dressed up as signal -- unless --force is
 given; differing git SHAs are reported but do not block (comparing
 revisions on one machine is the tool's main use).
 
-Exit status is always 0: the tool documents change, it does not gate.
+In the default (directory) mode exit status is always 0: the tool
+documents change, it does not gate.
+
+--counters-only is the GATING mode: the two arguments are campaign
+counters FILES (dgcampaign's COUNTERS_<campaign>.json,
+"dg-campaign-counters-v1").  Counters are seed-deterministic -- pure
+functions of the campaign file, independent of thread count, wall clock
+and machine -- so ANY difference is a real behavioral regression: the
+tool prints every mismatched value with its variant/metric/trial path and
+exits 1.  Timing never enters this comparison (counters files carry
+none), so the gate is immune to CI noise.
 """
 import argparse
 import json
@@ -111,6 +122,66 @@ def diff_metrics(name, base, cur, threshold_pct):
             print(line)
 
 
+def variants_by_name(doc):
+    return {v.get("name", "?"): v for v in doc.get("variants", [])}
+
+
+def diff_counters(baseline_path, current_path):
+    """Exact comparison of two campaign counters files.  Returns the number
+    of mismatches (0 = gate passes)."""
+    base = load(baseline_path)
+    cur = load(current_path)
+    if base is None or cur is None:
+        print("counter diff: unreadable input", file=sys.stderr)
+        return 1
+    mismatches = 0
+
+    def report(path, b, c):
+        nonlocal mismatches
+        mismatches += 1
+        print(f"  COUNTER MISMATCH {path}: {b!r} -> {c!r}")
+
+    for key in ("format", "campaign"):
+        if base.get(key) != cur.get(key):
+            report(key, base.get(key), cur.get(key))
+    base_variants = variants_by_name(base)
+    cur_variants = variants_by_name(cur)
+    for name in sorted(base_variants.keys() - cur_variants.keys()):
+        report(f"variants[{name}]", "present", "MISSING")
+    for name in sorted(cur_variants.keys() - base_variants.keys()):
+        report(f"variants[{name}]", "MISSING", "present")
+    for name in sorted(base_variants.keys() & cur_variants.keys()):
+        b, c = base_variants[name], cur_variants[name]
+        for key in ("seed", "trials", "metrics"):
+            if b.get(key) != c.get(key):
+                report(f"variants[{name}].{key}", b.get(key), c.get(key))
+        metrics = b.get("metrics", [])
+        b_rows, c_rows = b.get("per_trial", []), c.get("per_trial", [])
+        if len(b_rows) != len(c_rows):
+            report(f"variants[{name}].per_trial length",
+                   len(b_rows), len(c_rows))
+        for t, (br, cr) in enumerate(zip(b_rows, c_rows)):
+            if len(br) != len(cr):
+                report(f"variants[{name}].per_trial[{t}] length",
+                       len(br), len(cr))
+            for m, (bv, cv) in enumerate(zip(br, cr)):
+                if bv != cv:
+                    metric = metrics[m] if m < len(metrics) else f"#{m}"
+                    report(f"variants[{name}].{metric}[trial {t}]", bv, cv)
+        b_sums, c_sums = b.get("sums", []), c.get("sums", [])
+        if len(b_sums) != len(c_sums):
+            report(f"variants[{name}].sums length",
+                   len(b_sums), len(c_sums))
+        for m, (bs, cs) in enumerate(zip(b_sums, c_sums)):
+            if bs != cs:
+                metric = metrics[m] if m < len(metrics) else f"#{m}"
+                report(f"variants[{name}].{metric}.sum", bs, cs)
+
+    print(f"counter diff: {baseline_path} -> {current_path}: "
+          f"{'OK' if mismatches == 0 else f'{mismatches} mismatch(es)'}")
+    return mismatches
+
+
 def main():
     parser = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -122,7 +193,19 @@ def main():
                         help="percent change to report with --metrics")
     parser.add_argument("--force", action="store_true",
                         help="compare even when hardware stamps differ")
+    parser.add_argument("--counters-only", action="store_true",
+                        help="gating mode: compare two campaign counters "
+                             "files exactly; exit 1 on any difference")
     args = parser.parse_args()
+
+    if args.counters_only:
+        for path in (args.baseline, args.current):
+            if not os.path.isfile(path):
+                print(f"counter diff: {path} is not a file "
+                      "(--counters-only takes two COUNTERS_*.json files)",
+                      file=sys.stderr)
+                return 2
+        return 1 if diff_counters(args.baseline, args.current) else 0
 
     def bench_names(d):
         return {f[len("BENCH_"):-len(".json")]

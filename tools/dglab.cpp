@@ -36,6 +36,7 @@
 #include "baseline/decay.h"
 #include "graph/generators.h"
 #include "lb/simulation.h"
+#include "phys/channel_spec.h"
 #include "phys/sinr.h"
 #include "seed/seed_alg.h"
 #include "seed/spec.h"
@@ -162,65 +163,28 @@ std::unique_ptr<sim::LinkScheduler> build_scheduler(const Flags& flags) {
   return std::make_unique<sim::BernoulliScheduler>(arg(1, 0.5));
 }
 
-/// Parses --channel=dual | sinr:alpha,beta,noise.  Returns nullptr for the
-/// default dual-graph reception (the scheduler decides the round topology);
-/// for sinr, the graph must carry a plane embedding.  Exits with a message
-/// on a malformed spec or a missing embedding.
+/// Parses --channel=dual | sinr:alpha,beta,noise via the shared
+/// phys::parse_channel_spec grammar.  Returns nullptr for the default
+/// dual-graph reception (the scheduler decides the round topology); for
+/// sinr, the graph must carry a plane embedding.  Exits with a message on
+/// a malformed spec or a missing embedding (bad CLI input gets exit 2
+/// instead of the SinrChannel constructor's contract abort).
 std::unique_ptr<phys::ChannelModel> build_channel(const Flags& flags,
                                                   const graph::DualGraph& g) {
-  const std::string spec = flags.str("channel", "dual");
-  if (spec == "dual") return nullptr;
-  const auto colon = spec.find(':');
-  if (spec.substr(0, colon) != "sinr") {
-    std::cerr << "dglab: unknown channel '" << spec
-              << "' (expected dual or sinr:alpha,beta,noise)\n";
+  phys::ChannelSpec spec;
+  const std::string error =
+      phys::parse_channel_spec(flags.str("channel", "dual"), spec);
+  if (!error.empty()) {
+    std::cerr << "dglab: --channel: " << error << "\n";
     std::exit(2);
   }
-  phys::SinrParams params;
-  if (colon != std::string::npos) {
-    // Accept ':' as a separator too (the --sched flags use it), so
-    // sinr:3:9:0.5 and sinr:3,9,0.5 mean the same thing.
-    std::string body = spec.substr(colon + 1);
-    std::replace(body.begin(), body.end(), ':', ',');
-    const auto nums = split(body, ',');
-    if (nums.size() > 3) {
-      std::cerr << "dglab: --channel=sinr takes at most three numbers "
-                   "(alpha,beta,noise); got '"
-                << spec << "'\n";
-      std::exit(2);
-    }
-    const auto num = [&](std::size_t i, double dflt) {
-      if (nums.size() <= i || nums[i].empty()) return dflt;
-      char* end = nullptr;
-      const double v = std::strtod(nums[i].c_str(), &end);
-      if (end == nullptr || *end != '\0') {
-        std::cerr << "dglab: malformed --channel number '" << nums[i]
-                  << "' in '" << spec << "'\n";
-        std::exit(2);
-      }
-      return v;
-    };
-    params.alpha = num(0, params.alpha);
-    params.beta = num(1, params.beta);
-    params.noise = num(2, params.noise);
-  }
-  // Validate here so bad CLI input gets a message + exit 2 instead of the
-  // SinrChannel constructor's contract abort.  Negated comparisons so NaN
-  // (which fails every ordering test) is rejected too.
-  if (!(params.alpha > 0.0) || !(params.beta >= 1.0) ||
-      !(params.noise > 0.0)) {
-    std::cerr << "dglab: --channel=sinr needs alpha > 0, beta >= 1 "
-                 "(unique-decode regime), noise > 0; got alpha="
-              << params.alpha << " beta=" << params.beta
-              << " noise=" << params.noise << "\n";
-    std::exit(2);
-  }
+  if (!spec.is_sinr) return nullptr;
   if (!g.embedding().has_value()) {
     std::cerr << "dglab: --channel=sinr needs an embedded topology "
                  "(geometric, grid, star, or line)\n";
     std::exit(2);
   }
-  return std::make_unique<phys::SinrChannel>(params);
+  return std::make_unique<phys::SinrChannel>(spec.sinr);
 }
 
 /// Builds the LB simulation with --channel deciding reception: an explicit
