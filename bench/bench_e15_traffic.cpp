@@ -1,0 +1,98 @@
+// E15 (extension, not a paper claim) -- open-loop traffic and the
+// saturation knee: LBAlg as an *ongoing* broadcast service under the
+// traffic subsystem's arrival processes (src/traffic/), instead of the
+// closed-loop saturated workload behind the progress/ack experiments.
+//
+// Pipeline per trial (src/scn/workload.cpp, traffic_latency): build the
+// variant's topology, attach the declared TrafficSource (Poisson open-loop
+// arrivals, a saturating set, bursts, or a hotspot mix) over the per-node
+// admission queues, run the horizon, and read the TrafficStats ledger --
+// offered vs delivered throughput, enqueue->ack / enqueue->first-recv
+// latency, queueing delay, and queue depths.
+//
+// The headline chart is offered load vs delivered (ack) throughput: below
+// the service capacity the two track each other and latency is flat; past
+// the knee, delivered throughput plateaus while queues and latency grow
+// with the horizon.  This is the multi-message regime of the related work
+// (Ghaffari-Kantor-Lynch-Newport multi-message broadcast) expressed as a
+// declarative campaign: campaigns/e15_traffic.json sweeps load x topology
+// x scheduler.
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "bench_support.h"
+#include "scn/campaign.h"
+
+int main() {
+  using namespace dg;
+  const std::string path = bench::campaign_file("e15_traffic.json");
+  const auto parsed = scn::parse_campaign_file(path);
+  if (!parsed.ok()) {
+    std::cerr << parsed.error << "\n";
+    return 2;
+  }
+  const auto result = scn::run_campaign(parsed.campaign, scn::RunOptions{});
+
+  bench::print_header(
+      "E15: offered load vs delivered throughput (extension)",
+      "Not a paper claim: LBAlg as an ongoing service under open-loop "
+      "arrivals.\nTrafficSources feed per-node admission queues over the "
+      "one-outstanding\ncontract; the sweep charts the saturation knee "
+      "(offered vs ack throughput,\nenqueue->ack latency, queue depths)."
+      "\nScenario: " +
+          path);
+
+  // "backlog" is the network-wide queued total per round; "qdepth max"
+  // the worst single-node queue (so backlog can exceed it by design).
+  Table table({"variant", "offered/rd", "delivered/rd", "util %", "wait",
+               "ack lat", "recv lat", "backlog", "qdepth max",
+               "dropped"});
+  // Metric row layout (scn::metric_names, traffic_latency):
+  //   0 offered, 1 admitted, 2 dropped, 3 acked, 4 aborted, 5 wait_mean,
+  //   6 ack_latency, 7 recv_latency, 8 backlog_mean, 9 qdepth_max,
+  //   10 offered_rate, 11 delivered_rate, 12 first_recvs.
+  for (const auto& v : result.variants) {
+    const double trials = static_cast<double>(v.trials.size());
+    double offered_rate = 0, delivered_rate = 0, dropped = 0;
+    double backlog_mean = 0, qdepth_max = 0;
+    // Latency means are pooled over events, not averaged over per-trial
+    // means: trials with no acks contribute no latency, and weighting
+    // them equally would understate the loaded trials.  Each mean is
+    // re-pooled against its own event count (admitted / acked /
+    // first_recvs).
+    double wait_sum = 0, ack_sum = 0, recv_sum = 0;
+    double admitted = 0, acked = 0, recvd = 0;
+    for (const auto& row : v.trials) {
+      offered_rate += row[10];
+      delivered_rate += row[11];
+      dropped += row[2];
+      backlog_mean += row[8];
+      qdepth_max = std::max(qdepth_max, row[9]);
+      wait_sum += row[5] * row[1];
+      admitted += row[1];
+      ack_sum += row[6] * row[3];
+      acked += row[3];
+      recv_sum += row[7] * row[12];
+      recvd += row[12];
+    }
+    table.row()
+        .cell(v.spec.name)
+        .cell(offered_rate / trials, 4)
+        .cell(delivered_rate / trials, 4)
+        .cell(offered_rate != 0 ? 100.0 * delivered_rate / offered_rate : 0,
+              1)
+        .cell(admitted != 0 ? wait_sum / admitted : 0, 1)
+        .cell(acked != 0 ? ack_sum / acked : 0, 1)
+        .cell(recvd != 0 ? recv_sum / recvd : 0, 1)
+        .cell(backlog_mean / trials, 2)
+        .cell(qdepth_max, 0)
+        .cell(dropped, 0);
+  }
+  bench::print_table(table);
+  std::cout << "\nReading: 'util %' near 100 = the service keeps up "
+               "(pre-knee); a delivered\nplateau with growing backlog/wait "
+               "= past the saturation knee.  The 'sat'\nvariants are the "
+               "closed-loop ceiling (the legacy keep_busy workload).\n";
+  return 0;
+}

@@ -5,8 +5,9 @@
 
 namespace dg::lb {
 
-/// Forwards LbProcess outputs to the spec checker and an optional extra
-/// listener (e.g. the abstract MAC adapter).
+/// Forwards LbProcess outputs to the spec checker, the traffic injector
+/// (latency/throughput ledger), and an optional extra listener (e.g. the
+/// abstract MAC adapter).
 class LbSimulation::Fanout final : public LbListener {
  public:
   explicit Fanout(LbSimulation& owner) : owner_(&owner) {}
@@ -14,15 +15,32 @@ class LbSimulation::Fanout final : public LbListener {
   void on_ack(graph::Vertex vertex, const sim::MessageId& m,
               sim::Round round) override {
     owner_->checker_->on_ack(vertex, m, round);
+    owner_->traffic_->on_ack(m, round);
     if (owner_->extra_ != nullptr) owner_->extra_->on_ack(vertex, m, round);
   }
 
   void on_recv(graph::Vertex vertex, const sim::MessageId& m,
                std::uint64_t content, sim::Round round) override {
     owner_->checker_->on_recv(vertex, m, content, round);
+    owner_->traffic_->on_recv(m, round);
     if (owner_->extra_ != nullptr) {
       owner_->extra_->on_recv(vertex, m, content, round);
     }
+  }
+
+ private:
+  LbSimulation* owner_;
+};
+
+/// The injector's view of this simulation: the busy bit and a
+/// contract-checked bcast post (which also notifies the spec checker).
+class LbSimulation::TrafficPort final : public traffic::LbPort {
+ public:
+  explicit TrafficPort(LbSimulation& owner) : owner_(&owner) {}
+
+  bool busy(graph::Vertex v) const override { return owner_->busy(v); }
+  sim::MessageId admit(graph::Vertex v, std::uint64_t content) override {
+    return owner_->post_bcast(v, content);
   }
 
  private:
@@ -50,7 +68,9 @@ LbSimulation::LbSimulation(const graph::DualGraph& g,
       ids_(sim::assign_ids(g.size(), derive_seed(master_seed, 0x1d5ULL))),
       fanout_(std::make_unique<Fanout>(*this)),
       checker_(std::make_unique<LbSpecChecker>(g, ids_, params)),
-      content_counter_(g.size(), 0) {
+      traffic_port_(std::make_unique<TrafficPort>(*this)),
+      traffic_(std::make_unique<traffic::Injector>(g.size(),
+                                                  *traffic_port_)) {
   DG_EXPECTS((scheduler_ != nullptr) != (channel_ != nullptr));
   std::vector<std::unique_ptr<sim::Process>> processes;
   processes.reserve(g.size());
@@ -92,6 +112,7 @@ std::optional<sim::MessageId> LbSimulation::post_abort(graph::Vertex v) {
   const auto aborted = process(v).abort();
   if (aborted.has_value()) {
     checker_->on_abort(v, *aborted, engine_->round() + 1);
+    traffic_->on_abort(*aborted, engine_->round() + 1);
   }
   return aborted;
 }
@@ -104,19 +125,14 @@ bool LbSimulation::busy(graph::Vertex v) const {
 }
 
 void LbSimulation::keep_busy(const std::vector<graph::Vertex>& vertices) {
-  for (graph::Vertex v : vertices) {
-    saturated_.push_back(v);
-  }
+  add_traffic(std::make_unique<traffic::SaturateSource>(vertices));
 }
 
 void LbSimulation::run_round() {
-  // Environment input step: saturate designated vertices, then the custom
-  // hook (both deterministic given the execution so far).
-  for (graph::Vertex v : saturated_) {
-    if (!busy(v)) {
-      post_bcast(v, /*content=*/++content_counter_[v]);
-    }
-  }
+  // Environment input step: traffic sources offer + the admission queues
+  // drain, then the custom hook (both deterministic given the execution so
+  // far).
+  traffic_->step(engine_->round() + 1);
   if (environment_) environment_(*this, engine_->round() + 1);
   engine_->run_round();
 }

@@ -1,13 +1,16 @@
 // LbSimulation: convenience wrapper wiring a dual graph, an oblivious link
-// scheduler, one LbProcess per vertex, the LB spec checker, and a
-// deterministic environment into a runnable system.
+// scheduler, one LbProcess per vertex, the LB spec checker, and a traffic
+// environment into a runnable system.
 //
 // The environment model follows Section 4.1: a deterministic automaton that
 // consumes ack outputs and produces bcast inputs, subject to the contract
-// (unique messages; no new bcast at u before u's previous ack).  Two
-// standard environments cover the paper's experiments: a script of
-// (round, vertex) posts, and a "saturating" set of vertices kept busy
-// forever (the workload behind the progress/acknowledgement bounds).
+// (unique messages; no new bcast at u before u's previous ack).  The
+// environment side is the pluggable traffic subsystem (src/traffic/): any
+// number of TrafficSources feed a per-node admission queue (the
+// traffic::Injector) that posts bcast inputs whenever the service is idle
+// and records end-to-end latency/throughput statistics.  The historical
+// APIs remain as thin shims: keep_busy() attaches a SaturateSource, and
+// post_bcast()/set_environment() still drive inputs directly.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +25,7 @@
 #include "phys/channel.h"
 #include "sim/engine.h"
 #include "sim/scheduler.h"
+#include "traffic/injector.h"
 
 namespace dg::lb {
 
@@ -45,21 +49,35 @@ class LbSimulation {
 
   /// Posts a bcast(m) input at vertex v, delivered at the start of the next
   /// round.  Contract-checked (asserts if v is busy).  Returns the message.
+  /// Bypasses the traffic admission queue -- direct environment access.
   sim::MessageId post_bcast(graph::Vertex v, std::uint64_t content);
 
   /// Posts an abort input at vertex v (abstract MAC extension): cancels the
   /// outstanding broadcast, if any, effective from the next round.  Returns
-  /// the aborted message id, if one existed.
+  /// the aborted message id, if one existed.  Messages still queued in the
+  /// traffic injector are unaffected (the next one is admitted once the
+  /// abort frees the service).
   std::optional<sim::MessageId> post_abort(graph::Vertex v);
 
   bool busy(graph::Vertex v) const;
 
+  /// Attaches a traffic source; sources step each round in attach order.
+  void add_traffic(std::unique_ptr<traffic::TrafficSource> source) {
+    traffic_->add_source(std::move(source));
+  }
+
+  /// The admission layer: queue state, per-message records, TrafficStats.
+  traffic::Injector& traffic() noexcept { return *traffic_; }
+  const traffic::Injector& traffic() const noexcept { return *traffic_; }
+
   /// Registers vertices the environment keeps saturated: whenever one is
-  /// idle between rounds, a fresh bcast is posted automatically.
+  /// idle between rounds, a fresh bcast is posted automatically.  Shim for
+  /// add_traffic(SaturateSource); behavior (contents, rounds) is
+  /// bit-identical to the historical hard-wired loop.
   void keep_busy(const std::vector<graph::Vertex>& vertices);
 
   /// Arbitrary deterministic environment hook, invoked before every round
-  /// with the round about to execute.
+  /// with the round about to execute (after the traffic sources step).
   void set_environment(
       std::function<void(LbSimulation&, sim::Round next_round)> env) {
     environment_ = std::move(env);
@@ -94,7 +112,8 @@ class LbSimulation {
   }
 
  private:
-  class Fanout;  // forwards process outputs to checker + extra listener
+  class Fanout;       // forwards process outputs to checker + listeners
+  class TrafficPort;  // adapts this simulation to traffic::LbPort
 
   /// Shared constructor body: exactly one of scheduler/channel is set.
   LbSimulation(const graph::DualGraph& g,
@@ -110,8 +129,8 @@ class LbSimulation {
   std::unique_ptr<Fanout> fanout_;
   std::unique_ptr<LbSpecChecker> checker_;
   std::unique_ptr<sim::Engine> engine_;
-  std::vector<graph::Vertex> saturated_;
-  std::vector<std::uint64_t> content_counter_;
+  std::unique_ptr<TrafficPort> traffic_port_;
+  std::unique_ptr<traffic::Injector> traffic_;
   std::function<void(LbSimulation&, sim::Round)> environment_;
   LbListener* extra_ = nullptr;
 };

@@ -1,21 +1,17 @@
 #include "phys/channel_spec.h"
 
 #include <algorithm>
-#include <cstdlib>
 #include <sstream>
 #include <vector>
+
+#include "util/specparse.h"
 
 namespace dg::phys {
 
 namespace {
 
-std::vector<std::string> split(const std::string& s, char sep) {
-  std::vector<std::string> out;
-  std::stringstream ss(s);
-  std::string item;
-  while (std::getline(ss, item, sep)) out.push_back(item);
-  return out;
-}
+using spec::parse_num;
+using spec::split;
 
 }  // namespace
 
@@ -42,9 +38,10 @@ std::string parse_channel_spec(const std::string& spec, ChannelSpec& out) {
     std::string error;
     const auto num = [&](std::size_t i, double dflt) {
       if (nums.size() <= i || nums[i].empty()) return dflt;
-      char* end = nullptr;
-      const double v = std::strtod(nums[i].c_str(), &end);
-      if (end == nullptr || *end != '\0') {
+      double v = 0;
+      // Shared strict rule (whole token, finite): "sinr:inf" is now
+      // rejected here instead of sliding through the range checks.
+      if (!parse_num(nums[i], v)) {
         error = "malformed channel number '" + nums[i] + "' in '" + spec +
                 "'";
         return dflt;

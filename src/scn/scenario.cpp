@@ -11,26 +11,14 @@
 #include "graph/generators.h"
 #include "scn/json.h"
 #include "util/assert.h"
+#include "util/specparse.h"
 
 namespace dg::scn {
 
 namespace {
 
-std::vector<std::string> split(const std::string& s, char sep) {
-  std::vector<std::string> out;
-  std::stringstream ss(s);
-  std::string item;
-  while (std::getline(ss, item, sep)) out.push_back(item);
-  return out;
-}
-
-/// Strict numeric token: the whole token must parse and be finite.
-bool parse_num(const std::string& s, double& out) {
-  if (s.empty()) return false;
-  char* end = nullptr;
-  out = std::strtod(s.c_str(), &end);
-  return end != nullptr && *end == '\0' && std::isfinite(out);
-}
+using spec::parse_num;
+using spec::split;
 
 bool valid_name(const std::string& s) {
   if (s.empty()) return false;
@@ -164,8 +152,13 @@ class ObjectReader {
   std::initializer_list<const char*> valid_;
 };
 
+// Key lists live at namespace scope so their backing arrays have static
+// storage: ObjectReader keeps the initializer_list by value, and a braced
+// temporary at a call site would dangle once the statement ends.
+constexpr std::initializer_list<const char*> kTopLevelKeys = {
+    "campaign", "scenarios"};
 constexpr std::initializer_list<const char*> kScenarioKeys = {
-    "name", "topology", "scheduler", "channel",
+    "name", "topology", "scheduler", "channel", "traffic",
     "algorithm", "trials", "seed", "matrix"};
 constexpr std::initializer_list<const char*> kTopologyKeys = {
     "type", "n", "side", "r", "cols", "rows", "spacing",
@@ -173,7 +166,7 @@ constexpr std::initializer_list<const char*> kTopologyKeys = {
 constexpr std::initializer_list<const char*> kAlgorithmKeys = {
     "type", "eps1", "r", "ack_scale", "senders", "receiver",
     "horizon_phases", "log_delta", "horizon_rounds", "ack_rounds",
-    "seed_eps"};
+    "seed_eps", "queue_cap"};
 constexpr std::initializer_list<const char*> kAxisEntryKeys = {
     "tag", "seed_offset", "set"};
 
@@ -182,7 +175,13 @@ const std::set<std::string> kTopologyTypes = {
     "contention_star", "disjoint_cliques", "deployment"};
 const std::set<std::string> kAlgorithmTypes = {
     "lb_progress", "decay_progress", "seed_agreement",
-    "seed_then_progress", "abstraction_fidelity"};
+    "seed_then_progress", "abstraction_fidelity", "traffic_latency"};
+
+/// The one-line workload list every workload-related rejection embeds
+/// (the same actionable style as the channel/scheduler/traffic specs).
+const char* kValidAlgorithmTypes =
+    "lb_progress, decay_progress, seed_agreement, seed_then_progress, "
+    "abstraction_fidelity, traffic_latency";
 /// Topology families that attach a plane embedding (required by SINR
 /// reception).
 const std::set<std::string> kEmbeddedTopologies = {
@@ -237,10 +236,8 @@ bool parse_algorithm(Ctx& ctx, const json::Value& v, const std::string& path,
   if (!r.str("type", out.type)) return false;
   if (kAlgorithmTypes.find(out.type) == kAlgorithmTypes.end()) {
     return ctx.fail(v.find("type") != nullptr ? *v.find("type") : v, path,
-                    "unknown algorithm type '" + out.type +
-                        "' (valid: lb_progress, decay_progress, "
-                        "seed_agreement, seed_then_progress, "
-                        "abstraction_fidelity)");
+                    "unknown algorithm type '" + out.type + "' (valid: " +
+                        std::string(kValidAlgorithmTypes) + ")");
   }
   std::int64_t log_delta = out.log_delta;
   if (!r.number("eps1", out.eps1) || !r.number("r", out.r) ||
@@ -250,7 +247,8 @@ bool parse_algorithm(Ctx& ctx, const json::Value& v, const std::string& path,
       !r.integer("log_delta", log_delta, 1, 62) ||
       !r.integer("horizon_rounds", out.horizon_rounds, 1) ||
       !r.integer("ack_rounds", out.ack_rounds, 1) ||
-      !r.number("seed_eps", out.seed_eps)) {
+      !r.number("seed_eps", out.seed_eps) ||
+      !r.integer("queue_cap", out.queue_cap, 0)) {
     return false;
   }
   out.log_delta = static_cast<int>(log_delta);
@@ -356,6 +354,48 @@ bool validate_semantics(Ctx& ctx, const json::Value& at,
                           spec.topology.type + "'");
     }
   }
+  if (a.type == "traffic_latency") {
+    if (spec.traffic.empty()) {
+      return ctx.fail(at, path,
+                      "algorithm 'traffic_latency' needs a \"traffic\" "
+                      "spec (valid: " +
+                          traffic::valid_traffic_specs() + ")");
+    }
+  } else if (!spec.traffic.empty()) {
+    return ctx.fail(at, path,
+                    "key \"traffic\" is only consumed by algorithm "
+                    "'traffic_latency'; algorithm '" +
+                        a.type + "' manages its own environment (valid "
+                        "workload kinds: " +
+                        std::string(kValidAlgorithmTypes) + ")");
+  } else if (a.queue_cap != 0) {
+    // Same no-silent-ignore rule as the traffic key: a queue_cap sweep on
+    // the wrong workload would otherwise produce identical counters with
+    // no diagnostic.
+    return ctx.fail(at, path,
+                    "key \"queue_cap\" is only consumed by algorithm "
+                    "'traffic_latency'; algorithm '" +
+                        a.type + "' has no admission queue (valid "
+                        "workload kinds: " +
+                        std::string(kValidAlgorithmTypes) + ")");
+  }
+  if (!spec.traffic.empty()) {
+    const traffic::TrafficSpec& t = spec.traffic_spec;
+    const bool counted = t.kind == traffic::TrafficSpec::Kind::kSaturate ||
+                         t.kind == traffic::TrafficSpec::Kind::kBurst;
+    if (counted && t.count > n) {
+      std::ostringstream os;
+      os << "traffic '" << spec.traffic << "' names " << t.count
+         << " sender(s), but the topology has only " << n << " vertices";
+      return ctx.fail(at, path, os.str());
+    }
+    if (t.kind == traffic::TrafficSpec::Kind::kHotspot && t.hot >= n) {
+      std::ostringstream os;
+      os << "traffic hot vertex " << t.hot << " out of range (topology has "
+         << n << " vertices)";
+      return ctx.fail(at, path, os.str());
+    }
+  }
   if (a.receiver >= static_cast<std::int64_t>(n)) {
     std::ostringstream os;
     os << "receiver " << a.receiver << " out of range (topology has " << n
@@ -394,6 +434,15 @@ bool parse_scenario(Ctx& ctx, const json::Value& v, const std::string& path,
     if (!err.empty()) {
       const json::Value* at = v.find("channel");
       return ctx.fail(at != nullptr ? *at : v, path + ".channel", err);
+    }
+  }
+  if (!r.str("traffic", out.traffic)) return false;
+  if (!out.traffic.empty()) {
+    const std::string err =
+        traffic::parse_traffic_spec(out.traffic, out.traffic_spec);
+    if (!err.empty()) {
+      const json::Value* at = v.find("traffic");
+      return ctx.fail(at != nullptr ? *at : v, path + ".traffic", err);
     }
   }
   if (const json::Value* t = r.get("topology")) {
@@ -634,7 +683,7 @@ CampaignParse parse_campaign_text(const std::string& text,
                  doc.kind_name());
     return finish();
   }
-  ObjectReader top(ctx, doc, "", {"campaign", "scenarios"});
+  ObjectReader top(ctx, doc, "", kTopLevelKeys);
   if (!top.str("campaign", out.campaign.name)) return finish();
   if (!valid_name(out.campaign.name)) {
     ctx.fail(doc, "campaign",

@@ -2,10 +2,13 @@
 //
 // A *campaign file* is a JSON document naming scenarios; each scenario
 // names a topology generator, an oblivious link scheduler, a channel model
-// (dual_graph or sinr:alpha,beta,noise), an algorithm workload (LBAlg
+// (dual_graph or sinr:alpha,beta,noise), an optional traffic model
+// (saturate/poisson/burst/hotspot -- the environment automaton, consumed
+// by the traffic_latency workload), an algorithm workload (LBAlg
 // progress, Decay baseline, SeedAlg agreement, the combined r-sensitivity
-// workload, or the SINR abstraction-fidelity comparison), a trial count
-// and a base seed.  An optional "matrix" block sweeps axes whose
+// workload, the SINR abstraction-fidelity comparison, or the open-loop
+// traffic_latency queueing workload), a trial count and a base seed.  An
+// optional "matrix" block sweeps axes whose
 // cross-product expands into concrete scenario *variants* -- the topology
 // x scheduler x channel x algorithm x adversary cross-product as data
 // instead of bespoke bench binaries.
@@ -55,6 +58,7 @@
 #include "graph/dual_graph.h"
 #include "phys/channel_spec.h"
 #include "sim/scheduler.h"
+#include "traffic/spec.h"
 #include "util/rng.h"
 
 namespace dg::scn {
@@ -80,7 +84,7 @@ struct TopologySpec {
 
 struct AlgorithmSpec {
   /// lb_progress | decay_progress | seed_agreement | seed_then_progress
-  /// | abstraction_fidelity
+  /// | abstraction_fidelity | traffic_latency
   std::string type = "lb_progress";
 
   // LBAlg knobs (lb_progress, seed_then_progress, abstraction_fidelity).
@@ -100,6 +104,10 @@ struct AlgorithmSpec {
 
   // SeedAlg knobs (seed_agreement, seed_then_progress).
   double seed_eps = 0.1;
+
+  // Traffic knobs (traffic_latency): per-node admission queue bound
+  // (0 = unbounded; offers beyond it are dropped and counted).
+  std::int64_t queue_cap = 0;
 };
 
 /// One concrete (post-expansion) scenario variant.
@@ -109,6 +117,10 @@ struct ScenarioSpec {
   std::string scheduler = "bernoulli:0.5";
   std::string channel = "dual_graph";
   phys::ChannelSpec channel_spec;  ///< parsed form of `channel`
+  /// Traffic model (the environment automaton), e.g. "poisson:0.3"; only
+  /// the traffic_latency workload consumes it.  Empty = none.
+  std::string traffic;
+  traffic::TrafficSpec traffic_spec;  ///< parsed form of `traffic`
   AlgorithmSpec algorithm;
   std::size_t trials = 1;
   std::uint64_t seed = 1;  ///< base + matrix seed offsets

@@ -12,6 +12,7 @@
 #include "seed/spec.h"
 #include "sim/engine.h"
 #include "stats/probes.h"
+#include "traffic/spec.h"
 #include "util/assert.h"
 
 namespace dg::scn {
@@ -220,6 +221,49 @@ std::vector<double> run_abstraction_fidelity(const ScenarioSpec& spec,
           static_cast<double>(ext.stats.unreliable_edges)};
 }
 
+// ---- traffic_latency (the E15 trial body: an open-loop TrafficSource
+// over the admission queues, measuring offered vs delivered throughput
+// and enqueue->ack / enqueue->first-recv latency) ----
+
+std::vector<double> run_traffic_latency(const ScenarioSpec& spec,
+                                        std::uint64_t seed) {
+  Rng rng(seed);
+  const auto g = build_topology(spec.topology, rng);
+  const auto params = lb_params_for(spec.algorithm, g);
+  std::unique_ptr<lb::LbSimulation> sim;
+  if (spec.channel_spec.is_sinr) {
+    sim = std::make_unique<lb::LbSimulation>(
+        g, std::make_unique<phys::SinrChannel>(spec.channel_spec.sinr),
+        params, seed);
+  } else {
+    sim = std::make_unique<lb::LbSimulation>(
+        g, build_scheduler(spec.scheduler), params, seed);
+  }
+  sim->traffic().set_queue_capacity(
+      static_cast<std::size_t>(spec.algorithm.queue_cap));
+  // Stream 5: the source's private coins (0x1d5/ids and the engine streams
+  // hang off the master seed; 1..4 are taken by the other workloads).
+  sim->add_traffic(
+      traffic::build_source(spec.traffic_spec, g.size(), derive_seed(seed, 5)));
+  sim->run_phases(spec.algorithm.horizon_phases);
+
+  const traffic::TrafficStats& ts = sim->traffic().stats();
+  const double rounds = static_cast<double>(sim->round());
+  return {static_cast<double>(ts.offered),
+          static_cast<double>(ts.admitted),
+          static_cast<double>(ts.dropped),
+          static_cast<double>(ts.acked),
+          static_cast<double>(ts.aborted),
+          ts.mean_wait(),
+          ts.mean_ack_latency(),
+          ts.mean_recv_latency(),
+          ts.mean_backlog(),
+          static_cast<double>(ts.depth_max),
+          rounds != 0 ? static_cast<double>(ts.offered) / rounds : 0.0,
+          rounds != 0 ? static_cast<double>(ts.acked) / rounds : 0.0,
+          static_cast<double>(ts.first_recvs)};
+}
+
 }  // namespace
 
 std::vector<std::string> metric_names(const ScenarioSpec& spec) {
@@ -232,6 +276,15 @@ std::vector<std::string> metric_names(const ScenarioSpec& spec) {
   }
   if (t == "seed_then_progress") {
     return {"latency", "max_owners", "consistent"};
+  }
+  if (t == "traffic_latency") {
+    // first_recvs is the event count behind recv_latency's mean, so
+    // consumers can re-pool latencies across trials without skew.
+    // backlog_mean is the NETWORK-WIDE queued total per round;
+    // qdepth_max is the worst single-node queue.
+    return {"offered", "admitted", "dropped", "acked", "aborted",
+            "wait_mean", "ack_latency", "recv_latency", "backlog_mean",
+            "qdepth_max", "offered_rate", "delivered_rate", "first_recvs"};
   }
   DG_EXPECTS(t == "abstraction_fidelity");
   return {"dual_progress", "dual_reached", "dual_receptions",
@@ -249,6 +302,7 @@ std::vector<double> run_trial(const ScenarioSpec& spec,
   if (t == "seed_then_progress") {
     return run_seed_then_progress(spec, trial_seed);
   }
+  if (t == "traffic_latency") return run_traffic_latency(spec, trial_seed);
   DG_EXPECTS(t == "abstraction_fidelity");
   return run_abstraction_fidelity(spec, trial_seed);
 }

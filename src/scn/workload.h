@@ -24,6 +24,10 @@ namespace dg::scn {
 ///   seed_agreement:       well_formed, consistent, owners_local,
 ///                         distinct_owners, max_owners
 ///   seed_then_progress:   latency, max_owners, consistent
+///   traffic_latency:      offered, admitted, dropped, acked, aborted,
+///                         wait_mean, ack_latency, recv_latency,
+///                         backlog_mean, qdepth_max, offered_rate,
+///                         delivered_rate, first_recvs
 ///   abstraction_fidelity: dual_progress, dual_reached, dual_receptions,
 ///                         dual_ack_latency, dual_acked, sinr_progress,
 ///                         sinr_reached, sinr_receptions, sinr_ack_latency,

@@ -1,0 +1,110 @@
+#include "traffic/source.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace dg::traffic {
+
+namespace {
+
+/// Knuth's Poisson sampler: exact for the small per-round rates traffic
+/// specs use (rate is arrivals per ROUND, so it is O(1) in expectation).
+std::size_t poisson_draw(Rng& rng, double rate) {
+  const double limit = std::exp(-rate);
+  std::size_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng.uniform();
+  } while (p > limit);
+  return k - 1;
+}
+
+}  // namespace
+
+std::vector<graph::Vertex> spread_vertices(std::size_t count, std::size_t n) {
+  DG_EXPECTS(count >= 1 && count <= n);
+  std::vector<graph::Vertex> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(static_cast<graph::Vertex>((i * n) / count));
+  }
+  return out;
+}
+
+SaturateSource::SaturateSource(std::vector<graph::Vertex> vertices)
+    : vertices_(std::move(vertices)) {}
+
+void SaturateSource::step(Admission& q, sim::Round) {
+  // One fresh message whenever a designated vertex is idle: offered with an
+  // empty queue, it is admitted this very round, which is exactly the
+  // legacy keep_busy post (same contents, same rounds).
+  for (graph::Vertex v : vertices_) {
+    if (!q.service_busy(v) && q.queue_depth(v) == 0) q.offer(v);
+  }
+}
+
+ScriptSource::ScriptSource(std::vector<Post> posts)
+    : posts_(std::move(posts)) {
+  for (std::size_t i = 1; i < posts_.size(); ++i) {
+    DG_EXPECTS(posts_[i - 1].round <= posts_[i].round);
+  }
+}
+
+void ScriptSource::step(Admission& q, sim::Round round) {
+  while (next_ < posts_.size() && posts_[next_].round <= round) {
+    const Post& p = posts_[next_++];
+    if (p.content != 0) {
+      q.offer(p.vertex, p.content);
+    } else {
+      q.offer(p.vertex);
+    }
+  }
+}
+
+PoissonSource::PoissonSource(double rate, std::uint64_t seed)
+    : rate_(rate), rng_(seed) {
+  // Upper bound keeps poisson_draw's exp(-rate) away from underflow (the
+  // spec grammar enforces 256; anything below ~700 is exact).
+  DG_EXPECTS(rate > 0.0 && rate < 700.0);
+}
+
+void PoissonSource::step(Admission& q, sim::Round) {
+  const std::size_t k = poisson_draw(rng_, rate_);
+  for (std::size_t i = 0; i < k; ++i) {
+    q.offer(static_cast<graph::Vertex>(rng_.below(q.nodes())));
+  }
+}
+
+BurstSource::BurstSource(sim::Round period, std::size_t size,
+                         std::vector<graph::Vertex> targets)
+    : period_(period), size_(size), targets_(std::move(targets)) {
+  DG_EXPECTS(period >= 1 && size >= 1 && !targets_.empty());
+}
+
+void BurstSource::step(Admission& q, sim::Round round) {
+  if ((round - 1) % period_ != 0) return;
+  for (graph::Vertex v : targets_) {
+    for (std::size_t i = 0; i < size_; ++i) q.offer(v);
+  }
+}
+
+HotspotSource::HotspotSource(double rate, double bias, graph::Vertex hot,
+                             std::uint64_t seed)
+    : rate_(rate), bias_(bias), hot_(hot), rng_(seed) {
+  DG_EXPECTS(rate > 0.0 && rate < 700.0);
+  DG_EXPECTS(bias >= 0.0 && bias <= 1.0);
+}
+
+void HotspotSource::step(Admission& q, sim::Round) {
+  const std::size_t k = poisson_draw(rng_, rate_);
+  for (std::size_t i = 0; i < k; ++i) {
+    const graph::Vertex v =
+        rng_.chance(bias_) ? hot_
+                           : static_cast<graph::Vertex>(rng_.below(q.nodes()));
+    q.offer(v);
+  }
+}
+
+}  // namespace dg::traffic

@@ -1,0 +1,160 @@
+// Pluggable traffic sources: the environment side of the LB service
+// (Section 4.1's environment automaton), promoted to a first-class
+// subsystem.
+//
+// A TrafficSource decides *what the environment wants to send* each round;
+// the admission layer (traffic/injector.h) decides *when the service can
+// take it*, by queueing offers per node over LbProcess's
+// one-outstanding-message contract.  Sources therefore never talk to
+// LbProcess directly: they see only the Admission interface -- node count,
+// service busy/queue state (for closed-loop sources), and offer().
+//
+// Shipped sources:
+//   Saturate  closed-loop: keeps a vertex set busy forever -- one fresh
+//             offer whenever a designated node is idle with an empty
+//             queue.  Reproduces LbSimulation::keep_busy bit-for-bit (the
+//             workload behind the paper's progress/ack experiments).
+//   Script    a fixed (round, vertex[, content]) post list -- the other
+//             legacy environment, now data.
+//   Poisson   open-loop arrivals: k ~ Poisson(rate) offers per round,
+//             each at a uniformly random vertex (the multi-message
+//             regime of Ghaffari-Kantor-Lynch-Newport).
+//   Burst     every `period` rounds, `size` back-to-back offers at each
+//             target vertex (queue-depth stress).
+//   Hotspot   Poisson arrivals with a biased vertex choice: fraction
+//             `bias` of arrivals hit one hot vertex, the rest are
+//             uniform (contention skew).
+//
+// Sources draw randomness from their own Rng stream, never the engine's,
+// so attaching one perturbs neither the protocol's coins nor the
+// scheduler: executions stay bit-reproducible for a given master seed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/dual_graph.h"
+#include "sim/engine.h"
+#include "util/rng.h"
+
+namespace dg::traffic {
+
+/// What a source sees of the admission layer (implemented by Injector).
+class Admission {
+ public:
+  virtual ~Admission() = default;
+
+  virtual std::size_t nodes() const = 0;
+
+  /// True while the service holds an outstanding (unacked, unaborted)
+  /// message at v -- the one-outstanding contract's busy bit.
+  virtual bool service_busy(graph::Vertex v) const = 0;
+
+  /// Messages queued at v awaiting admission.
+  virtual std::size_t queue_depth(graph::Vertex v) const = 0;
+
+  /// Offers one message for admission at v.  Content is assigned from v's
+  /// arrival counter (1, 2, ...; the keep_busy convention).  The offer is
+  /// dropped (and counted as such) if v's queue is at capacity.
+  virtual void offer(graph::Vertex v) = 0;
+
+  /// Same, with explicit application content (Script environments).
+  virtual void offer(graph::Vertex v, std::uint64_t content) = 0;
+};
+
+/// Per-round arrival generator.  step() is invoked exactly once per round,
+/// immediately before the round executes; `round` is the round about to
+/// run (messages admitted now are delivered as bcast(m) inputs at its
+/// start, matching LbSimulation::post_bcast timing).
+class TrafficSource {
+ public:
+  virtual ~TrafficSource() = default;
+  virtual std::string name() const = 0;
+  virtual void step(Admission& q, sim::Round round) = 0;
+};
+
+/// The `count` designated senders of an n-vertex network, spread evenly:
+/// vertex (i * n) / count for i in [0, count).  (The dglab --senders
+/// placement; count must be in [1, n].)
+std::vector<graph::Vertex> spread_vertices(std::size_t count, std::size_t n);
+
+class SaturateSource final : public TrafficSource {
+ public:
+  explicit SaturateSource(std::vector<graph::Vertex> vertices);
+
+  std::string name() const override { return "saturate"; }
+  void step(Admission& q, sim::Round round) override;
+
+ private:
+  std::vector<graph::Vertex> vertices_;
+};
+
+class ScriptSource final : public TrafficSource {
+ public:
+  struct Post {
+    sim::Round round = 1;          ///< earliest round to offer at
+    graph::Vertex vertex = 0;
+    std::uint64_t content = 0;     ///< 0 = auto (arrival counter)
+  };
+
+  /// Posts must be sorted by round (contract-checked).
+  explicit ScriptSource(std::vector<Post> posts);
+
+  std::string name() const override { return "script"; }
+  void step(Admission& q, sim::Round round) override;
+
+ private:
+  std::vector<Post> posts_;
+  std::size_t next_ = 0;
+};
+
+class PoissonSource final : public TrafficSource {
+ public:
+  /// `rate` is the expected number of arrivals per round across the whole
+  /// network; each arrival picks a uniform vertex.
+  PoissonSource(double rate, std::uint64_t seed);
+
+  std::string name() const override { return "poisson"; }
+  void step(Admission& q, sim::Round round) override;
+
+ private:
+  double rate_;
+  Rng rng_;
+};
+
+class BurstSource final : public TrafficSource {
+ public:
+  /// Every `period` rounds (starting at round 1), offers `size` messages
+  /// at each target vertex.
+  BurstSource(sim::Round period, std::size_t size,
+              std::vector<graph::Vertex> targets);
+
+  std::string name() const override { return "burst"; }
+  void step(Admission& q, sim::Round round) override;
+
+ private:
+  sim::Round period_;
+  std::size_t size_;
+  std::vector<graph::Vertex> targets_;
+};
+
+class HotspotSource final : public TrafficSource {
+ public:
+  /// Poisson(rate) arrivals per round; each lands on `hot` with
+  /// probability `bias`, else on a uniform vertex.
+  HotspotSource(double rate, double bias, graph::Vertex hot,
+                std::uint64_t seed);
+
+  std::string name() const override { return "hotspot"; }
+  void step(Admission& q, sim::Round round) override;
+
+ private:
+  double rate_;
+  double bias_;
+  graph::Vertex hot_;
+  Rng rng_;
+};
+
+}  // namespace dg::traffic

@@ -1,0 +1,147 @@
+#include "traffic/spec.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/assert.h"
+#include "util/specparse.h"
+
+namespace dg::traffic {
+
+namespace {
+
+using spec::parse_num;
+using spec::split;
+
+/// Upper bound on poisson/hotspot arrival rates (per round, network-wide).
+/// Knuth's sampler multiplies uniforms until the product drops below
+/// exp(-rate), which underflows to 0 near rate ~745 and silently caps the
+/// draw; 256 arrivals/round is already far past any service capacity in
+/// this stack, so the bound costs nothing and keeps the sampler exact.
+constexpr double kMaxRate = 256.0;
+
+/// Integral argument check with an explicit ceiling: the subsequent
+/// double->integer casts are undefined for values past the integer range,
+/// so e.g. "saturate:1e20" must die here with a message, not in a cast.
+constexpr double kMaxInt = 2147483647.0;  // 2^31 - 1
+bool int_in(double v, double min) {
+  return v == std::floor(v) && v >= min && v <= kMaxInt;
+}
+
+}  // namespace
+
+std::string valid_traffic_specs() {
+  return "saturate[:count], poisson:rate, burst:period:size[:count], "
+         "hotspot:rate:bias[:hot]";
+}
+
+std::string parse_traffic_spec(const std::string& spec, TrafficSpec& out) {
+  out = TrafficSpec{};
+  const auto parts = split(spec, ':');
+  if (parts.empty()) {
+    return "empty traffic spec (valid: " + valid_traffic_specs() + ")";
+  }
+  const std::string& kind = parts[0];
+  const auto arity = [&](std::size_t max_args) -> std::string {
+    if (parts.size() - 1 > max_args) {
+      return "traffic '" + kind + "' takes at most " +
+             std::to_string(max_args) + " argument(s); got '" + spec + "'";
+    }
+    return "";
+  };
+  const auto arg = [&](std::size_t i, double dflt, double& value) -> bool {
+    value = dflt;
+    if (parts.size() <= i) return true;
+    return parse_num(parts[i], value);
+  };
+  double a = 0, b = 0, c = 0;
+  if (kind == "saturate") {
+    out.kind = TrafficSpec::Kind::kSaturate;
+    if (auto e = arity(1); !e.empty()) return e;
+    if (!arg(1, 1, a) || !int_in(a, 1)) {
+      return "malformed saturate:count in '" + spec +
+             "' (count must be an integer in [1, 2^31))";
+    }
+    out.count = static_cast<std::size_t>(a);
+    return "";
+  }
+  if (kind == "poisson") {
+    out.kind = TrafficSpec::Kind::kPoisson;
+    if (auto e = arity(1); !e.empty()) return e;
+    if (!arg(1, 0.5, a) || !(a > 0.0 && a <= kMaxRate)) {
+      return "malformed poisson:rate in '" + spec +
+             "' (rate must be in (0, " + std::to_string(int(kMaxRate)) +
+             "] arrivals/round)";
+    }
+    out.rate = a;
+    return "";
+  }
+  if (kind == "burst") {
+    out.kind = TrafficSpec::Kind::kBurst;
+    if (auto e = arity(3); !e.empty()) return e;
+    if (!arg(1, 64, a) || !arg(2, 4, b) || !arg(3, 1, c)) {
+      return "malformed burst:period:size:count in '" + spec + "'";
+    }
+    if (!int_in(a, 1) || !int_in(b, 1) || !int_in(c, 0)) {
+      return "burst needs integers in [0, 2^31): period >= 1, size >= 1, "
+             "count >= 0 (0 = all vertices); got '" +
+             spec + "'";
+    }
+    out.period = static_cast<std::int64_t>(a);
+    out.size = static_cast<std::size_t>(b);
+    out.count = static_cast<std::size_t>(c);
+    return "";
+  }
+  if (kind == "hotspot") {
+    out.kind = TrafficSpec::Kind::kHotspot;
+    if (auto e = arity(3); !e.empty()) return e;
+    if (!arg(1, 0.5, a) || !(a > 0.0 && a <= kMaxRate)) {
+      return "malformed hotspot rate in '" + spec +
+             "' (rate must be in (0, " + std::to_string(int(kMaxRate)) +
+             "] arrivals/round)";
+    }
+    if (!arg(2, 0.5, b) || !(b >= 0.0 && b <= 1.0)) {
+      return "malformed hotspot bias in '" + spec +
+             "' (bias must be in [0, 1])";
+    }
+    if (!arg(3, 0, c) || !int_in(c, 0)) {
+      return "malformed hotspot vertex in '" + spec +
+             "' (hot must be a vertex index below 2^31)";
+    }
+    out.rate = a;
+    out.bias = b;
+    out.hot = static_cast<std::size_t>(c);
+    return "";
+  }
+  return "unknown traffic '" + kind + "' (valid: " + valid_traffic_specs() +
+         ")";
+}
+
+std::unique_ptr<TrafficSource> build_source(const TrafficSpec& spec,
+                                            std::size_t n,
+                                            std::uint64_t seed) {
+  DG_EXPECTS(n >= 1);
+  switch (spec.kind) {
+    case TrafficSpec::Kind::kSaturate:
+      return std::make_unique<SaturateSource>(
+          spread_vertices(spec.count, n));
+    case TrafficSpec::Kind::kPoisson:
+      return std::make_unique<PoissonSource>(spec.rate, seed);
+    case TrafficSpec::Kind::kBurst: {
+      std::vector<graph::Vertex> targets =
+          spec.count == 0 ? spread_vertices(n, n)
+                          : spread_vertices(spec.count, n);
+      return std::make_unique<BurstSource>(spec.period, spec.size,
+                                           std::move(targets));
+    }
+    case TrafficSpec::Kind::kHotspot:
+      DG_EXPECTS(spec.hot < n);
+      return std::make_unique<HotspotSource>(
+          spec.rate, spec.bias, static_cast<graph::Vertex>(spec.hot), seed);
+  }
+  DG_ASSERT(false);
+  return nullptr;
+}
+
+}  // namespace dg::traffic

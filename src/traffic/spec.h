@@ -1,0 +1,59 @@
+// Textual traffic specs: one parser serves every surface that accepts a
+// traffic model (dglab --traffic, scenario files' "traffic" key, campaign
+// matrix sweeps), mirroring phys/channel_spec so the grammar and the error
+// messages cannot drift apart.
+//
+// Grammar (':'-separated, trailing numbers may be omitted for defaults):
+//   saturate[:count]           closed-loop: keep `count` evenly spread
+//                              vertices busy forever (default 1)
+//   poisson:rate               open-loop: rate arrivals/round network-wide,
+//                              uniform vertex (default 0.5; rate bounded to
+//                              (0, 256] so the exact Poisson sampler never
+//                              underflows)
+//   burst:period:size[:count]  every `period` rounds, `size` messages at
+//                              each of `count` spread vertices (0 = all;
+//                              defaults 64:4:1)
+//   hotspot:rate:bias[:hot]    poisson:rate with fraction `bias` of
+//                              arrivals at vertex `hot` (defaults
+//                              0.5:0.5:0)
+// Script environments are inherently programmatic (a post list, not a flat
+// string) and stay API-only: traffic::ScriptSource.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "traffic/source.h"
+
+namespace dg::traffic {
+
+struct TrafficSpec {
+  enum class Kind { kSaturate, kPoisson, kBurst, kHotspot };
+  Kind kind = Kind::kSaturate;
+  std::size_t count = 1;     ///< saturate senders / burst targets (0 = all)
+  double rate = 0.5;         ///< poisson / hotspot arrivals per round
+  std::int64_t period = 64;  ///< burst period in rounds
+  std::size_t size = 4;      ///< burst messages per target
+  double bias = 0.5;         ///< hotspot fraction routed to `hot`
+  std::size_t hot = 0;       ///< hotspot vertex index
+};
+
+/// The one-line list of valid specs, embedded in every rejection message
+/// (and reusable by callers composing their own errors).
+std::string valid_traffic_specs();
+
+/// Parses and range-checks a spec.  Returns the empty string and fills
+/// `out` on success, else a human-readable error naming the offending
+/// token and listing the valid specs.  Vertex bounds (count <= n, hot < n)
+/// are the caller's check: the node count is not known here.
+std::string parse_traffic_spec(const std::string& spec, TrafficSpec& out);
+
+/// Builds the source for a validated spec over an n-vertex network.
+/// Randomized sources draw from their own stream seeded with `seed`.
+/// Contract-checks the vertex bounds.
+std::unique_ptr<TrafficSource> build_source(const TrafficSpec& spec,
+                                            std::size_t n,
+                                            std::uint64_t seed);
+
+}  // namespace dg::traffic

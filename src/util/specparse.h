@@ -1,0 +1,32 @@
+// Shared token helpers for the textual spec grammars (scheduler specs in
+// scn/, channel specs in phys/, traffic specs in traffic/).  The three
+// grammars are documented as mirroring each other; keeping their
+// tokenization in one place keeps the strictness rules (whole-token
+// numbers, finite values) from drifting apart.
+#pragma once
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace dg::spec {
+
+inline std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, sep)) out.push_back(item);
+  return out;
+}
+
+/// Strict numeric token: the whole token must parse and be finite.
+inline bool parse_num(const std::string& s, double& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0' && std::isfinite(out);
+}
+
+}  // namespace dg::spec

@@ -54,8 +54,8 @@ TEST(CheckedInCampaigns, AllFilesValidate) {
     EXPECT_TRUE(parsed.ok()) << parsed.error;
     EXPECT_FALSE(parsed.campaign.variants.empty()) << entry.path();
   }
-  // smoke + the four ported experiment campaigns, at minimum.
-  EXPECT_GE(seen, 5u);
+  // smoke + the four ported experiment campaigns + E15, at minimum.
+  EXPECT_GE(seen, 6u);
 }
 
 TEST(CheckedInCampaigns, SmokeMatchesGoldenCountersAnyThreadCount) {
@@ -85,7 +85,8 @@ TEST(CheckedInCampaigns, SmokeMatchesGoldenCountersAnyThreadCount) {
 // tier1 only, the nightly workflow runs everything.
 TEST(CheckedInCampaigns, ExperimentCampaignsRunReduced) {
   for (const char* name :
-       {"e3_progress", "e6_adversary", "e13_r_sensitivity", "e14_sinr"}) {
+       {"e3_progress", "e6_adversary", "e13_r_sensitivity", "e14_sinr",
+        "e15_traffic"}) {
     const auto parsed = parse_campaign_file(campaign_dir() + "/" +
                                             std::string(name) + ".json");
     ASSERT_TRUE(parsed.ok()) << parsed.error;

@@ -385,5 +385,110 @@ TEST(SchedulerSpecs, AllValidKindsBuild) {
   }
 }
 
+// ---- the traffic axis ----
+
+std::string traffic_scenario(const std::string& traffic,
+                             const std::string& algo_extra = "") {
+  return R"({"campaign": "t", "scenarios": [{"name": "s",
+      "topology": {"type": "clique", "k": 4},
+      "traffic": ")" +
+         traffic +
+         R"(",
+      "algorithm": {"type": "traffic_latency", "horizon_phases": 2)" +
+         algo_extra + R"(},
+      "trials": 1, "seed": 7}]})";
+}
+
+TEST(TrafficAxis, ParsesAndRunsEveryKind) {
+  for (const char* spec :
+       {"saturate:2", "poisson:0.5", "burst:8:2:1", "hotspot:0.5:0.5:1"}) {
+    const auto p = parse(traffic_scenario(spec));
+    ASSERT_TRUE(p.ok()) << spec << ": " << p.error;
+    const ScenarioSpec& s = p.campaign.variants[0];
+    EXPECT_EQ(s.traffic, spec);
+    const auto names = metric_names(s);
+    const auto row = run_trial(s, 123);
+    ASSERT_EQ(row.size(), names.size()) << spec;
+    EXPECT_EQ(names.front(), "offered");
+    EXPECT_EQ(row, run_trial(s, 123)) << "trial must be seed-deterministic";
+  }
+}
+
+TEST(TrafficAxis, BadSpecsAreActionable) {
+  const auto p = parse(traffic_scenario("poison:0.5"));
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.error.find("unknown traffic 'poison'"), std::string::npos)
+      << p.error;
+  EXPECT_NE(p.error.find("saturate[:count]"), std::string::npos) << p.error;
+  EXPECT_NE(p.error.find(".traffic"), std::string::npos) << p.error;
+}
+
+TEST(TrafficAxis, TrafficLatencyNeedsATrafficSpec) {
+  const auto p = parse(R"({"campaign": "t", "scenarios": [{"name": "s",
+      "topology": {"type": "clique", "k": 4},
+      "algorithm": {"type": "traffic_latency"},
+      "trials": 1, "seed": 7}]})");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.error.find("needs a \"traffic\" spec"), std::string::npos)
+      << p.error;
+  EXPECT_NE(p.error.find("poisson:rate"), std::string::npos) << p.error;
+}
+
+TEST(TrafficAxis, OtherWorkloadsRejectTrafficListingValidKinds) {
+  const auto p = parse(minimal_scenario(R"(, "traffic": "poisson:0.5")"));
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.error.find("only consumed by algorithm 'traffic_latency'"),
+            std::string::npos)
+      << p.error;
+  // The rejection lists every valid workload kind (the actionable style).
+  for (const char* kind :
+       {"lb_progress", "decay_progress", "seed_agreement",
+        "seed_then_progress", "abstraction_fidelity", "traffic_latency"}) {
+    EXPECT_NE(p.error.find(kind), std::string::npos) << kind;
+  }
+}
+
+TEST(TrafficAxis, UnknownAlgorithmListsTrafficLatency) {
+  const auto p = parse(R"({"campaign": "t", "scenarios": [{"name": "s",
+      "topology": {"type": "clique", "k": 4},
+      "algorithm": {"type": "traffic_latncy"},
+      "trials": 1, "seed": 7}]})");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.error.find("unknown algorithm type"), std::string::npos);
+  EXPECT_NE(p.error.find("traffic_latency"), std::string::npos) << p.error;
+}
+
+TEST(TrafficAxis, VertexBoundsAreChecked) {
+  {
+    const auto p = parse(traffic_scenario("saturate:9"));
+    ASSERT_FALSE(p.ok());
+    EXPECT_NE(p.error.find("9 sender(s)"), std::string::npos) << p.error;
+    EXPECT_NE(p.error.find("4 vertices"), std::string::npos) << p.error;
+  }
+  {
+    const auto p = parse(traffic_scenario("hotspot:0.5:0.5:4"));
+    ASSERT_FALSE(p.ok());
+    EXPECT_NE(p.error.find("hot vertex 4 out of range"), std::string::npos)
+        << p.error;
+  }
+}
+
+TEST(TrafficAxis, SweepableInMatrixAxes) {
+  const auto p = parse(R"({"campaign": "t", "scenarios": [{"name": "s",
+      "topology": {"type": "clique", "k": 4},
+      "traffic": "poisson:0.1",
+      "algorithm": {"type": "traffic_latency", "horizon_phases": 2},
+      "trials": 1, "seed": 7,
+      "matrix": {"load": [
+        {"tag": "lo", "seed_offset": 1, "set": {"traffic": "poisson:0.1"}},
+        {"tag": "hi", "seed_offset": 2, "set": {"traffic": "saturate:2"}}
+      ]}}]})");
+  ASSERT_TRUE(p.ok()) << p.error;
+  ASSERT_EQ(p.campaign.variants.size(), 2u);
+  EXPECT_EQ(p.campaign.variants[0].traffic, "poisson:0.1");
+  EXPECT_EQ(p.campaign.variants[1].traffic, "saturate:2");
+  EXPECT_EQ(p.campaign.variants[1].seed, 9u);
+}
+
 }  // namespace
 }  // namespace dg::scn

@@ -3,7 +3,7 @@
 
 Usage: bench_diff.py BASELINE_DIR CURRENT_DIR [--metrics] [--threshold PCT]
                      [--force]
-       bench_diff.py --counters-only GOLDEN.json CURRENT.json
+       bench_diff.py --counters-only [--allow-new] GOLDEN.json CURRENT.json
 
 For every BENCH_<name>.json present in both directories (the
 bench_support.h / engine_micro_report.py shape: {"elapsed_ms", "sections"}),
@@ -29,7 +29,9 @@ functions of the campaign file, independent of thread count, wall clock
 and machine -- so ANY difference is a real behavioral regression: the
 tool prints every mismatched value with its variant/metric/trial path and
 exits 1.  Timing never enters this comparison (counters files carry
-none), so the gate is immune to CI noise.
+none), so the gate is immune to CI noise.  --allow-new downgrades
+current-only variants to warnings: when a campaign grows, the pre-existing
+variants still gate exactly while the additions await a golden refresh.
 """
 import argparse
 import json
@@ -126,9 +128,11 @@ def variants_by_name(doc):
     return {v.get("name", "?"): v for v in doc.get("variants", [])}
 
 
-def diff_counters(baseline_path, current_path):
+def diff_counters(baseline_path, current_path, allow_new=False):
     """Exact comparison of two campaign counters files.  Returns the number
-    of mismatches (0 = gate passes)."""
+    of mismatches (0 = gate passes).  With allow_new, variants present only
+    in the current file warn instead of failing (the intended flow when a
+    campaign grows: land the new variants, then refresh the golden)."""
     base = load(baseline_path)
     cur = load(current_path)
     if base is None or cur is None:
@@ -149,7 +153,11 @@ def diff_counters(baseline_path, current_path):
     for name in sorted(base_variants.keys() - cur_variants.keys()):
         report(f"variants[{name}]", "present", "MISSING")
     for name in sorted(cur_variants.keys() - base_variants.keys()):
-        report(f"variants[{name}]", "MISSING", "present")
+        if allow_new:
+            print(f"  warning: variants[{name}] is new (no golden entry; "
+                  "--allow-new accepted it)")
+        else:
+            report(f"variants[{name}]", "MISSING", "present")
     for name in sorted(base_variants.keys() & cur_variants.keys()):
         b, c = base_variants[name], cur_variants[name]
         for key in ("seed", "trials", "metrics"):
@@ -196,7 +204,16 @@ def main():
     parser.add_argument("--counters-only", action="store_true",
                         help="gating mode: compare two campaign counters "
                              "files exactly; exit 1 on any difference")
+    parser.add_argument("--allow-new", action="store_true",
+                        help="with --counters-only: variants present only "
+                             "in the current file warn instead of failing "
+                             "(use while a campaign grows)")
     args = parser.parse_args()
+
+    if args.allow_new and not args.counters_only:
+        print("bench_diff: --allow-new only applies to --counters-only",
+              file=sys.stderr)
+        return 2
 
     if args.counters_only:
         for path in (args.baseline, args.current):
@@ -205,7 +222,8 @@ def main():
                       "(--counters-only takes two COUNTERS_*.json files)",
                       file=sys.stderr)
                 return 2
-        return 1 if diff_counters(args.baseline, args.current) else 0
+        return 1 if diff_counters(args.baseline, args.current,
+                                  args.allow_new) else 0
 
     def bench_names(d):
         return {f[len("BENCH_"):-len(".json")]

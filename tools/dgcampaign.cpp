@@ -5,7 +5,8 @@
 //   dgcampaign validate <campaign.json | dir>...          parse/schema check
 //
 // Flags:
-//   --threads=N     trial worker cap (0 = hardware concurrency).  Changes
+//   --threads=N     trial worker cap, N >= 1 (omit the flag to use hardware
+//                   concurrency; an explicit 0 is rejected).  Changes
 //                   scheduling only: the counters artifact is byte-identical
 //                   for any value (stats::run_trials derives per-trial seeds
 //                   from the trial index, never the worker).
@@ -80,11 +81,19 @@ class Flags {
       if (key == "threads" || key == "max-trials") {
         const std::string& v = values_[key];
         char* end = nullptr;
-        std::strtoull(v.c_str(), &end, 10);
-        if (v.empty() || end == nullptr || *end != '\0') {
+        const auto parsed = std::strtoull(v.c_str(), &end, 10);
+        // strtoull legally wraps "-1" to ULLONG_MAX; the leading '-'
+        // check keeps negatives in the rejection path.
+        if (v.empty() || v[0] == '-' || end == nullptr || *end != '\0') {
           errors_.push_back("flag '--" + key +
                             "' needs a non-negative integer; got '" + v +
                             "'");
+        } else if (key == "threads" && parsed == 0) {
+          // An explicit 0 is almost always a typo'd worker count; the
+          // "use hardware concurrency" spelling is omitting the flag.
+          errors_.push_back(
+              "flag '--threads' needs a worker count >= 1; omit the flag "
+              "to use hardware concurrency");
         }
       }
     }

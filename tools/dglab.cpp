@@ -16,6 +16,10 @@
 //           | burst:16:0.5 | anti
 //   --channel=dual | sinr:alpha,beta,noise   (reception physics; sinr needs
 //           an embedded topology and makes --sched irrelevant)
+//   --traffic=saturate[:count] | poisson:rate | burst:period:size[:count]
+//           | hotspot:rate:bias[:hot]   (environment traffic model; replaces
+//           the --senders keep-busy default and prints queue/latency stats)
+//   --traffic-cap=N  (per-node admission queue bound; 0 = unbounded)
 //   --reuse=1 (phases per seed)  --ablate (private coins)  --trace=N
 //
 // Unknown --flags are rejected (a typo like --schd= must not silently run
@@ -33,16 +37,18 @@
 #include <string>
 #include <vector>
 
-#include "baseline/decay.h"
 #include "graph/generators.h"
 #include "lb/simulation.h"
 #include "phys/channel_spec.h"
 #include "phys/sinr.h"
+#include "scn/scenario.h"
 #include "seed/seed_alg.h"
 #include "seed/spec.h"
 #include "sim/engine.h"
 #include "sim/scheduler.h"
 #include "sim/trace.h"
+#include "traffic/spec.h"
+#include "util/specparse.h"
 #include "util/table.h"
 
 namespace {
@@ -56,10 +62,19 @@ constexpr const char* kValidFlags[] = {
     "type", "n", "side", "r", "cols", "rows", "spacing", "k",   // topology
     "eps", "seed", "phases", "senders", "ack-scale",            // run
     "sched", "channel", "reuse", "ablate", "trace", "deltas",   // run/sweep
+    "traffic", "traffic-cap",                                   // environment
 };
 
 class Flags {
  public:
+// GCC 12's -Wrestrict misfires on the std::string assignments below once
+// they inline into main (upstream PR105329 family); the code is plain
+// map-of-string bookkeeping.  Clang has no -Wrestrict group, so the
+// pragma is GCC-only.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wrestrict"
+#endif
   Flags(int argc, char** argv, int first) {
     for (int i = first; i < argc; ++i) {
       std::string arg = argv[i];
@@ -83,6 +98,9 @@ class Flags {
       }
     }
   }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
   /// Arguments that matched no known flag (typos like --schd=).
   const std::vector<std::string>& unknown() const noexcept { return unknown_; }
@@ -107,13 +125,7 @@ class Flags {
   std::vector<std::string> unknown_;
 };
 
-std::vector<std::string> split(const std::string& s, char sep) {
-  std::vector<std::string> out;
-  std::stringstream ss(s);
-  std::string item;
-  while (std::getline(ss, item, sep)) out.push_back(item);
-  return out;
-}
+using dg::spec::split;
 
 // ---- builders ----
 
@@ -129,6 +141,12 @@ graph::DualGraph build_network(const Flags& flags, Rng& rng) {
   if (type == "clique") return graph::clique_cluster(k);
   if (type == "star") return graph::star_ring(k, r);
   if (type == "line") return graph::line(k, flags.num("spacing", 1.0), r);
+  if (type != "geometric") {
+    // A typo like --type=cliqe must not silently run the default family.
+    std::cerr << "dglab: unknown --type '" << type
+              << "' (valid: geometric, grid, clique, star, line)\n";
+    std::exit(2);
+  }
   graph::GeometricSpec spec;
   spec.n = static_cast<std::size_t>(flags.uint("n", 64));
   spec.side = flags.num("side", 4.0);
@@ -136,31 +154,17 @@ graph::DualGraph build_network(const Flags& flags, Rng& rng) {
   return graph::random_geometric(spec, rng);
 }
 
+/// --sched goes through the shared scn grammar, so a typo like
+/// --sched=bernouli:0.5 is rejected with the list of valid specs instead
+/// of silently running the Bernoulli default.
 std::unique_ptr<sim::LinkScheduler> build_scheduler(const Flags& flags) {
-  const auto spec = split(flags.str("sched", "bernoulli:0.5"), ':');
-  const std::string& kind = spec[0];
-  const auto arg = [&](std::size_t i, double dflt) {
-    return spec.size() > i ? std::strtod(spec[i].c_str(), nullptr) : dflt;
-  };
-  if (kind == "full-g") return std::make_unique<sim::ConstantScheduler>(false);
-  if (kind == "full-gprime") {
-    return std::make_unique<sim::ConstantScheduler>(true);
+  const std::string spec = flags.str("sched", "bernoulli:0.5");
+  const std::string error = scn::validate_scheduler_spec(spec);
+  if (!error.empty()) {
+    std::cerr << "dglab: --sched: " << error << "\n";
+    std::exit(2);
   }
-  if (kind == "flicker") {
-    return std::make_unique<sim::FlickerScheduler>(
-        static_cast<sim::Round>(arg(1, 64)),
-        static_cast<sim::Round>(arg(2, 32)));
-  }
-  if (kind == "burst") {
-    return std::make_unique<sim::BurstScheduler>(
-        static_cast<sim::Round>(arg(1, 16)), arg(2, 0.5));
-  }
-  if (kind == "anti") {
-    return std::make_unique<sim::AntiScheduleAdversary>(
-        [](sim::Round t) { return baseline::decay_probability(t, 7); },
-        1.0 / 16.0);
-  }
-  return std::make_unique<sim::BernoulliScheduler>(arg(1, 0.5));
+  return scn::build_scheduler(spec);
 }
 
 /// Parses --channel=dual | sinr:alpha,beta,noise via the shared
@@ -309,13 +313,57 @@ int cmd_run(const Flags& flags) {
       std::max<std::uint64_t>(1, flags.uint("trace", 16))));
   sim.add_observer(&trace);
 
-  const auto senders = flags.uint("senders", 2);
-  std::vector<graph::Vertex> busy;
-  for (std::uint64_t i = 0; i < senders && i < g.size(); ++i) {
-    busy.push_back(static_cast<graph::Vertex>(
-        (i * g.size()) / std::max<std::uint64_t>(senders, 1)));
+  const std::string traffic_str = flags.str("traffic", "");
+  // Flag combinations that would otherwise be silently ignored are
+  // rejected (the same policy as unknown flags).
+  if (traffic_str.empty() && flags.flag("traffic-cap")) {
+    std::cerr << "dglab: --traffic-cap needs --traffic= (the keep-busy "
+                 "default has no admission queue)\n";
+    std::exit(2);
   }
-  sim.keep_busy(busy);
+  if (!traffic_str.empty() && flags.flag("senders")) {
+    std::cerr << "dglab: --senders and --traffic are mutually exclusive "
+                 "(use --traffic=saturate:count for spread senders)\n";
+    std::exit(2);
+  }
+  if (!traffic_str.empty()) {
+    traffic::TrafficSpec tspec;
+    const std::string error = traffic::parse_traffic_spec(traffic_str, tspec);
+    if (!error.empty()) {
+      std::cerr << "dglab: --traffic: " << error << "\n";
+      std::exit(2);
+    }
+    const bool counted = tspec.kind == traffic::TrafficSpec::Kind::kSaturate ||
+                         tspec.kind == traffic::TrafficSpec::Kind::kBurst;
+    if ((counted && tspec.count > g.size()) ||
+        (tspec.kind == traffic::TrafficSpec::Kind::kHotspot &&
+         tspec.hot >= g.size())) {
+      std::cerr << "dglab: --traffic: vertex bound exceeds network size "
+                << g.size() << " in '" << traffic_str << "'\n";
+      std::exit(2);
+    }
+    // Digits only: strtoull would silently wrap "-1" to ULLONG_MAX (an
+    // unbounded queue) instead of rejecting it.
+    const std::string cap_str = flags.str("traffic-cap", "0");
+    if (cap_str.empty() ||
+        cap_str.find_first_not_of("0123456789") != std::string::npos) {
+      std::cerr << "dglab: --traffic-cap needs a non-negative integer; "
+                   "got '" << cap_str << "'\n";
+      std::exit(2);
+    }
+    sim.traffic().set_queue_capacity(
+        static_cast<std::size_t>(flags.uint("traffic-cap", 0)));
+    sim.add_traffic(
+        traffic::build_source(tspec, g.size(), derive_seed(master, 0x7fcULL)));
+    std::cout << "traffic: " << traffic_str << "\n";
+  } else {
+    const auto senders =
+        std::min<std::uint64_t>(flags.uint("senders", 2), g.size());
+    if (senders >= 1) {
+      sim.keep_busy(traffic::spread_vertices(
+          static_cast<std::size_t>(senders), g.size()));
+    }
+  }
   sim.run_phases(static_cast<std::int64_t>(flags.uint("phases", 30)));
 
   const auto& r = sim.report();
@@ -329,6 +377,20 @@ int cmd_run(const Flags& flags) {
             << "  reliability: " << r.reliability.successes() << "/"
             << r.reliability.trials() << "   progress: "
             << r.progress.successes() << "/" << r.progress.trials() << "\n";
+  if (!traffic_str.empty()) {
+    const traffic::TrafficStats& ts = sim.traffic().stats();
+    // --phases=0 runs no rounds; report 0 rates instead of dividing by 0.
+    const double rounds = std::max(1.0, static_cast<double>(sim.round()));
+    std::cout << "  traffic: offered/admitted/acked/dropped: " << ts.offered
+              << "/" << ts.admitted << "/" << ts.acked << "/" << ts.dropped
+              << "  (offered " << ts.offered / rounds << "/round, delivered "
+              << ts.acked / rounds << "/round)\n"
+              << "  latency (rounds): wait " << ts.mean_wait() << "  ack "
+              << ts.mean_ack_latency() << "  first-recv "
+              << ts.mean_recv_latency() << "\n"
+              << "  queued: network backlog mean " << ts.mean_backlog()
+              << "  per-node depth max " << ts.depth_max << "\n";
+  }
   if (flags.flag("trace")) {
     std::cout << "\ntrace tail:\n";
     trace.print(std::cout);
@@ -376,6 +438,8 @@ int cmd_sweep(const Flags& flags) {
 void usage() {
   std::cout << "usage: dglab <net|seed|run|sweep> [--flags]\n"
                "  --channel=dual | sinr:alpha,beta,noise  reception physics\n"
+               "  --traffic=saturate[:count] | poisson:rate | "
+               "burst:period:size[:count] | hotspot:rate:bias[:hot]\n"
                "see the header of tools/dglab.cpp for the full flag list\n";
 }
 
@@ -395,6 +459,15 @@ int main(int argc, char** argv) {
     std::cerr << "valid flags:";
     for (const char* f : kValidFlags) std::cerr << " --" << f;
     std::cerr << "\n";
+    return 2;
+  }
+  // Traffic flags only apply to `run`; the other subcommands drive their
+  // own environments, and silently ignoring the flags there would break
+  // the no-silent-ignore policy the run command enforces.
+  if (cmd != "run" &&
+      (flags.flag("traffic") || flags.flag("traffic-cap"))) {
+    std::cerr << "dglab: --traffic/--traffic-cap only apply to the 'run' "
+                 "subcommand\n";
     return 2;
   }
   if (cmd == "net") return cmd_net(flags);
