@@ -15,6 +15,7 @@ namespace {
 
 void BM_EngineRound(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
+  const auto round_threads = static_cast<std::size_t>(state.range(1));
   Rng rng(7);
   graph::GeometricSpec spec;
   spec.n = n;
@@ -27,13 +28,18 @@ void BM_EngineRound(benchmark::State& state) {
       lb::LbParams::calibrated(0.1, 1.5, g.delta(), g.delta_prime(), scales);
   lb::LbSimulation sim(g, std::make_unique<sim::BernoulliScheduler>(0.5),
                        params, 99);
+  sim.set_round_threads(round_threads);
   sim.keep_busy({0});
   for (auto _ : state) {
     sim.run_round();
   }
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_EngineRound)->Arg(64)->Arg(256)->Arg(1024);
+// Second arg: round_threads (the deterministic sharding thread cap); the
+// per-thread-count series feeds tools/engine_micro_report.py's scaling
+// table.  Results are byte-identical across the series -- only time moves.
+BENCHMARK(BM_EngineRound)
+    ->ArgsProduct({{64, 256, 1024}, {1, 2, 4, 8}});
 
 void BM_SchedulerActive(benchmark::State& state) {
   const auto g = graph::grid(16, 16, 1.0, 1.5);

@@ -51,6 +51,11 @@ class DecayProcess final : public sim::Process {
                sim::RoundContext& ctx) override;
   void end_round(sim::RoundContext& ctx) override;
 
+  /// State is per-vertex; only the listener fan-out crosses vertices.
+  bool shard_safe() const override {
+    return listener_ == nullptr || listener_->concurrent_safe();
+  }
+
  private:
   struct ActiveMessage {
     sim::MessageId id;

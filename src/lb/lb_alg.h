@@ -40,6 +40,14 @@ class LbListener {
                       sim::Round round) = 0;
   virtual void on_recv(graph::Vertex vertex, const sim::MessageId& m,
                        std::uint64_t content, sim::Round round) = 0;
+
+  /// Whether on_ack/on_recv tolerate concurrent calls from the engine's
+  /// sharded round loop (distinct vertices only; at most one call of each
+  /// kind per vertex per round).  Listeners that buffer per vertex and
+  /// flush at the serial RoundHooks checkpoints return true (see
+  /// lb/simulation.cpp's Fanout); the conservative default keeps processes
+  /// with an unknown listener on the serial path.
+  virtual bool concurrent_safe() const { return false; }
 };
 
 class LbProcess final : public sim::Process {
@@ -76,6 +84,13 @@ class LbProcess final : public sim::Process {
   void receive(const std::optional<sim::Packet>& packet,
                sim::RoundContext& ctx) override;
   void end_round(sim::RoundContext& ctx) override;
+
+  /// All per-round state is per-vertex; the only cross-vertex effect is the
+  /// listener fan-out, so sharding is safe exactly when the listener
+  /// consents.
+  bool shard_safe() const override {
+    return listener_ == nullptr || listener_->concurrent_safe();
+  }
 
   // ---- introspection (checkers / benches; not visible to the protocol) --
 

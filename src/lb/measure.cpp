@@ -28,8 +28,10 @@ sim::Round progress_latency(const graph::DualGraph& g,
                             const LbParams& params,
                             const std::vector<graph::Vertex>& senders,
                             graph::Vertex receiver,
-                            std::int64_t horizon_phases, std::uint64_t seed) {
+                            std::int64_t horizon_phases, std::uint64_t seed,
+                            std::size_t round_threads) {
   LbSimulation sim(g, std::move(scheduler), params, seed);
+  if (round_threads != 0) sim.set_round_threads(round_threads);
   return progress_of(sim, senders, receiver, horizon_phases);
 }
 
@@ -38,8 +40,10 @@ sim::Round progress_latency(const graph::DualGraph& g,
                             const LbParams& params,
                             const std::vector<graph::Vertex>& senders,
                             graph::Vertex receiver,
-                            std::int64_t horizon_phases, std::uint64_t seed) {
+                            std::int64_t horizon_phases, std::uint64_t seed,
+                            std::size_t round_threads) {
   LbSimulation sim(g, std::move(channel), params, seed);
+  if (round_threads != 0) sim.set_round_threads(round_threads);
   return progress_of(sim, senders, receiver, horizon_phases);
 }
 

@@ -19,13 +19,17 @@ namespace dg::lb {
 
 /// Measures LBAlg progress latency: rounds until the designated receiver's
 /// first data reception, with `senders` kept saturated.  Returns 0 when the
-/// receiver never received within `horizon_phases`.
+/// receiver never received within `horizon_phases`.  `round_threads` caps
+/// the engine's sharded-round thread budget (0 = keep the constructed
+/// simulation's default, i.e. the DG_ROUND_THREADS environment knob);
+/// results are byte-identical for every value.
 sim::Round progress_latency(const graph::DualGraph& g,
                             std::unique_ptr<sim::LinkScheduler> scheduler,
                             const LbParams& params,
                             const std::vector<graph::Vertex>& senders,
                             graph::Vertex receiver,
-                            std::int64_t horizon_phases, std::uint64_t seed);
+                            std::int64_t horizon_phases, std::uint64_t seed,
+                            std::size_t round_threads = 0);
 
 /// Same measurement, but reception decided by an explicit channel model
 /// (e.g. phys::SinrChannel ground truth) instead of the scheduler.
@@ -34,7 +38,8 @@ sim::Round progress_latency(const graph::DualGraph& g,
                             const LbParams& params,
                             const std::vector<graph::Vertex>& senders,
                             graph::Vertex receiver,
-                            std::int64_t horizon_phases, std::uint64_t seed);
+                            std::int64_t horizon_phases, std::uint64_t seed,
+                            std::size_t round_threads = 0);
 
 /// Flood-shape statistics of one saturated-sender LBAlg execution (the E14
 /// abstraction-fidelity metrics): mean first-data-reception round over all

@@ -8,19 +8,92 @@ namespace dg::lb {
 /// Forwards LbProcess outputs to the spec checker, the traffic injector
 /// (latency/throughput ledger), and an optional extra listener (e.g. the
 /// abstract MAC adapter).
-class LbSimulation::Fanout final : public LbListener {
+///
+/// Under sharded rounds the forwarding targets are not concurrent-safe, so
+/// the Fanout grows a buffered mode: each vertex parks its (at most one)
+/// recv and ack of the round in a per-vertex slot -- disjoint writes, no
+/// synchronization -- and the engine's serial RoundHooks checkpoints flush
+/// the slots in ascending vertex order.  The serial loop delivers recvs in
+/// ascending receiver order during the reception phase and acks in
+/// ascending vertex order during the output phase, so the flushed call
+/// sequence is byte-for-byte the serial one; downstream state (checker
+/// report, traffic ledger) cannot tell the modes apart.
+class LbSimulation::Fanout final : public LbListener, public sim::RoundHooks {
  public:
   explicit Fanout(LbSimulation& owner) : owner_(&owner) {}
 
+  /// Rounds 1-based, so round == 0 marks an empty slot.
+  void set_buffered(bool buffered, std::size_t n) {
+    buffered_ = buffered;
+    recv_.assign(buffered ? n : 0, RecvSlot{});
+    ack_.assign(buffered ? n : 0, AckSlot{});
+  }
+
+  bool concurrent_safe() const override { return buffered_; }
+
   void on_ack(graph::Vertex vertex, const sim::MessageId& m,
               sim::Round round) override {
+    if (buffered_) {
+      ack_[vertex] = AckSlot{m, round};
+      return;
+    }
+    forward_ack(vertex, m, round);
+  }
+
+  void on_recv(graph::Vertex vertex, const sim::MessageId& m,
+               std::uint64_t content, sim::Round round) override {
+    if (buffered_) {
+      recv_[vertex] = RecvSlot{m, content, round};
+      return;
+    }
+    forward_recv(vertex, m, content, round);
+  }
+
+  // sim::RoundHooks (fired serially by both engine round loops):
+  void after_receive_phase(sim::Round round) override {
+    (void)round;
+    if (!buffered_) return;
+    for (graph::Vertex v = 0; v < static_cast<graph::Vertex>(recv_.size());
+         ++v) {
+      RecvSlot& slot = recv_[v];
+      if (slot.round == 0) continue;
+      forward_recv(v, slot.m, slot.content, slot.round);
+      slot.round = 0;
+    }
+  }
+
+  void after_output_phase(sim::Round round) override {
+    (void)round;
+    if (!buffered_) return;
+    for (graph::Vertex v = 0; v < static_cast<graph::Vertex>(ack_.size());
+         ++v) {
+      AckSlot& slot = ack_[v];
+      if (slot.round == 0) continue;
+      forward_ack(v, slot.m, slot.round);
+      slot.round = 0;
+    }
+  }
+
+ private:
+  struct RecvSlot {
+    sim::MessageId m;
+    std::uint64_t content = 0;
+    sim::Round round = 0;  // 0 = empty
+  };
+  struct AckSlot {
+    sim::MessageId m;
+    sim::Round round = 0;  // 0 = empty
+  };
+
+  void forward_ack(graph::Vertex vertex, const sim::MessageId& m,
+                   sim::Round round) {
     owner_->checker_->on_ack(vertex, m, round);
     owner_->traffic_->on_ack(m, round);
     if (owner_->extra_ != nullptr) owner_->extra_->on_ack(vertex, m, round);
   }
 
-  void on_recv(graph::Vertex vertex, const sim::MessageId& m,
-               std::uint64_t content, sim::Round round) override {
+  void forward_recv(graph::Vertex vertex, const sim::MessageId& m,
+                    std::uint64_t content, sim::Round round) {
     owner_->checker_->on_recv(vertex, m, content, round);
     owner_->traffic_->on_recv(m, round);
     if (owner_->extra_ != nullptr) {
@@ -28,8 +101,10 @@ class LbSimulation::Fanout final : public LbListener {
     }
   }
 
- private:
   LbSimulation* owner_;
+  bool buffered_ = false;
+  std::vector<RecvSlot> recv_;
+  std::vector<AckSlot> ack_;
 };
 
 /// The injector's view of this simulation: the busy bit and a
@@ -91,6 +166,20 @@ LbSimulation::LbSimulation(const graph::DualGraph& g,
     checker_->set_require_gprime_adjacency(channel_->respects_dual_graph());
   }
   engine_->add_observer(checker_.get());
+  // Honor the DG_ROUND_THREADS default the engine picked up at init: the
+  // setter path also enables the buffered fan-out (without which the
+  // LbProcesses would withhold shard consent and every round would fall
+  // back serial).
+  set_round_threads(engine_->round_threads());
+}
+
+void LbSimulation::set_round_threads(std::size_t threads) {
+  const bool shard = threads > 1;
+  fanout_->set_buffered(shard, graph_->size());
+  engine_->set_round_hooks(shard ? fanout_.get() : nullptr);
+  // Last: the engine re-polls shard_safe() here, and the processes' answer
+  // depends on the fan-out mode just configured.
+  engine_->set_round_threads(threads);
 }
 
 LbSimulation::~LbSimulation() = default;

@@ -90,6 +90,16 @@ class LbSimulation {
   /// Runs `count` whole LBAlg phases (each params().phase_length() rounds).
   void run_phases(std::int64_t count);
 
+  /// Caps the engine's per-round thread budget and switches the listener
+  /// fan-out accordingly: with threads > 1 the Fanout buffers per-vertex
+  /// recv/ack callbacks during the parallel phases and flushes them at the
+  /// serial between-phase checkpoints, in ascending vertex order -- the
+  /// exact call sequence of the serial loop, so checker reports, traffic
+  /// ledgers and extra listeners are byte-identical at any thread count.
+  /// Constructed simulations start at sim::Engine::default_round_threads()
+  /// (the DG_ROUND_THREADS environment knob).
+  void set_round_threads(std::size_t threads);
+
   // ---- access ----
 
   sim::Round round() const noexcept { return engine_->round(); }

@@ -73,6 +73,38 @@ class ChannelModel {
     DG_EXPECTS(!"this channel model does not support adaptive adversaries");
   }
 
+  /// True when this channel supports the sharded reception path:
+  /// prepare_round() once per round, then compute_shard() over disjoint
+  /// receiver ranges, possibly concurrently.  Channels that keep per-round
+  /// mutable scratch keyed by receiver must overload both; the default
+  /// (false) keeps the engine on the serial compute_round() path.
+  virtual bool shardable() const { return false; }
+
+  /// Serial per-round setup for the sharded path: everything that depends
+  /// only on (round, transmit set) -- scheduler strategy selection, edge
+  /// bitmap fills, transmitter bucketing -- happens here, once, before the
+  /// engine fans compute_shard() out.  Default: nothing to prepare.
+  virtual void prepare_round(sim::Round round, const Bitmap& transmitting) {
+    (void)round;
+    (void)transmitting;
+  }
+
+  /// Sharded reception: fills heard[u] for u in [begin, end) only, reading
+  /// whatever prepare_round() staged.  May be called concurrently for
+  /// disjoint ranges; must write nothing outside its range and must equal
+  /// compute_round() bit-for-bit on the union of the ranges.  `heard` is
+  /// the full vertex-indexed span (pre-zeroed over [begin, end)).
+  virtual void compute_shard(sim::Round round, const Bitmap& transmitting,
+                             std::span<std::uint64_t> heard,
+                             graph::Vertex begin, graph::Vertex end) {
+    (void)round;
+    (void)transmitting;
+    (void)heard;
+    (void)begin;
+    (void)end;
+    DG_EXPECTS(!"this channel model does not implement sharded reception");
+  }
+
   /// Whether deliveries are confined to edges of the bound dual graph.
   /// True for DualGraphChannel (the Section 2 rule *is* the graph);
   /// false by default for physical channels, whose ground truth may

@@ -77,6 +77,78 @@ void DualGraphChannel::compute_round(sim::Round round,
   });
 }
 
+void DualGraphChannel::prepare_round(sim::Round round,
+                                     const Bitmap& transmitting) {
+  const graph::DualGraph& g = *graph_;
+  // Identical strategy selection to compute_round(): the probe count and
+  // the density cutover must match so the two paths consume the scheduler
+  // the same way round for round.
+  std::size_t unreliable_probes = 0;
+  transmitting.for_each_set([&](std::size_t v) {
+    unreliable_probes +=
+        g.unreliable_incident(static_cast<graph::Vertex>(v)).size();
+  });
+  use_bitmap_ = true;
+  if (adaptive_ != nullptr) {
+    transmitting_bools_.assign(g.size(), false);
+    transmitting.for_each_set(
+        [&](std::size_t v) { transmitting_bools_[v] = true; });
+    adaptive_->plan_round(round, g, transmitting_bools_);
+    adaptive_->fill_round(edge_active_);
+  } else if (unreliable_probes == 0) {
+    // No transmitter has unreliable incidence, so the gather's
+    // transmitting-first test short-circuits every edge probe; the branch
+    // taken below is irrelevant, matching the serial "neither path probes"
+    // case.
+    use_bitmap_ = false;
+  } else if (scheduler_->fill_round_is_word_cheap() ||
+             unreliable_probes * 2 >= edge_active_.size()) {
+    scheduler_->fill_round(round, edge_active_);
+  } else {
+    use_bitmap_ = false;
+  }
+}
+
+void DualGraphChannel::compute_shard(sim::Round round,
+                                     const Bitmap& transmitting,
+                                     std::span<std::uint64_t> heard,
+                                     graph::Vertex begin, graph::Vertex end) {
+  const graph::DualGraph& g = *graph_;
+  // Receiver-side gather over [begin, end): writes stay inside the shard's
+  // own range, so shards never contend.  count and max-transmitting-
+  // neighbor reproduce the serial scatter's packed word exactly (see the
+  // header).  The transmitting test comes first: when no transmitter has
+  // unreliable incidence the round's edge_active_ may be stale, and the
+  // short-circuit guarantees it is never read -- same contract as the
+  // serial strategy block.
+  for (graph::Vertex u = begin; u < end; ++u) {
+    std::uint64_t count = 0;
+    graph::Vertex from = 0;
+    for (graph::Vertex v : g.g_neighbors(u)) {
+      if (transmitting.test(v)) {
+        ++count;
+        if (v > from) from = v;
+      }
+    }
+    if (use_bitmap_) {
+      for (const auto& [edge, v] : g.unreliable_incident(u)) {
+        if (transmitting.test(v) && edge_active_.test(edge)) {
+          ++count;
+          if (v > from) from = v;
+        }
+      }
+    } else {
+      for (const auto& [edge, v] : g.unreliable_incident(u)) {
+        if (transmitting.test(v) && scheduler_->active(edge, round)) {
+          ++count;
+          if (v > from) from = v;
+        }
+      }
+    }
+    if (count != 0) heard[u] = heard_word(from, count);
+  }
+}
+
 std::string DualGraphChannel::name() const {
   return "dual-graph(" + scheduler_->name() + ")";
 }

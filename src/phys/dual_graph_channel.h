@@ -31,6 +31,18 @@ class DualGraphChannel final : public ChannelModel {
   void set_adaptive_adversary(sim::AdaptiveAdversary* adversary) override {
     adaptive_ = adversary;
   }
+  /// Sharded path: prepare_round() runs the strategy block (adaptive plan,
+  /// bulk fill vs per-edge probes) serially; compute_shard() then *gathers*
+  /// per receiver -- count and max transmitting round-neighbor over u's own
+  /// adjacency -- which equals the serial scatter's packed word exactly:
+  /// the scatter's last writer is the largest transmitting neighbor because
+  /// for_each_set scans ascending.  The serial compute_round() keeps the
+  /// scatter form, which is faster when rounds are sparse in transmitters.
+  bool shardable() const override { return true; }
+  void prepare_round(sim::Round round, const Bitmap& transmitting) override;
+  void compute_shard(sim::Round round, const Bitmap& transmitting,
+                     std::span<std::uint64_t> heard, graph::Vertex begin,
+                     graph::Vertex end) override;
   bool respects_dual_graph() const override { return true; }
   std::string name() const override;
 
@@ -44,6 +56,9 @@ class DualGraphChannel final : public ChannelModel {
   // Scratch reused every round, sized at bind().
   sim::EdgeBitmap edge_active_;           ///< this round's unreliable subset
   std::vector<bool> transmitting_bools_;  ///< adaptive plan_round view
+  /// Strategy picked by prepare_round() for the round's compute_shard()
+  /// calls: probe edge_active_ (true) or scheduler_->active() (false).
+  bool use_bitmap_ = false;
 };
 
 }  // namespace dg::phys

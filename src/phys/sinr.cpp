@@ -80,6 +80,15 @@ void SinrChannel::bind(const graph::DualGraph& g, std::uint64_t master_seed) {
 
 void SinrChannel::compute_round(sim::Round round, const Bitmap& transmitting,
                                 std::span<std::uint64_t> heard) {
+  // The serial pass is the sharded pass over the full receiver range; the
+  // verdict loop lives in compute_shard() alone so the two paths cannot
+  // drift apart.
+  prepare_round(round, transmitting);
+  compute_shard(round, transmitting, heard, 0,
+                static_cast<graph::Vertex>(positions_.size()));
+}
+
+void SinrChannel::prepare_round(sim::Round round, const Bitmap& transmitting) {
   (void)round;
   // Bucket this round's transmitters (touched-cell list keeps the clear
   // step proportional to the previous round's transmitter spread).
@@ -91,7 +100,7 @@ void SinrChannel::compute_round(sim::Round round, const Bitmap& transmitting,
     if (cell_tx_[c].empty()) tx_cells_.push_back(c);
     cell_tx_[c].push_back(v);
   });
-  if (tx_cells_.empty()) return;
+  if (tx_cells_.empty()) return;  // compute_shard() early-outs too
 
   // Far-field estimate per receiver cell: each far transmitter cell
   // contributes P * count * min_cell_distance^-alpha -- a conservative
@@ -109,28 +118,37 @@ void SinrChannel::compute_round(sim::Round round, const Bitmap& transmitting,
     }
     far_field_[rc] = far;
   }
+}
+
+void SinrChannel::compute_shard(sim::Round round, const Bitmap& transmitting,
+                                std::span<std::uint64_t> heard,
+                                graph::Vertex begin, graph::Vertex end) {
+  (void)round;
+  if (tx_cells_.empty()) return;
 
   // Per-receiver verdicts: exact signal + interference over near cells,
   // far-field estimate for the rest, deliver iff exactly one candidate
-  // clears beta (with beta >= 1, at most one ever does).
-  const auto n = static_cast<graph::Vertex>(positions_.size());
-  for (graph::Vertex u = 0; u < n; ++u) {
+  // clears beta (with beta >= 1, at most one ever does).  Candidate scratch
+  // is thread-local: concurrent shards must not share a buffer, and each
+  // receiver's candidate list is rebuilt from scratch either way.
+  static thread_local std::vector<std::pair<graph::Vertex, double>> candidates;
+  for (graph::Vertex u = begin; u < end; ++u) {
     if (transmitting.test(u)) continue;  // transmitters hear nothing
     const std::size_t rc = cell_of_vertex_[u];
     const geo::Point& pu = positions_[u];
     double interference = far_field_[rc];
-    candidates_.clear();
+    candidates.clear();
     for (std::size_t nc : cells_[rc].near) {
       for (graph::Vertex v : cell_tx_[nc]) {
         const double d2 = geo::distance_sq(pu, positions_[v]);
         const double gain = path_gain(params_, d2);
         interference += gain;
-        if (d2 <= range_sq_) candidates_.emplace_back(v, gain);
+        if (d2 <= range_sq_) candidates.emplace_back(v, gain);
       }
     }
     std::uint64_t clears = 0;
     graph::Vertex from = 0;
-    for (const auto& [v, gain] : candidates_) {
+    for (const auto& [v, gain] : candidates) {
       // SINR test: gain / (N + I - gain) >= beta, rearranged to avoid the
       // division.
       if (gain >= params_.beta * (params_.noise + interference - gain)) {

@@ -85,6 +85,17 @@ class SinrChannel final : public ChannelModel {
   void bind(const graph::DualGraph& g, std::uint64_t master_seed) override;
   void compute_round(sim::Round round, const Bitmap& transmitting,
                      std::span<std::uint64_t> heard) override;
+  /// Sharded path: prepare_round() buckets the round's transmitters and
+  /// computes the per-cell far field (both functions of the transmit set
+  /// alone); compute_shard() runs the per-receiver verdict loop over its
+  /// range with thread-local candidate scratch.  Per-receiver arithmetic
+  /// and accumulation order are identical to the serial pass, so the
+  /// floating-point verdicts match bit for bit.
+  bool shardable() const override { return true; }
+  void prepare_round(sim::Round round, const Bitmap& transmitting) override;
+  void compute_shard(sim::Round round, const Bitmap& transmitting,
+                     std::span<std::uint64_t> heard, graph::Vertex begin,
+                     graph::Vertex end) override;
   std::string name() const override;
 
   const SinrParams& params() const noexcept { return params_; }
@@ -108,11 +119,11 @@ class SinrChannel final : public ChannelModel {
       cell_of_id_;
   std::vector<std::size_t> cell_of_vertex_;
 
-  // Per-round scratch, sized at bind().
+  // Per-round scratch, sized at bind(); written only by prepare_round(),
+  // read-only during the (possibly concurrent) compute_shard() calls.
   std::vector<std::vector<graph::Vertex>> cell_tx_;  ///< transmitters per cell
   std::vector<std::size_t> tx_cells_;                ///< touched cell indices
   std::vector<double> far_field_;                    ///< per receiver cell
-  std::vector<std::pair<graph::Vertex, double>> candidates_;  ///< (v, gain)
 };
 
 }  // namespace dg::phys

@@ -46,6 +46,9 @@ CampaignResult run_campaign(const Campaign& campaign,
     if (options.max_trials != 0 && vr.spec.trials > options.max_trials) {
       vr.spec.trials = options.max_trials;
     }
+    if (options.round_threads != 0) {
+      vr.spec.round_threads = options.round_threads;
+    }
     vr.metrics = metric_names(vr.spec);
     if (options.progress != nullptr) {
       *options.progress << "  " << vr.spec.name << ": " << vr.spec.trials

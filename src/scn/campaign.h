@@ -29,6 +29,10 @@ struct RunOptions {
   std::string filter;          ///< substring filter on variant names
   std::size_t max_trials = 0;  ///< clamp per-variant trials (0 = off);
                                ///< nightly CI runs campaigns reduced
+  /// Engine round-thread cap forced onto every variant (0 = keep each
+  /// variant's own spec / engine default).  Counters are byte-identical
+  /// for every value -- the flag moves wall clock, never results.
+  std::size_t round_threads = 0;
   std::ostream* progress = nullptr;  ///< optional per-variant status lines
 };
 

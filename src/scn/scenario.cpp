@@ -159,7 +159,7 @@ constexpr std::initializer_list<const char*> kTopLevelKeys = {
     "campaign", "scenarios"};
 constexpr std::initializer_list<const char*> kScenarioKeys = {
     "name", "topology", "scheduler", "channel", "traffic",
-    "algorithm", "trials", "seed", "matrix"};
+    "algorithm", "trials", "seed", "round_threads", "matrix"};
 constexpr std::initializer_list<const char*> kTopologyKeys = {
     "type", "n", "side", "r", "cols", "rows", "spacing",
     "k", "cliques", "p_grey_reliable", "p_grey_unreliable"};
@@ -458,7 +458,8 @@ bool parse_scenario(Ctx& ctx, const json::Value& v, const std::string& path,
   std::int64_t trials = static_cast<std::int64_t>(out.trials);
   std::int64_t seed = 0;
   bool have_seed = v.find("seed") != nullptr;
-  if (!r.integer("trials", trials, 1) || !r.integer("seed", seed, 0)) {
+  if (!r.integer("trials", trials, 1) || !r.integer("seed", seed, 0) ||
+      !r.size("round_threads", out.round_threads)) {
     return false;
   }
   out.trials = static_cast<std::size_t>(trials);
@@ -604,6 +605,23 @@ std::string validate_scheduler_spec(const std::string& spec) {
   return "unknown scheduler '" + kind +
          "' (valid: bernoulli:p, full-g, full-gprime, flicker:period:duty, "
          "burst:epoch:p, anti[:log_delta[:pivot]])";
+}
+
+std::string validate_round_threads_value(const std::string& value,
+                                         std::size_t& out) {
+  if (value.empty()) return "round-threads needs a positive integer; got ''";
+  for (char c : value) {
+    if (c < '0' || c > '9') {
+      return "round-threads needs a positive integer; got '" + value + "'";
+    }
+  }
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (end != value.c_str() + value.size() || parsed == 0) {
+    return "round-threads must be >= 1 (serial is 1); got '" + value + "'";
+  }
+  out = static_cast<std::size_t>(parsed);
+  return "";
 }
 
 std::unique_ptr<sim::LinkScheduler> build_scheduler(const std::string& spec) {

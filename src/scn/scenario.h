@@ -124,6 +124,11 @@ struct ScenarioSpec {
   AlgorithmSpec algorithm;
   std::size_t trials = 1;
   std::uint64_t seed = 1;  ///< base + matrix seed offsets
+  /// Engine thread cap for the deterministic sharded round loop (results
+  /// are byte-identical at every value).  0 = leave the engine default
+  /// (the DG_ROUND_THREADS environment knob); >= 1 pins it for the
+  /// variant's trials.
+  std::size_t round_threads = 0;
 };
 
 struct Campaign {
@@ -149,6 +154,14 @@ CampaignParse parse_campaign_file(const std::string& path);
 /// flicker:period:duty | burst:epoch,p | anti[:log_delta[:pivot]].
 /// Returns "" or a message naming the offending token.
 std::string validate_scheduler_spec(const std::string& spec);
+
+/// Validates a --round-threads style value: a positive integer, no sign,
+/// no trailing junk (0 is rejected -- "run serial" is spelled 1, matching
+/// sim::Engine::set_round_threads).  On success fills `out` and returns
+/// ""; otherwise returns a message naming the offending value.  Shared by
+/// dglab and dgcampaign so the two CLIs reject identically.
+std::string validate_round_threads_value(const std::string& value,
+                                         std::size_t& out);
 
 /// Builds the (committed-later) scheduler for a validated spec.
 /// Contract-checks that the spec is valid.

@@ -63,11 +63,13 @@ std::vector<double> run_lb_progress(const ScenarioSpec& spec,
   if (spec.channel_spec.is_sinr) {
     latency = lb::progress_latency(
         g, std::make_unique<phys::SinrChannel>(spec.channel_spec.sinr),
-        params, senders, receiver, spec.algorithm.horizon_phases, seed);
+        params, senders, receiver, spec.algorithm.horizon_phases, seed,
+        spec.round_threads);
   } else {
     latency = lb::progress_latency(g, build_scheduler(spec.scheduler),
                                    params, senders, receiver,
-                                   spec.algorithm.horizon_phases, seed);
+                                   spec.algorithm.horizon_phases, seed,
+                                   spec.round_threads);
   }
   return {static_cast<double>(latency),
           static_cast<double>(params.phase_length())};
@@ -90,6 +92,7 @@ std::vector<double> run_decay_progress(const ScenarioSpec& spec,
         std::make_unique<baseline::DecayProcess>(params, ids[v], v, nullptr));
   }
   sim::Engine engine(g, *sched, std::move(procs), seed);
+  if (spec.round_threads != 0) engine.set_round_threads(spec.round_threads);
   stats::FirstReceptionProbe probe(g.size());
   engine.add_observer(&probe);
   const auto receiver =
@@ -130,6 +133,7 @@ seed::SeedSpecResult run_seed_check(const ScenarioSpec& spec,
     engine = std::make_unique<sim::Engine>(g, *sched, std::move(procs),
                                            derive_seed(seed, 3));
   }
+  if (spec.round_threads != 0) engine->set_round_threads(spec.round_threads);
   engine->run_rounds(sparams.total_rounds());
   seed::DecisionVector decisions(g.size());
   for (graph::Vertex v = 0; v < g.size(); ++v) {
@@ -164,7 +168,8 @@ std::vector<double> run_seed_then_progress(const ScenarioSpec& spec,
   const auto receiver = resolve_receiver(spec.algorithm, g, senders);
   const auto latency = lb::progress_latency(
       g, build_scheduler(spec.scheduler), params, senders, receiver,
-      spec.algorithm.horizon_phases, derive_seed(seed, 4));
+      spec.algorithm.horizon_phases, derive_seed(seed, 4),
+      spec.round_threads);
   return {static_cast<double>(latency),
           static_cast<double>(res.max_neighborhood_owners),
           res.consistent ? 1.0 : 0.0};
@@ -195,6 +200,7 @@ std::vector<double> run_abstraction_fidelity(const ScenarioSpec& spec,
   {
     lb::LbSimulation sim(ext.graph, build_scheduler(spec.scheduler), params,
                          master);
+    if (spec.round_threads != 0) sim.set_round_threads(spec.round_threads);
     dual = lb::run_flood(sim, sender, spec.algorithm.horizon_phases);
   }
   lb::FloodStats sinr;
@@ -205,6 +211,7 @@ std::vector<double> run_abstraction_fidelity(const ScenarioSpec& spec,
     lb::LbSimulation sim(
         ext.graph, std::make_unique<phys::SinrChannel>(xp.sinr, emb), params,
         master);
+    if (spec.round_threads != 0) sim.set_round_threads(spec.round_threads);
     sinr = lb::run_flood(sim, sender, spec.algorithm.horizon_phases);
   }
   return {dual.progress_rounds,
@@ -239,6 +246,7 @@ std::vector<double> run_traffic_latency(const ScenarioSpec& spec,
     sim = std::make_unique<lb::LbSimulation>(
         g, build_scheduler(spec.scheduler), params, seed);
   }
+  if (spec.round_threads != 0) sim->set_round_threads(spec.round_threads);
   sim->traffic().set_queue_capacity(
       static_cast<std::size_t>(spec.algorithm.queue_cap));
   // Stream 5: the source's private coins (0x1d5/ids and the engine streams

@@ -110,6 +110,9 @@ class SeedProcess final : public sim::Process {
   void receive(const std::optional<sim::Packet>& packet,
                sim::RoundContext& ctx) override;
 
+  /// All state lives in the per-vertex runner; no outbound callbacks.
+  bool shard_safe() const override { return true; }
+
   const std::optional<SeedDecision>& decision() const noexcept {
     return runner_.decision();
   }

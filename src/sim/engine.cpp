@@ -1,6 +1,9 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string_view>
+#include <thread>
 #include <unordered_set>
 
 #include "phys/dual_graph_channel.h"
@@ -60,6 +63,41 @@ void Engine::init(std::uint64_t master_seed) {
   outgoing_slab_.resize(processes_.size());
   transmitting_.resize(processes_.size());
   heard_.resize(processes_.size());
+
+  all_shard_safe_ =
+      std::all_of(processes_.begin(), processes_.end(),
+                  [](const auto& p) { return p->shard_safe(); });
+  round_threads_ = default_round_threads();
+}
+
+std::size_t Engine::default_round_threads() {
+  const char* env = std::getenv("DG_ROUND_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  if (std::string_view(env) == "max") {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0' || parsed == 0) return 1;
+  return static_cast<std::size_t>(parsed);
+}
+
+void Engine::set_round_threads(std::size_t threads) {
+  DG_EXPECTS(threads >= 1);
+  round_threads_ = threads;
+  // Re-poll consent: a wrapper may have reconfigured its listener fan-out
+  // (e.g. LbSimulation's buffered mode) since init(), changing the answer.
+  all_shard_safe_ =
+      std::all_of(processes_.begin(), processes_.end(),
+                  [](const auto& p) { return p->shard_safe(); });
+}
+
+std::size_t Engine::shard_block_size() const {
+  const std::size_t n = processes_.size();
+  const std::size_t target_blocks = round_threads_ * 4;
+  std::size_t size = (n + target_blocks - 1) / target_blocks;
+  return (size + 63) / 64 * 64;
 }
 
 void Engine::add_observer(Observer* observer) {
@@ -88,6 +126,22 @@ Rng& Engine::process_rng(graph::Vertex v) {
 }
 
 void Engine::run_round() {
+  if (round_threads_ > 1 && all_shard_safe_ && channel_->shardable()) {
+    const std::size_t block_size = shard_block_size();
+    const std::size_t blocks =
+        (processes_.size() + block_size - 1) / block_size;
+    if (blocks >= 2) {
+      if (pool_ == nullptr || pool_->threads() != round_threads_) {
+        pool_ = std::make_unique<util::ThreadPool>(round_threads_);
+      }
+      run_round_sharded(block_size, blocks);
+      return;
+    }
+  }
+  run_round_serial();
+}
+
+void Engine::run_round_serial() {
   const Round t = ++round_;
   const auto n = static_cast<graph::Vertex>(processes_.size());
   // Per-event fan-out guards: executions with no (interested) observers --
@@ -147,12 +201,116 @@ void Engine::run_round() {
       processes_[u]->receive(std::nullopt, ctx);
     }
   }
+  if (hooks_ != nullptr) hooks_->after_receive_phase(t);
 
   // Step 4: outputs.
   for (graph::Vertex v = 0; v < n; ++v) {
     RoundContext ctx(t, rngs_[v]);
     processes_[v]->end_round(ctx);
   }
+  if (hooks_ != nullptr) hooks_->after_output_phase(t);
+
+  for (Observer* obs : obs_round_end_) {
+    obs->on_round_end(t);
+  }
+}
+
+void Engine::run_round_sharded(std::size_t block_size, std::size_t blocks) {
+  const Round t = ++round_;
+  const auto n = static_cast<graph::Vertex>(processes_.size());
+  const auto block_range = [&](std::size_t b) {
+    const auto begin = static_cast<graph::Vertex>(b * block_size);
+    const auto end = static_cast<graph::Vertex>(
+        std::min(static_cast<std::size_t>(begin) + block_size,
+                 processes_.size()));
+    return std::pair<graph::Vertex, graph::Vertex>(begin, end);
+  };
+
+  for (Observer* obs : obs_round_begin_) {
+    obs->on_round_begin(t);
+  }
+
+  // Step 2: transmit decisions, block-parallel.  Each block's vertices are
+  // a whole number of bitmap words (block_size is a multiple of 64), so the
+  // transmitting_.set() read-modify-writes never touch another block's
+  // word; slab entries and rng streams are per-vertex.
+  transmitting_.clear();
+  pool_->for_blocks(blocks, [&](std::size_t b) {
+    const auto [begin, end] = block_range(b);
+    for (graph::Vertex v = begin; v < end; ++v) {
+      RoundContext ctx(t, rngs_[v]);
+      auto packet = processes_[v]->transmit(ctx);
+      if (!packet.has_value()) continue;
+      DG_ASSERT(packet->sender == processes_[v]->id());
+      outgoing_slab_[v] = *std::move(packet);
+      transmitting_.set(v);
+    }
+  });
+  // Serial transmit fan-out: ascending-vertex replay off the bitmap is the
+  // exact event stream the serial loop emits inline.
+  if (!obs_transmit_.empty()) {
+    transmitting_.for_each_set([&](std::size_t v) {
+      for (Observer* obs : obs_transmit_) {
+        obs->on_transmit(t, static_cast<graph::Vertex>(v),
+                         outgoing_slab_[v]);
+      }
+    });
+  }
+
+  // Step 3: reception.  The channel stages everything transmit-set-
+  // dependent serially, then fills disjoint receiver ranges in parallel.
+  channel_->prepare_round(t, transmitting_);
+  pool_->for_blocks(blocks, [&](std::size_t b) {
+    const auto [begin, end] = block_range(b);
+    std::fill(heard_.begin() + begin, heard_.begin() + end, 0U);
+    channel_->compute_shard(t, transmitting_, heard_, begin, end);
+  });
+
+  // Deliver block-parallel (per-vertex state only -- shard_safe() is the
+  // processes' promise that their receive() fan-out tolerates this), then
+  // replay the reception observers serially from the heard words: same
+  // verdicts, ascending vertex order, exactly the serial loop's stream.
+  pool_->for_blocks(blocks, [&](std::size_t b) {
+    const auto [begin, end] = block_range(b);
+    for (graph::Vertex u = begin; u < end; ++u) {
+      if (transmitting_.test(u)) continue;
+      RoundContext ctx(t, rngs_[u]);
+      const std::uint64_t h = heard_[u];
+      if (static_cast<std::uint32_t>(h) == 1) {
+        processes_[u]->receive(outgoing_slab_[h >> 32], ctx);
+      } else {
+        processes_[u]->receive(std::nullopt, ctx);
+      }
+    }
+  });
+  if (!obs_receive_.empty() || !obs_silence_.empty()) {
+    for (graph::Vertex u = 0; u < n; ++u) {
+      if (transmitting_.test(u)) continue;
+      const std::uint64_t h = heard_[u];
+      const auto count = static_cast<std::uint32_t>(h);
+      if (count == 1) {
+        const auto from = static_cast<graph::Vertex>(h >> 32);
+        for (Observer* obs : obs_receive_) {
+          obs->on_receive(t, u, from, outgoing_slab_[from]);
+        }
+      } else {
+        for (Observer* obs : obs_silence_) {
+          obs->on_silence(t, u, /*collision=*/count > 1);
+        }
+      }
+    }
+  }
+  if (hooks_ != nullptr) hooks_->after_receive_phase(t);
+
+  // Step 4: outputs, block-parallel, then the serial checkpoint.
+  pool_->for_blocks(blocks, [&](std::size_t b) {
+    const auto [begin, end] = block_range(b);
+    for (graph::Vertex v = begin; v < end; ++v) {
+      RoundContext ctx(t, rngs_[v]);
+      processes_[v]->end_round(ctx);
+    }
+  });
+  if (hooks_ != nullptr) hooks_->after_output_phase(t);
 
   for (Observer* obs : obs_round_end_) {
     obs->on_round_end(t);

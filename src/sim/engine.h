@@ -24,6 +24,18 @@
 // phys/channel.h for the contract).  None of this changes the observable
 // round semantics (tests/determinism_test.cpp pins golden execution
 // digests).
+// Sharded rounds: when round_threads > 1, every process is shard_safe()
+// and the channel is shardable(), run_round() partitions the vertices into
+// cache-aligned blocks (multiples of 64 vertices, so each block owns whole
+// transmit-bitmap words) and runs the transmit, reception and output phases
+// block-parallel on a persistent thread pool.  Determinism is preserved
+// structurally, not by scheduling: blocks write disjoint per-vertex state,
+// each vertex draws only from its own rng stream, the channel's sharded
+// reception writes only its own receiver range, and observers are fanned
+// out *serially* between the phases in ascending vertex order -- the exact
+// event stream of the serial loop.  Golden digests and campaign counters
+// are therefore byte-identical at any thread count
+// (tests/engine_shard_test.cpp sweeps the contract).
 #pragma once
 
 #include <cstdint>
@@ -38,6 +50,7 @@
 #include "sim/process.h"
 #include "sim/scheduler.h"
 #include "util/bitmap.h"
+#include "util/thread_pool.h"
 
 namespace dg::sim {
 
@@ -45,6 +58,22 @@ namespace dg::sim {
 /// unknown to the processes).  Ids are pseudorandom 64-bit values so no
 /// process can infer topology from id structure.
 std::vector<ProcessId> assign_ids(std::size_t n, std::uint64_t seed);
+
+/// Serial checkpoints between the phases of a round, fired on the engine's
+/// calling thread in both the serial and the sharded round loop.  Protocol
+/// wrappers that buffer per-vertex callbacks during the (possibly parallel)
+/// reception and output phases flush them here, in ascending vertex order,
+/// to reproduce the serial loop's callback stream exactly (see
+/// lb/simulation.h for the LbSimulation fan-out that motivates this).
+class RoundHooks {
+ public:
+  virtual ~RoundHooks() = default;
+  /// After every process's receive() for `round` and after the reception
+  /// observers have been fanned out.
+  virtual void after_receive_phase(Round round) = 0;
+  /// After every process's end_round() for `round`, before on_round_end.
+  virtual void after_output_phase(Round round) = 0;
+};
 
 class Engine {
  public:
@@ -84,6 +113,25 @@ class Engine {
   /// Rounds executed so far (0 before the first run_round()).
   Round round() const noexcept { return round_; }
 
+  /// The thread budget new engines start with: the DG_ROUND_THREADS
+  /// environment variable ("max" = hardware concurrency, a positive integer
+  /// = that many threads, unset/invalid = 1).
+  static std::size_t default_round_threads();
+
+  /// Caps the threads a round may use (>= 1; 1 = the serial loop).  The
+  /// engine still falls back to the serial loop whenever the vertex count
+  /// yields fewer than two blocks, a process is not shard_safe() or the
+  /// channel is not shardable() -- the knob is an upper bound, never a
+  /// semantics switch (results are byte-identical for every value).
+  void set_round_threads(std::size_t threads);
+  std::size_t round_threads() const noexcept { return round_threads_; }
+
+  /// Installs the serial between-phase checkpoints (nullptr to remove).
+  /// The hooks object must outlive the engine and is fired by both round
+  /// loops, so wrappers can keep buffering enabled regardless of which
+  /// path a given round takes.
+  void set_round_hooks(RoundHooks* hooks) { hooks_ = hooks; }
+
   /// Executes one synchronous round (steps 2-4 of the round structure;
   /// step 1, environment inputs, happens before this call via typed process
   /// APIs).
@@ -106,6 +154,15 @@ class Engine {
  private:
   void init(std::uint64_t master_seed);  ///< shared constructor tail
 
+  /// Vertices per shard block for the current thread cap: the vertex range
+  /// split into ~4 blocks per thread (dynamic claiming evens out skewed
+  /// blocks), rounded up to a multiple of 64 so every block owns whole
+  /// bitmap words and exclusive heard_ cache lines.
+  std::size_t shard_block_size() const;
+
+  void run_round_serial();
+  void run_round_sharded(std::size_t block_size, std::size_t blocks);
+
   const graph::DualGraph* graph_;
   std::unique_ptr<phys::ChannelModel> owned_channel_;  ///< scheduler ctor only
   phys::ChannelModel* channel_;
@@ -120,6 +177,11 @@ class Engine {
   std::vector<Observer*> obs_silence_;
   std::vector<Observer*> obs_round_end_;
   Round round_ = 0;
+
+  std::size_t round_threads_ = 1;
+  bool all_shard_safe_ = false;  ///< every process consented, at init()
+  RoundHooks* hooks_ = nullptr;
+  std::unique_ptr<util::ThreadPool> pool_;  ///< created on first sharded round
 
   // Scratch reused every round, sized once at construction.
   std::vector<Packet> outgoing_slab_;   ///< packet of v iff v transmits

@@ -57,6 +57,15 @@ class Process {
   /// recv, decide) are emitted from here via protocol-specific callbacks.
   virtual void end_round(RoundContext& ctx) { (void)ctx; }
 
+  /// True when transmit()/receive()/end_round() touch only this process's
+  /// own state (plus its RoundContext rng), so the engine may run different
+  /// vertices' steps concurrently within a phase.  Processes whose callbacks
+  /// fan out into shared protocol state (spec checkers, traffic ledgers)
+  /// must return false unless that fan-out is concurrency-safe -- the
+  /// engine silently falls back to the serial round loop when any process
+  /// declines, so the conservative default costs correctness nothing.
+  virtual bool shard_safe() const { return false; }
+
  protected:
   explicit Process(ProcessId id) : id_(id) {}
 

@@ -1,9 +1,11 @@
 #include "sim/scheduler.h"
 
 #include <cmath>
+#include <type_traits>
 
 #include "util/assert.h"
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace dg::sim {
 
@@ -41,14 +43,14 @@ void BernoulliScheduler::fill_round(Round round, EdgeBitmap& out) const {
     out.clear();
     return;
   }
-  // Same per-edge hash as active(), accumulated into whole words so the
-  // bitmap is written once per 64 edges.
-  out.fill_from([&](std::size_t e) {
-    const std::uint64_t h = splitmix64(
-        seed_ ^ splitmix64(static_cast<std::uint64_t>(e) * 0x100000001b3ULL +
-                           static_cast<std::uint64_t>(round)));
-    return h < threshold_;
-  });
+  // Same per-edge hash as active(), vectorized 4 edges per step on AVX2
+  // hardware (scalar word accumulation elsewhere); the kernel is
+  // property-tested bit-for-bit against active() in
+  // tests/scheduler_bitmap_test.cpp.
+  util::simd::fill_hash_threshold(out.words().data(), out.size(), seed_,
+                                  0x100000001b3ULL,
+                                  static_cast<std::uint64_t>(round),
+                                  threshold_);
 }
 
 std::string BernoulliScheduler::name() const {
@@ -80,12 +82,10 @@ bool FlickerScheduler::active(graph::UnreliableEdgeId edge,
 
 void FlickerScheduler::fill_round(Round round, EdgeBitmap& out) const {
   DG_EXPECTS(out.size() <= phase_.size());
+  static_assert(std::is_same_v<Round, std::int64_t>);
   const Round base = round % period_;
-  out.fill_from([&](std::size_t e) {
-    Round pos = base + phase_[e];
-    if (pos >= period_) pos -= period_;
-    return pos < duty_;
-  });
+  util::simd::fill_flicker(out.words().data(), out.size(), phase_.data(),
+                           base, period_, duty_);
 }
 
 std::string FlickerScheduler::name() const {
@@ -128,12 +128,8 @@ void BurstScheduler::fill_round(Round round, EdgeBitmap& out) const {
     return;
   }
   const auto epoch = static_cast<std::uint64_t>((round - 1) / epoch_length_);
-  out.fill_from([&](std::size_t e) {
-    const std::uint64_t h = splitmix64(
-        seed_ ^ splitmix64(static_cast<std::uint64_t>(e) * 0x9e3779b1ULL +
-                           epoch));
-    return h < threshold_;
-  });
+  util::simd::fill_hash_threshold(out.words().data(), out.size(), seed_,
+                                  0x9e3779b1ULL, epoch, threshold_);
 }
 
 std::string BurstScheduler::name() const {

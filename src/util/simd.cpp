@@ -1,0 +1,185 @@
+#include "util/simd.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define DG_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define DG_SIMD_X86 0
+#endif
+
+namespace dg::util::simd {
+
+// ---- scalar references (the semantic definition both paths must match) ----
+
+void fill_hash_threshold_scalar(std::uint64_t* words, std::size_t n_bits,
+                                std::uint64_t seed, std::uint64_t mul,
+                                std::uint64_t add, std::uint64_t threshold) {
+  const std::size_t n_words = (n_bits + 63) / 64;
+  for (std::size_t w = 0; w < n_words; ++w) {
+    std::uint64_t bits = 0;
+    const std::size_t lo = w * 64;
+    const std::size_t hi = std::min(lo + 64, n_bits);
+    for (std::size_t e = lo; e < hi; ++e) {
+      const std::uint64_t h = splitmix64(seed ^ splitmix64(e * mul + add));
+      bits |= static_cast<std::uint64_t>(h < threshold) << (e - lo);
+    }
+    words[w] = bits;
+  }
+}
+
+void fill_flicker_scalar(std::uint64_t* words, std::size_t n_bits,
+                         const std::int64_t* phase, std::int64_t base,
+                         std::int64_t period, std::int64_t duty) {
+  const std::size_t n_words = (n_bits + 63) / 64;
+  for (std::size_t w = 0; w < n_words; ++w) {
+    std::uint64_t bits = 0;
+    const std::size_t lo = w * 64;
+    const std::size_t hi = std::min(lo + 64, n_bits);
+    for (std::size_t e = lo; e < hi; ++e) {
+      std::int64_t pos = base + phase[e];
+      if (pos >= period) pos -= period;
+      bits |= static_cast<std::uint64_t>(pos < duty) << (e - lo);
+    }
+    words[w] = bits;
+  }
+}
+
+#if DG_SIMD_X86
+
+namespace {
+
+__attribute__((target("avx2"))) inline __m256i mul64(__m256i a, __m256i b) {
+  // Low 64 bits of the per-lane product: a_lo*b_lo + ((a_hi*b_lo +
+  // a_lo*b_hi) << 32).  AVX2 has no 64x64 multiply; _mm256_mul_epu32 takes
+  // the low 32 bits of each lane.
+  const __m256i lo = _mm256_mul_epu32(a, b);
+  const __m256i cross =
+      _mm256_add_epi64(_mm256_mul_epu32(_mm256_srli_epi64(a, 32), b),
+                       _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32)));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+__attribute__((target("avx2"))) inline __m256i v_splitmix64(__m256i x) {
+  x = _mm256_add_epi64(
+      x, _mm256_set1_epi64x(static_cast<long long>(0x9e3779b97f4a7c15ULL)));
+  x = mul64(_mm256_xor_si256(x, _mm256_srli_epi64(x, 30)),
+            _mm256_set1_epi64x(static_cast<long long>(0xbf58476d1ce4e5b9ULL)));
+  x = mul64(_mm256_xor_si256(x, _mm256_srli_epi64(x, 27)),
+            _mm256_set1_epi64x(static_cast<long long>(0x94d049bb133111ebULL)));
+  return _mm256_xor_si256(x, _mm256_srli_epi64(x, 31));
+}
+
+__attribute__((target("avx2"))) void fill_hash_threshold_avx2(
+    std::uint64_t* words, std::size_t n_bits, std::uint64_t seed,
+    std::uint64_t mul, std::uint64_t add, std::uint64_t threshold) {
+  const std::size_t full_words = n_bits / 64;
+  const __m256i vmul = _mm256_set1_epi64x(static_cast<long long>(mul));
+  const __m256i vadd = _mm256_set1_epi64x(static_cast<long long>(add));
+  const __m256i vseed = _mm256_set1_epi64x(static_cast<long long>(seed));
+  // Unsigned h < threshold via signed compare after flipping the sign bit.
+  const __m256i sign =
+      _mm256_set1_epi64x(static_cast<long long>(0x8000000000000000ULL));
+  const __m256i vthresh = _mm256_xor_si256(
+      _mm256_set1_epi64x(static_cast<long long>(threshold)), sign);
+  __m256i e = _mm256_set_epi64x(3, 2, 1, 0);
+  const __m256i four = _mm256_set1_epi64x(4);
+  for (std::size_t w = 0; w < full_words; ++w) {
+    std::uint64_t bits = 0;
+    for (unsigned group = 0; group < 16; ++group) {
+      const __m256i inner =
+          v_splitmix64(_mm256_add_epi64(mul64(e, vmul), vadd));
+      const __m256i h = v_splitmix64(_mm256_xor_si256(vseed, inner));
+      const __m256i lt =
+          _mm256_cmpgt_epi64(vthresh, _mm256_xor_si256(h, sign));
+      const auto mask = static_cast<std::uint64_t>(
+          _mm256_movemask_pd(_mm256_castsi256_pd(lt)));
+      bits |= mask << (group * 4);
+      e = _mm256_add_epi64(e, four);
+    }
+    words[w] = bits;
+  }
+  if (n_bits % 64 != 0) {
+    fill_hash_threshold_scalar(words + full_words, n_bits % 64, seed, mul,
+                               full_words * 64 * mul + add, threshold);
+  }
+}
+
+__attribute__((target("avx2"))) void fill_flicker_avx2(
+    std::uint64_t* words, std::size_t n_bits, const std::int64_t* phase,
+    std::int64_t base, std::int64_t period, std::int64_t duty) {
+  const std::size_t full_words = n_bits / 64;
+  const __m256i vbase = _mm256_set1_epi64x(base);
+  const __m256i vperiod = _mm256_set1_epi64x(period);
+  const __m256i vduty = _mm256_set1_epi64x(duty);
+  for (std::size_t w = 0; w < full_words; ++w) {
+    std::uint64_t bits = 0;
+    for (unsigned group = 0; group < 16; ++group) {
+      const std::size_t e = w * 64 + group * 4;
+      __m256i pos = _mm256_add_epi64(
+          vbase, _mm256_loadu_si256(
+                     reinterpret_cast<const __m256i*>(phase + e)));
+      // pos in [0, 2*period): subtract period once where pos >= period
+      // (pos > period-1, but cmpgt is all we have: pos >= period iff
+      // NOT (period > pos)).
+      const __m256i wrap = _mm256_andnot_si256(
+          _mm256_cmpgt_epi64(vperiod, pos), vperiod);
+      pos = _mm256_sub_epi64(pos, wrap);
+      const __m256i lt = _mm256_cmpgt_epi64(vduty, pos);
+      const auto mask = static_cast<std::uint64_t>(
+          _mm256_movemask_pd(_mm256_castsi256_pd(lt)));
+      bits |= mask << (group * 4);
+    }
+    words[w] = bits;
+  }
+  if (n_bits % 64 != 0) {
+    fill_flicker_scalar(words + full_words, n_bits % 64,
+                        phase + full_words * 64, base, period, duty);
+  }
+}
+
+bool detect_avx2() noexcept {
+  return __builtin_cpu_supports("avx2") != 0;
+}
+
+}  // namespace
+
+#endif  // DG_SIMD_X86
+
+bool have_avx2() noexcept {
+#if DG_SIMD_X86
+  static const bool have = detect_avx2();
+  return have;
+#else
+  return false;
+#endif
+}
+
+void fill_hash_threshold(std::uint64_t* words, std::size_t n_bits,
+                         std::uint64_t seed, std::uint64_t mul,
+                         std::uint64_t add, std::uint64_t threshold) {
+#if DG_SIMD_X86
+  if (have_avx2()) {
+    fill_hash_threshold_avx2(words, n_bits, seed, mul, add, threshold);
+    return;
+  }
+#endif
+  fill_hash_threshold_scalar(words, n_bits, seed, mul, add, threshold);
+}
+
+void fill_flicker(std::uint64_t* words, std::size_t n_bits,
+                  const std::int64_t* phase, std::int64_t base,
+                  std::int64_t period, std::int64_t duty) {
+#if DG_SIMD_X86
+  if (have_avx2()) {
+    fill_flicker_avx2(words, n_bits, phase, base, period, duty);
+    return;
+  }
+#endif
+  fill_flicker_scalar(words, n_bits, phase, base, period, duty);
+}
+
+}  // namespace dg::util::simd

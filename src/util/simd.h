@@ -1,0 +1,46 @@
+// SIMD word kernels for the schedulers' bulk bitmap fills.
+//
+// The oblivious schedulers materialize a whole round's unreliable-edge
+// subset with one predicate evaluation per edge (util/bitmap.h
+// fill_from).  These kernels compute the same words 4-8 edges at a time
+// with AVX2 when the CPU has it, behind portable wrappers that fall back
+// to the scalar forms on any other hardware.  Both paths must agree
+// bit-for-bit with the schedulers' per-edge active() -- the *_scalar
+// reference implementations are public precisely so
+// tests/scheduler_bitmap_test.cpp can property-test the dispatching entry
+// points against them (and both against active()).
+//
+// All kernels keep the Bitmap tail invariant: bits at or beyond n_bits in
+// the last word are written as zero.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dg::util::simd {
+
+/// True when the dispatching kernels take the AVX2 path on this machine.
+bool have_avx2() noexcept;
+
+/// words[e/64] bit e%64 = splitmix64(seed ^ splitmix64(e*mul + add))
+///                        < threshold, for e in [0, n_bits).
+/// This is the shared hash shape of the Bernoulli (mul = FNV prime,
+/// add = round) and Burst (mul = golden-ratio 32, add = epoch) schedulers.
+void fill_hash_threshold(std::uint64_t* words, std::size_t n_bits,
+                         std::uint64_t seed, std::uint64_t mul,
+                         std::uint64_t add, std::uint64_t threshold);
+void fill_hash_threshold_scalar(std::uint64_t* words, std::size_t n_bits,
+                                std::uint64_t seed, std::uint64_t mul,
+                                std::uint64_t add, std::uint64_t threshold);
+
+/// words[e/64] bit e%64 = pos(e) < duty where pos(e) = base + phase[e],
+/// minus period once when it reaches it.  Requires phase[e] in [0, period)
+/// and base in [0, period) -- the FlickerScheduler round form.
+void fill_flicker(std::uint64_t* words, std::size_t n_bits,
+                  const std::int64_t* phase, std::int64_t base,
+                  std::int64_t period, std::int64_t duty);
+void fill_flicker_scalar(std::uint64_t* words, std::size_t n_bits,
+                         const std::int64_t* phase, std::int64_t base,
+                         std::int64_t period, std::int64_t duty);
+
+}  // namespace dg::util::simd

@@ -77,10 +77,18 @@ class CoinProcess final : public Process {
     return Packet{id(), DataPayload{MessageId{id(), ++seq_}, seq_ * 11ULL}};
   }
   void receive(const std::optional<Packet>&, RoundContext&) override {}
+  // Touches only its own state and rng stream, so the sharded round loop
+  // may call it from worker threads.
+  bool shard_safe() const override { return true; }
 
  private:
   std::uint32_t seq_ = 0;
 };
+
+/// The thread cap for the sharded re-verification: comfortably above
+/// hardware concurrency on small CI boxes, so the dispatcher, block
+/// geometry and serial fallbacks all get exercised.
+constexpr std::size_t kMaxRoundThreads = 8;
 
 std::vector<std::unique_ptr<Process>> coin_processes(std::size_t n,
                                                      std::uint64_t id_seed) {
@@ -135,6 +143,66 @@ TEST(DeterminismGolden, AdaptiveJammerCounterfactual) {
   BernoulliScheduler sched(0.5);
   Engine engine(g, sched, coin_processes(g.size(), /*id_seed=*/9),
                 /*master_seed=*/777);
+  TargetedJammer jammer(/*target=*/0);
+  engine.set_adaptive_adversary(&jammer);
+  DigestObserver digest;
+  engine.add_observer(&digest);
+  engine.run_rounds(250);
+  EXPECT_EQ(digest.digest(), 0x8b29ac4fc45ffa00ULL)
+      << "actual digest: 0x" << std::hex << digest.digest();
+}
+
+// ---- sharded-path re-verification ----
+//
+// The same three executions with the round-thread cap maxed: every digest
+// must stay bit-identical.  At these sizes some rounds take the sharded
+// loop and some fall back to the serial loop (block geometry), which is
+// exactly the contract -- round_threads is an upper bound on parallelism,
+// never a semantics switch.
+
+TEST(DeterminismGoldenSharded, FullLbStackOnGrid) {
+  const auto g = graph::grid(6, 6, 1.0, 1.5);
+  lb::LbScales scales;
+  scales.ack_scale = 0.01;
+  const auto params =
+      lb::LbParams::calibrated(0.1, 1.5, g.delta(), g.delta_prime(), scales);
+  lb::LbSimulation sim(g, std::make_unique<BernoulliScheduler>(0.4), params,
+                       /*master_seed=*/2026);
+  sim.set_round_threads(kMaxRoundThreads);
+  DigestObserver digest;
+  sim.add_observer(&digest);
+  sim.keep_busy({0, 17, 35});
+  sim.run_rounds(300);
+  EXPECT_EQ(digest.digest(), 0x737f76bb0a33085fULL)
+      << "actual digest: 0x" << std::hex << digest.digest();
+}
+
+TEST(DeterminismGoldenSharded, CoinProcessesUnderFlicker) {
+  const auto g = graph::bridged_clusters(8, 1.5);
+  FlickerScheduler sched(7, 3);
+  Engine engine(g, sched, coin_processes(g.size(), /*id_seed=*/5),
+                /*master_seed=*/424242);
+  engine.set_round_threads(kMaxRoundThreads);
+  DigestObserver digest;
+  engine.add_observer(&digest);
+  engine.run_rounds(400);
+  EXPECT_EQ(digest.digest(), 0x3ea24745e145549dULL)
+      << "actual digest: 0x" << std::hex << digest.digest();
+}
+
+TEST(DeterminismGoldenSharded, AdaptiveJammerCounterfactual) {
+  graph::DualGraph g(6);
+  g.add_reliable_edge(0, 1);
+  g.add_reliable_edge(0, 2);
+  for (graph::Vertex v = 3; v < 6; ++v) {
+    g.add_unreliable_edge(0, v);
+    g.add_reliable_edge(1, v);
+  }
+  g.finalize();
+  BernoulliScheduler sched(0.5);
+  Engine engine(g, sched, coin_processes(g.size(), /*id_seed=*/9),
+                /*master_seed=*/777);
+  engine.set_round_threads(kMaxRoundThreads);
   TargetedJammer jammer(/*target=*/0);
   engine.set_adaptive_adversary(&jammer);
   DigestObserver digest;

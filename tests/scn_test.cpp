@@ -304,6 +304,59 @@ TEST(CampaignRunner, CountersAreByteIdenticalAcrossThreadCounts) {
   EXPECT_NE(a.find("\"per_trial\""), std::string::npos);
 }
 
+TEST(CampaignRunner, CountersAreByteIdenticalAcrossRoundThreads) {
+  // The sharded-round analogue of the trial-thread guarantee: forcing the
+  // engine's round_threads onto every variant must not move a single
+  // counter byte (the sharded loop replays observers serially in vertex
+  // order, so the per-trial metrics are identical).
+  const Campaign c = tiny_campaign();
+  RunOptions serial;
+  serial.threads = 1;
+  serial.round_threads = 1;
+  RunOptions sharded;
+  sharded.threads = 1;
+  sharded.round_threads = 8;
+  const std::string a = counters_json(run_campaign(c, serial));
+  const std::string b = counters_json(run_campaign(c, sharded));
+  EXPECT_EQ(a, b);
+}
+
+TEST(ScenarioSchema, RoundThreadsValueValidation) {
+  // The shared flag grammar for dglab/dgcampaign --round-threads: digits
+  // only, >= 1 ("run serial" is spelled 1, not 0).
+  std::size_t out = 0;
+  EXPECT_EQ(validate_round_threads_value("1", out), "");
+  EXPECT_EQ(out, 1u);
+  EXPECT_EQ(validate_round_threads_value("8", out), "");
+  EXPECT_EQ(out, 8u);
+  for (const char* bad : {"", "0", "-3", "4x", "x", " 2", "+2"}) {
+    std::size_t ignored = 0;
+    EXPECT_NE(validate_round_threads_value(bad, ignored), "") << bad;
+  }
+}
+
+TEST(ScenarioSchema, RoundThreadsKeyParsesAndRejectsZero) {
+  const auto ok = parse(R"({"campaign": "t", "scenarios": [{"name": "s",
+      "topology": {"type": "clique", "k": 4},
+      "algorithm": {"type": "seed_agreement"},
+      "trials": 1, "seed": 7, "round_threads": 4}]})");
+  ASSERT_TRUE(ok.ok()) << ok.error;
+  EXPECT_EQ(ok.campaign.variants[0].round_threads, 4u);
+
+  const auto absent = parse(R"({"campaign": "t", "scenarios": [{"name": "s",
+      "topology": {"type": "clique", "k": 4},
+      "algorithm": {"type": "seed_agreement"},
+      "trials": 1, "seed": 7}]})");
+  ASSERT_TRUE(absent.ok()) << absent.error;
+  EXPECT_EQ(absent.campaign.variants[0].round_threads, 0u);  // engine default
+
+  const auto zero = parse(R"({"campaign": "t", "scenarios": [{"name": "s",
+      "topology": {"type": "clique", "k": 4},
+      "algorithm": {"type": "seed_agreement"},
+      "trials": 1, "seed": 7, "round_threads": 0}]})");
+  EXPECT_FALSE(zero.ok());
+}
+
 TEST(CampaignRunner, FilterAndMaxTrials) {
   const Campaign c = tiny_campaign();
   RunOptions options;

@@ -12,6 +12,11 @@
 //                   from the trial index, never the worker).
 //   --filter=SUBSTR run/list only variants whose name contains SUBSTR
 //   --max-trials=N  clamp per-variant trial counts (nightly CI reduction)
+//   --round-threads=N  force the engine's sharded-round thread cap onto
+//                   every variant, N >= 1 (omit to honor each variant's
+//                   spec / the DG_ROUND_THREADS default).  Like --threads
+//                   this never moves results: counters are byte-identical
+//                   at every value.
 //   --out=DIR       report directory (default bench_out); per variant
 //                   SCN_<variant>.json, plus COUNTERS_<campaign>.json (the
 //                   seed-deterministic gating file) and
@@ -46,7 +51,7 @@ struct FlagInfo {
 };
 constexpr FlagInfo kValidFlags[] = {
     {"threads", true},   {"filter", true}, {"max-trials", true},
-    {"out", true},       {"quiet", false},
+    {"round-threads", true}, {"out", true}, {"quiet", false},
 };
 
 class Flags {
@@ -95,6 +100,12 @@ class Flags {
               "flag '--threads' needs a worker count >= 1; omit the flag "
               "to use hardware concurrency");
         }
+      } else if (key == "round-threads") {
+        // Shared validator (scn/scenario.h) so dglab rejects identically.
+        std::size_t parsed = 0;
+        const std::string err =
+            scn::validate_round_threads_value(values_[key], parsed);
+        if (!err.empty()) errors_.push_back("flag '--round-threads': " + err);
       }
     }
   }
@@ -193,6 +204,8 @@ int cmd_run(const std::vector<std::string>& args, const Flags& flags) {
   options.threads = static_cast<std::size_t>(flags.uint("threads", 0));
   options.filter = flags.str("filter", "");
   options.max_trials = static_cast<std::size_t>(flags.uint("max-trials", 0));
+  options.round_threads =
+      static_cast<std::size_t>(flags.uint("round-threads", 0));
   if (!flags.flag("quiet")) options.progress = &std::cout;
   const std::string out_dir = flags.str("out", "bench_out");
 
@@ -237,7 +250,8 @@ void usage() {
   std::cout
       << "usage: dgcampaign <run|list|validate> <campaign.json|dir>... "
          "[--flags]\n"
-         "  --threads=N --filter=SUBSTR --max-trials=N --out=DIR --quiet\n"
+         "  --threads=N --filter=SUBSTR --max-trials=N --round-threads=N "
+         "--out=DIR --quiet\n"
          "see the header of tools/dgcampaign.cpp for details\n";
 }
 

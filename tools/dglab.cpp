@@ -20,6 +20,9 @@
 //           | hotspot:rate:bias[:hot]   (environment traffic model; replaces
 //           the --senders keep-busy default and prints queue/latency stats)
 //   --traffic-cap=N  (per-node admission queue bound; 0 = unbounded)
+//   --round-threads=N  (sharded-round worker cap, N >= 1; omit to use the
+//           DG_ROUND_THREADS default.  Results are byte-identical at every
+//           value -- the flag moves wall clock, never outcomes)
 //   --reuse=1 (phases per seed)  --ablate (private coins)  --trace=N
 //
 // Unknown --flags are rejected (a typo like --schd= must not silently run
@@ -62,7 +65,7 @@ constexpr const char* kValidFlags[] = {
     "type", "n", "side", "r", "cols", "rows", "spacing", "k",   // topology
     "eps", "seed", "phases", "senders", "ack-scale",            // run
     "sched", "channel", "reuse", "ablate", "trace", "deltas",   // run/sweep
-    "traffic", "traffic-cap",                                   // environment
+    "traffic", "traffic-cap", "round-threads",                  // environment
 };
 
 class Flags {
@@ -126,6 +129,22 @@ class Flags {
 };
 
 using dg::spec::split;
+
+/// Parses --round-threads through the shared scn validator (the same
+/// grammar dgcampaign enforces), exiting with a message on 0, negatives,
+/// or trailing junk.  Returns 0 when the flag is absent (engine default,
+/// i.e. DG_ROUND_THREADS or serial).
+std::size_t round_threads_flag(const Flags& flags) {
+  if (!flags.flag("round-threads")) return 0;
+  std::size_t parsed = 0;
+  const std::string err =
+      scn::validate_round_threads_value(flags.str("round-threads", ""), parsed);
+  if (!err.empty()) {
+    std::cerr << "dglab: --" << err << "\n";
+    std::exit(2);
+  }
+  return parsed;
+}
 
 // ---- builders ----
 
@@ -198,12 +217,17 @@ std::unique_ptr<lb::LbSimulation> make_simulation(const Flags& flags,
                                                   const lb::LbParams& params,
                                                   std::uint64_t master) {
   auto channel = build_channel(flags, g);
+  std::unique_ptr<lb::LbSimulation> sim;
   if (channel != nullptr) {
-    return std::make_unique<lb::LbSimulation>(g, std::move(channel), params,
-                                              master);
+    sim = std::make_unique<lb::LbSimulation>(g, std::move(channel), params,
+                                             master);
+  } else {
+    sim = std::make_unique<lb::LbSimulation>(g, build_scheduler(flags), params,
+                                             master);
   }
-  return std::make_unique<lb::LbSimulation>(g, build_scheduler(flags), params,
-                                            master);
+  const std::size_t round_threads = round_threads_flag(flags);
+  if (round_threads != 0) sim->set_round_threads(round_threads);
+  return sim;
 }
 
 void describe(const graph::DualGraph& g, const Flags& flags) {
@@ -269,6 +293,8 @@ int cmd_seed(const Flags& flags) {
                                            derive_seed(master, 3));
   }
   std::cout << "channel: " << engine->channel().name() << "\n";
+  const std::size_t round_threads = round_threads_flag(flags);
+  if (round_threads != 0) engine->set_round_threads(round_threads);
   engine->run_rounds(params.total_rounds());
 
   seed::DecisionVector decisions(g.size());

@@ -59,8 +59,9 @@ def main() -> int:
         unit = bench.get("time_unit", "ns")
         scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit, 1.0)
         time_ns = None if time_ns is None else time_ns * scale
+        name = bench.get("name", "?")
         row = {
-            "benchmark": bench.get("name", "?"),
+            "benchmark": name,
             "time_ns": time_ns,
             "iterations": bench.get("iterations"),
             # One iteration of BM_EngineRound is one engine round, so
@@ -68,6 +69,17 @@ def main() -> int:
             # the other micro benches this is generically iterations/sec.
             "rounds_per_sec": (1e9 / time_ns) if time_ns else None,
         }
+        # BM_EngineRound/<n>/<round_threads>: split the arg positions into
+        # explicit columns so the multi-thread series reads as a scaling
+        # table.  The full name stays in "benchmark" -- bench_diff.py keys
+        # rows on it, and the thread-suffixed names are simply new rows.
+        parts = name.split("/")
+        if parts[0] == "BM_EngineRound" and len(parts) >= 3:
+            try:
+                row["n"] = int(parts[1])
+                row["round_threads"] = int(parts[2])
+            except ValueError:
+                pass
         if "items_per_second" in bench:
             row["items_per_sec"] = bench["items_per_second"]
         rows.append(row)
@@ -88,8 +100,8 @@ def main() -> int:
     except OSError:
         pass
 
-    columns = ["benchmark", "time_ns", "iterations", "rounds_per_sec",
-               "items_per_sec"]
+    columns = ["benchmark", "n", "round_threads", "time_ns", "iterations",
+               "rounds_per_sec", "items_per_sec"]
     report = {
         "elapsed_ms": elapsed_ms,
         "hardware_concurrency": os.cpu_count() or 0,
