@@ -1,0 +1,147 @@
+#include "fault/spec.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/assert.h"
+#include "util/specparse.h"
+
+namespace dg::fault {
+
+namespace {
+
+using spec::parse_num;
+using spec::split;
+
+/// Expected crash arrivals per round, network-wide.  Past one crash per
+/// round the execution is just a dead network; the bound mirrors the
+/// traffic grammar's kMaxRate in spirit and keeps rate/n a probability.
+constexpr double kMaxCrashRate = 1.0;
+
+constexpr double kMaxInt = 2147483647.0;  // 2^31 - 1
+bool int_in(double v, double min) {
+  return v == std::floor(v) && v >= min && v <= kMaxInt;
+}
+
+}  // namespace
+
+std::string valid_fault_specs() {
+  return "crash:round:vertex[:repair], poisson:rate[:mean_repair], "
+         "region:round:center:radius[:repair], adversary:k[:period[:repair]]";
+}
+
+std::string parse_fault_spec(const std::string& spec, FaultSpec& out) {
+  out = FaultSpec{};
+  const auto parts = split(spec, ':');
+  if (parts.empty()) {
+    return "empty fault spec (valid: " + valid_fault_specs() + ")";
+  }
+  const std::string& kind = parts[0];
+  const auto arity = [&](std::size_t max_args) -> std::string {
+    if (parts.size() - 1 > max_args) {
+      return "fault '" + kind + "' takes at most " +
+             std::to_string(max_args) + " argument(s); got '" + spec + "'";
+    }
+    return "";
+  };
+  const auto arg = [&](std::size_t i, double dflt, double& value) -> bool {
+    value = dflt;
+    if (parts.size() <= i) return true;
+    return parse_num(parts[i], value);
+  };
+  double a = 0, b = 0, c = 0, d = 0;
+  if (kind == "crash") {
+    out.kind = FaultSpec::Kind::kCrash;
+    if (auto e = arity(3); !e.empty()) return e;
+    if (parts.size() < 3) {
+      return "crash needs crash:round:vertex[:repair]; got '" + spec + "'";
+    }
+    if (!arg(1, 0, a) || !int_in(a, 1) || !arg(2, 0, b) || !int_in(b, 0) ||
+        !arg(3, 0, c) || !int_in(c, 0)) {
+      return "malformed crash:round:vertex:repair in '" + spec +
+             "' (round >= 1, vertex >= 0, repair >= 0 rounds; 0 = never)";
+    }
+    out.round = static_cast<std::int64_t>(a);
+    out.vertex = static_cast<std::size_t>(b);
+    out.repair = static_cast<std::int64_t>(c);
+    return "";
+  }
+  if (kind == "poisson") {
+    out.kind = FaultSpec::Kind::kPoisson;
+    if (auto e = arity(2); !e.empty()) return e;
+    if (!arg(1, 0.02, a) || !(a > 0.0 && a <= kMaxCrashRate)) {
+      return "malformed poisson:rate in '" + spec +
+             "' (rate must be in (0, 1] crashes/round)";
+    }
+    if (!arg(2, 64, b) || !(b >= 1.0 && b <= kMaxInt)) {
+      return "malformed poisson mean_repair in '" + spec +
+             "' (mean_repair must be in [1, 2^31) rounds)";
+    }
+    out.rate = a;
+    out.mean_repair = b;
+    return "";
+  }
+  if (kind == "region") {
+    out.kind = FaultSpec::Kind::kRegion;
+    if (auto e = arity(4); !e.empty()) return e;
+    if (parts.size() < 4) {
+      return "region needs region:round:center:radius[:repair]; got '" +
+             spec + "'";
+    }
+    if (!arg(1, 0, a) || !int_in(a, 1) || !arg(2, 0, b) || !int_in(b, 0) ||
+        !arg(3, 0, c) || !int_in(c, 0) || !arg(4, 0, d) || !int_in(d, 0)) {
+      return "malformed region:round:center:radius:repair in '" + spec +
+             "' (round >= 1, center >= 0, radius >= 0 hops, repair >= 0 "
+             "rounds; 0 = never)";
+    }
+    out.round = static_cast<std::int64_t>(a);
+    out.vertex = static_cast<std::size_t>(b);
+    out.radius = static_cast<int>(c);
+    out.repair = static_cast<std::int64_t>(d);
+    return "";
+  }
+  if (kind == "adversary") {
+    out.kind = FaultSpec::Kind::kAdversary;
+    if (auto e = arity(3); !e.empty()) return e;
+    if (!arg(1, 1, a) || !int_in(a, 1) || !arg(2, 64, b) || !int_in(b, 1) ||
+        !arg(3, 64, c) || !int_in(c, 1)) {
+      return "malformed adversary:k:period:repair in '" + spec +
+             "' (k >= 1 targets, period >= 1 rounds, repair >= 1 rounds)";
+    }
+    out.k = static_cast<int>(a);
+    out.period = static_cast<std::int64_t>(b);
+    out.repair = static_cast<std::int64_t>(c);
+    return "";
+  }
+  return "unknown fault '" + kind + "' (valid: " + valid_fault_specs() + ")";
+}
+
+std::unique_ptr<FaultPlan> build_fault_plan(const FaultSpec& spec) {
+  switch (spec.kind) {
+    case FaultSpec::Kind::kCrash: {
+      std::vector<FaultEvent> events;
+      events.push_back({spec.round, static_cast<graph::Vertex>(spec.vertex),
+                        FaultKind::kCrash});
+      if (spec.repair > 0) {
+        events.push_back({spec.round + spec.repair,
+                          static_cast<graph::Vertex>(spec.vertex),
+                          FaultKind::kRecover});
+      }
+      return std::make_unique<ScriptFaultPlan>(std::move(events));
+    }
+    case FaultSpec::Kind::kPoisson:
+      return std::make_unique<PoissonFaultPlan>(spec.rate, spec.mean_repair);
+    case FaultSpec::Kind::kRegion:
+      return std::make_unique<RegionFaultPlan>(
+          spec.round, static_cast<graph::Vertex>(spec.vertex), spec.radius,
+          spec.repair);
+    case FaultSpec::Kind::kAdversary:
+      return std::make_unique<AdversaryFaultPlan>(spec.k, spec.period,
+                                                  spec.repair);
+  }
+  DG_ASSERT(false);
+  return nullptr;
+}
+
+}  // namespace dg::fault

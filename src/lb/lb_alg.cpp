@@ -36,6 +36,34 @@ std::optional<sim::MessageId> LbProcess::abort() {
   return aborted;
 }
 
+void LbProcess::on_crash(sim::Round round) {
+  (void)round;
+  // The wrapper's FaultListener aborts any in-flight broadcast before this
+  // fires (see fault/plan.h ordering); whatever is left is protocol state a
+  // dead node cannot keep.
+  pending_.reset();
+  current_.reset();
+  preamble_.reset();
+  phase_seed_.reset();
+  seed_bits_.reset();
+}
+
+void LbProcess::on_recover(sim::Round round) {
+  // Re-synchronize the round cursor to the network-wide group layout (all
+  // live nodes are at position (t-1) mod group_len; transmit() will advance
+  // onto this round's position), then stay passive until the next group
+  // start: the node missed this group's SeedAlg preamble, so it has no
+  // group seed to participate with.
+  const std::int64_t p = (round - 1) % group_len_;  // this round's position
+  pos_in_group_ = p - 1;
+  seg_round_ = p - 1 < params_.t_s
+                   ? -1
+                   : (p - 1 - params_.t_s) % params_.t_prog;
+  phase_boundary_now_ = false;
+  segment_end_now_ = false;
+  resync_ = true;
+}
+
 void LbProcess::begin_group(sim::RoundContext& ctx) {
   // Every node runs SeedAlg at the start of every group, in either state.
   preamble_.emplace(params_.seed, id(), ctx.rng());
@@ -45,6 +73,13 @@ void LbProcess::begin_group(sim::RoundContext& ctx) {
 
 std::optional<sim::Packet> LbProcess::transmit(sim::RoundContext& ctx) {
   advance_round_position();
+
+  // A freshly recovered node idles until the next group start (it holds no
+  // group seed); a pending bcast input waits with it.
+  if (resync_) {
+    if (pos_in_group_ != 0) return std::nullopt;
+    resync_ = false;
+  }
 
   if (pos_in_group_ == 0) begin_group(ctx);
 
@@ -122,6 +157,7 @@ std::optional<sim::Packet> LbProcess::body_transmit(sim::RoundContext& ctx,
 
 void LbProcess::receive(const std::optional<sim::Packet>& packet,
                         sim::RoundContext& ctx) {
+  if (resync_) return;  // rejoining: no preamble state to feed yet
   if (in_preamble_now()) {
     DG_ASSERT(preamble_.has_value());
     preamble_->step_receive(packet);

@@ -85,6 +85,18 @@ class LbProcess final : public sim::Process {
                sim::RoundContext& ctx) override;
   void end_round(sim::RoundContext& ctx) override;
 
+  /// Fault seam.  A crash drops all protocol state (the wrapper aborts the
+  /// in-flight broadcast *before* this fires, so the abort path accounts
+  /// for it); recovery re-synchronizes the round cursor to the network-wide
+  /// group layout but keeps the node passive -- transmitting nothing,
+  /// consuming no receptions -- until the next group start hands it a fresh
+  /// SeedAlg preamble, since it cannot hold a group seed it never agreed
+  /// on.  Identity-level facts survive both: the id, the message sequence
+  /// counter (recovered nodes must not reuse MessageIds) and the seen-set
+  /// (no duplicate recv outputs for pre-crash receptions).
+  void on_crash(sim::Round round) override;
+  void on_recover(sim::Round round) override;
+
   /// All per-round state is per-vertex; the only cross-vertex effect is the
   /// listener fan-out, so sharding is safe exactly when the listener
   /// consents.
@@ -161,6 +173,7 @@ class LbProcess final : public sim::Process {
   std::optional<ActiveMessage> pending_;  // awaiting next phase boundary
   std::optional<ActiveMessage> current_;  // being broadcast
   std::uint32_t next_seq_ = 0;
+  bool resync_ = false;  ///< recovered; passive until the next group start
 
   std::optional<seed::SeedAlgRunner> preamble_;
   std::optional<seed::SeedDecision> phase_seed_;

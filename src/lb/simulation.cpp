@@ -89,6 +89,13 @@ class LbSimulation::Fanout final : public LbListener, public sim::RoundHooks {
                    sim::Round round) {
     owner_->checker_->on_ack(vertex, m, round);
     owner_->traffic_->on_ack(m, round);
+    // Completed-broadcast progress feed for adaptive fault plans (the
+    // k-crash adversary targets the highest-progress vertices).  Runs on
+    // the serial path in both fan-out modes, so plans see the identical
+    // ascending-vertex order at any thread count.
+    if (owner_->fault_plan_ != nullptr) {
+      owner_->fault_plan_->note_progress(vertex);
+    }
     if (owner_->extra_ != nullptr) owner_->extra_->on_ack(vertex, m, round);
   }
 
@@ -105,6 +112,37 @@ class LbSimulation::Fanout final : public LbListener, public sim::RoundHooks {
   bool buffered_ = false;
   std::vector<RecvSlot> recv_;
   std::vector<AckSlot> ack_;
+};
+
+/// Routes the engine's fault events into the rest of the stack, preserving
+/// the fault/plan.h ordering contract: on a crash this listener fires
+/// *before* LbProcess::on_crash, so the in-flight broadcast is still
+/// intact and can be aborted through the normal accounting path (spec
+/// checker on_abort + traffic crash-requeue); on a recovery it fires
+/// *after* LbProcess::on_recover, so admission resumes against a
+/// re-initialized process.
+class LbSimulation::FaultBridge final : public fault::FaultListener {
+ public:
+  explicit FaultBridge(LbSimulation& owner) : owner_(&owner) {}
+
+  void on_crash(sim::Round round, graph::Vertex v) override {
+    const auto aborted = owner_->process(v).abort();
+    if (aborted.has_value()) {
+      owner_->checker_->on_abort(v, *aborted, round);
+    }
+    // The injector both accounts the crash-abort (if the in-flight message
+    // was one of its admissions) and re-queues it for after recovery.
+    owner_->traffic_->on_crash(v, round);
+    owner_->checker_->on_crash(v, round);
+  }
+
+  void on_recover(sim::Round round, graph::Vertex v) override {
+    owner_->traffic_->on_recover(v, round);
+    owner_->checker_->on_recover(v, round);
+  }
+
+ private:
+  LbSimulation* owner_;
 };
 
 /// The injector's view of this simulation: the busy bit and a
@@ -171,6 +209,15 @@ LbSimulation::LbSimulation(const graph::DualGraph& g,
   // LbProcesses would withhold shard consent and every round would fall
   // back serial).
   set_round_threads(engine_->round_threads());
+}
+
+void LbSimulation::set_fault_plan(fault::FaultPlan* plan) {
+  fault_plan_ = plan;
+  if (plan != nullptr && fault_bridge_ == nullptr) {
+    fault_bridge_ = std::make_unique<FaultBridge>(*this);
+  }
+  engine_->set_fault_plan(plan, plan != nullptr ? fault_bridge_.get()
+                                                : nullptr);
 }
 
 void LbSimulation::set_round_threads(std::size_t threads) {

@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/plan.h"
 #include "graph/dual_graph.h"
 #include "lb/lb_alg.h"
 #include "lb/params.h"
@@ -83,6 +84,18 @@ class LbSimulation {
     environment_ = std::move(env);
   }
 
+  /// Installs a crash/recover schedule (see fault/plan.h); the plan must
+  /// outlive the simulation and is bound to this graph + master seed.  The
+  /// wrapper bridges the engine's fault events to the whole stack: a crash
+  /// aborts the vertex's in-flight broadcast through the usual abort
+  /// accounting (spec checker + traffic crash-requeue), then reports the
+  /// crash to the checker's degradation ledger; a recovery notifies the
+  /// injector (admission resumes) and the checker (re-stabilization timer).
+  /// Ack outputs additionally feed FaultPlan::note_progress, so the k-crash
+  /// adversary can target the highest-progress vertices.  Pass nullptr to
+  /// detach.
+  void set_fault_plan(fault::FaultPlan* plan);
+
   // ---- execution ----
 
   void run_round();
@@ -110,6 +123,9 @@ class LbSimulation {
   LbProcess& process(graph::Vertex v);
   const LbSpecChecker& checker() const noexcept { return *checker_; }
   const LbSpecReport& report() const noexcept { return checker_->report(); }
+  const DegradationLedger& ledger() const noexcept {
+    return checker_->ledger();
+  }
   sim::Engine& engine() noexcept { return *engine_; }
 
   /// Extra listener for service outputs (e.g. the abstract MAC adapter);
@@ -124,6 +140,7 @@ class LbSimulation {
  private:
   class Fanout;       // forwards process outputs to checker + listeners
   class TrafficPort;  // adapts this simulation to traffic::LbPort
+  class FaultBridge;  // routes engine fault events to checker + traffic
 
   /// Shared constructor body: exactly one of scheduler/channel is set.
   LbSimulation(const graph::DualGraph& g,
@@ -141,6 +158,8 @@ class LbSimulation {
   std::unique_ptr<sim::Engine> engine_;
   std::unique_ptr<TrafficPort> traffic_port_;
   std::unique_ptr<traffic::Injector> traffic_;
+  std::unique_ptr<FaultBridge> fault_bridge_;
+  fault::FaultPlan* fault_plan_ = nullptr;
   std::function<void(LbSimulation&, sim::Round)> environment_;
   LbListener* extra_ = nullptr;
 };

@@ -16,7 +16,10 @@ LbSpecChecker::LbSpecChecker(const graph::DualGraph& g,
       active_(g.size()),
       streak_start_(g.size(), 0),
       active_until_(g.size(), -1),
-      qualifying_reception_(g.size(), false) {
+      qualifying_reception_(g.size(), false),
+      down_(g.size(), false),
+      fault_touched_(g.size(), false),
+      restab_pending_(g.size(), 0) {
   DG_EXPECTS(ids_.size() == g.size());
   for (graph::Vertex v = 0; v < static_cast<graph::Vertex>(ids_.size()); ++v) {
     vertex_of_.emplace(ids_[v], v);
@@ -31,6 +34,17 @@ void LbSpecChecker::on_bcast(graph::Vertex u, const sim::MessageId& m,
   entry.id = m;
   entry.input_round = round;
   entry.record_index = records_.size();
+  // A broadcast born next to a crashed vertex lives its whole life inside a
+  // fault window; its reliability tally belongs to the degradation ledger.
+  if (down_count_ > 0) {
+    if (down_[u]) entry.fault_overlap = true;
+    for (graph::Vertex w : graph_->g_neighbors(u)) {
+      if (down_[w]) {
+        entry.fault_overlap = true;
+        break;
+      }
+    }
+  }
   active_[u] = entry;
   owner_of_[m] = u;
   // A bcast in the round right after the previous activity ended continues
@@ -60,9 +74,39 @@ void LbSpecChecker::on_abort(graph::Vertex u, const sim::MessageId& m,
   entry.reset();
 }
 
+void LbSpecChecker::on_crash(graph::Vertex u, sim::Round round) {
+  (void)round;
+  DG_EXPECTS(!down_[u]);
+  faults_seen_ = true;
+  ++ledger_.crashes;
+  down_[u] = true;
+  ++down_count_;
+  restab_pending_[u] = 0;  // crashed again before re-stabilizing
+  taint_neighborhood(u);
+}
+
+void LbSpecChecker::on_recover(graph::Vertex u, sim::Round round) {
+  DG_EXPECTS(down_[u]);
+  ++ledger_.recoveries;
+  down_[u] = false;
+  --down_count_;
+  restab_pending_[u] = round;
+  taint_neighborhood(u);
+}
+
+void LbSpecChecker::taint_neighborhood(graph::Vertex u) {
+  fault_touched_[u] = true;
+  if (active_[u].has_value()) active_[u]->fault_overlap = true;
+  for (graph::Vertex w : graph_->g_neighbors(u)) {
+    fault_touched_[w] = true;
+    if (active_[w].has_value()) active_[w]->fault_overlap = true;
+  }
+}
+
 void LbSpecChecker::on_ack(graph::Vertex vertex, const sim::MessageId& m,
                            sim::Round round) {
   ++report_.ack_count;
+  ++acks_this_round_;
   auto& entry = active_[vertex];
   if (!entry.has_value() || !(entry->id == m) || entry->ack_round != 0) {
     // Ack without a matching outstanding bcast, or a duplicate ack.
@@ -82,7 +126,15 @@ void LbSpecChecker::on_ack(graph::Vertex vertex, const sim::MessageId& m,
   auto& record = records_[entry->record_index];
   const auto& neighbors = graph_->g_neighbors(vertex);
   bool all_received = record.recv_rounds.size() >= neighbors.size();
-  report_.reliability.record(all_received);
+  // Fault-free-window masking: a broadcast whose lifetime overlapped a
+  // fault in its G-neighborhood cannot be held to the reliability bound
+  // (a crashed neighbor hears nothing); its tally degrades gracefully
+  // into the ledger instead.
+  if (entry->fault_overlap) {
+    ledger_.faulty_reliability.record(all_received);
+  } else {
+    report_.reliability.record(all_received);
+  }
 
   record.ack_round = round;
   if (all_received && !neighbors.empty()) {
@@ -136,6 +188,14 @@ void LbSpecChecker::on_recv(graph::Vertex vertex, const sim::MessageId& m,
 
 void LbSpecChecker::on_receive(sim::Round round, graph::Vertex u,
                                graph::Vertex from, const sim::Packet& packet) {
+  // Re-stabilization clock: a recovered vertex counts as back on the air
+  // at its first wire-level reception (seed or data).
+  if (faults_seen_ && restab_pending_[u] != 0) {
+    ledger_.restab_rounds_sum +=
+        static_cast<std::uint64_t>(round - restab_pending_[u]);
+    ++ledger_.restab_count;
+    restab_pending_[u] = 0;
+  }
   if (!packet.is_data()) return;
   ++report_.raw_receptions;
   // Progress event B^u_alpha: u receives a message m_v from a node v that is
@@ -156,6 +216,12 @@ bool LbSpecChecker::actively_broadcasting(graph::Vertex v,
 
 void LbSpecChecker::on_round_end(sim::Round round) {
   ++rounds_in_phase_;
+  ++ledger_.rounds_observed;
+  if (down_count_ > 0) {
+    ++ledger_.fault_rounds;
+    ledger_.acks_in_fault_rounds += acks_this_round_;
+  }
+  acks_this_round_ = 0;
   if (round % params_.t_prog_bound() == 0) {
     // Evaluated before retirement: an entry acked in the phase's final
     // round was active through the whole round, so it still counts.
@@ -190,11 +256,28 @@ void LbSpecChecker::finish_phase(sim::Round phase_end_round) {
       }
     }
     if (has_fully_active_neighbor) {
-      // A^u_alpha held; did B^u_alpha?
-      report_.progress.record(qualifying_reception_[u]);
+      // A^u_alpha held; did B^u_alpha?  Windows touched by a fault at u or
+      // a G-neighbor are not held to the bound -- they tally into the
+      // degradation ledger instead of the spec report.
+      if (faults_seen_ && fault_touched_[u]) {
+        ledger_.faulty_progress.record(qualifying_reception_[u]);
+      } else {
+        report_.progress.record(qualifying_reception_[u]);
+      }
     }
   }
   std::fill(qualifying_reception_.begin(), qualifying_reception_.end(), false);
+  if (faults_seen_) {
+    // Reset the per-phase taint, then re-seed it from vertices still down:
+    // every phase overlapping a downtime is a fault window, not just the
+    // phase the crash landed in.
+    std::fill(fault_touched_.begin(), fault_touched_.end(), false);
+    if (down_count_ > 0) {
+      for (graph::Vertex v = 0; v < n; ++v) {
+        if (down_[v]) taint_neighborhood(v);
+      }
+    }
+  }
   rounds_in_phase_ = 0;
 }
 

@@ -50,6 +50,54 @@ struct BroadcastRecord {
   bool aborted() const noexcept { return abort_round != 0; }
 };
 
+/// Graceful-degradation accounting under fault injection (crash/recover
+/// schedules, see fault/plan.h).  The spec tallies in LbSpecReport are
+/// asserted only over *fault-free* windows -- a (vertex, phase) progress
+/// window touched by a fault at the vertex or a G-neighbor, or a broadcast
+/// whose lifetime overlaps such a fault, moves its tally here instead, so
+/// the paper's bounds are never blamed for crashed hardware while the
+/// degradation itself stays measured.
+struct DegradationLedger {
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+
+  /// Progress over fault-touched (vertex, phase) windows; the complement
+  /// of LbSpecReport::progress.  1 - frequency() is the raw progress-bound
+  /// violation rate attributable to faults.
+  BernoulliTally faulty_progress;
+  /// Reliability over broadcasts whose lifetime overlapped a fault at the
+  /// origin's G-neighborhood.
+  BernoulliTally faulty_reliability;
+
+  /// Re-stabilization: rounds from a recovery until the recovered vertex's
+  /// first reception (only recoveries that re-stabilized are summed).
+  std::uint64_t restab_count = 0;
+  std::uint64_t restab_rounds_sum = 0;
+
+  /// Throughput dip: acks landing in rounds with >= 1 vertex down, vs the
+  /// execution totals (LbSpecReport::ack_count over rounds_observed).
+  std::uint64_t rounds_observed = 0;
+  std::uint64_t fault_rounds = 0;
+  std::uint64_t acks_in_fault_rounds = 0;
+
+  double progress_violation_rate() const noexcept {
+    return faulty_progress.trials() == 0 ? 0.0
+                                         : 1.0 - faulty_progress.frequency();
+  }
+  double mean_restabilization_rounds() const noexcept {
+    return restab_count == 0 ? 0.0
+                             : static_cast<double>(restab_rounds_sum) /
+                                   static_cast<double>(restab_count);
+  }
+  /// Ack throughput inside fault rounds (acks/round); compare against the
+  /// execution-wide rate for the dip.
+  double fault_window_ack_rate() const noexcept {
+    return fault_rounds == 0 ? 0.0
+                             : static_cast<double>(acks_in_fault_rounds) /
+                                   static_cast<double>(fault_rounds);
+  }
+};
+
 struct LbSpecReport {
   // Deterministic conditions -- must hold in every execution.
   bool timely_ack_ok = true;   ///< every ack within t_ack, exactly one
@@ -97,6 +145,15 @@ class LbSpecChecker final : public sim::Observer, public LbListener {
   /// environment, not violated by the service).
   void on_abort(graph::Vertex u, const sim::MessageId& m, sim::Round round);
 
+  /// Fault bookkeeping (called by the simulation wrapper's FaultListener).
+  /// A crash at u taints u's and every G-neighbor's current progress
+  /// window, marks overlapping broadcasts, and starts the fault-round
+  /// clock; a recovery does the same tainting and arms the
+  /// re-stabilization timer.  Any in-flight broadcast at u must be
+  /// reported through on_abort separately (the crash-abort path).
+  void on_crash(graph::Vertex u, sim::Round round);
+  void on_recover(graph::Vertex u, sim::Round round);
+
   // LbListener:
   void on_ack(graph::Vertex vertex, const sim::MessageId& m,
               sim::Round round) override;
@@ -114,6 +171,7 @@ class LbSpecChecker final : public sim::Observer, public LbListener {
   // ---- results ----
 
   const LbSpecReport& report() const noexcept { return report_; }
+  const DegradationLedger& ledger() const noexcept { return ledger_; }
   const std::vector<BroadcastRecord>& broadcasts() const noexcept {
     return records_;
   }
@@ -131,9 +189,15 @@ class LbSpecChecker final : public sim::Observer, public LbListener {
     std::size_t recv_seen = 0;       // distinct G-neighbors that recv'd
     sim::Round last_recv_round = 0;  // max recv round among G-neighbors
     bool all_recv_before_ack_possible = true;
+    bool fault_overlap = false;  // lifetime touched a G-neighborhood fault
   };
 
   void finish_phase(sim::Round phase_end_round);
+
+  /// Taints the current progress window of u and its G-neighbors and
+  /// marks their outstanding broadcasts as fault-overlapped (shared by
+  /// crash and recovery: both events perturb the neighborhood).
+  void taint_neighborhood(graph::Vertex u);
 
   const graph::DualGraph* graph_;
   std::vector<sim::ProcessId> ids_;
@@ -165,6 +229,15 @@ class LbSpecChecker final : public sim::Observer, public LbListener {
   std::vector<sim::Round> active_until_;  ///< last active round once retired
   std::vector<bool> qualifying_reception_;  ///< u received from an active v
   sim::Round rounds_in_phase_ = 0;
+
+  // Fault-awareness (all empty-cost while no fault plan reports events).
+  DegradationLedger ledger_;
+  std::vector<bool> down_;           ///< vertex currently crashed
+  std::vector<bool> fault_touched_;  ///< progress window tainted this phase
+  std::vector<sim::Round> restab_pending_;  ///< recovery round; 0 = idle
+  std::size_t down_count_ = 0;
+  std::uint64_t acks_this_round_ = 0;
+  bool faults_seen_ = false;  ///< any crash ever reported
 };
 
 }  // namespace dg::lb

@@ -40,6 +40,10 @@ namespace dg::sim {
 class AdaptiveAdversary;
 }  // namespace dg::sim
 
+namespace dg::util {
+class ThreadPool;
+}  // namespace dg::util
+
 namespace dg::phys {
 
 /// Packs a reception word: `from` in the high 32 bits, `count` in the low
@@ -88,6 +92,16 @@ class ChannelModel {
     (void)round;
     (void)transmitting;
   }
+
+  /// Hands the engine's round thread pool to the channel, so per-round
+  /// *serial-section* precomputation (prepare_round) may itself fan out
+  /// block-parallel work -- the pool is guaranteed idle whenever the
+  /// engine calls into the channel serially.  The pool outlives every
+  /// subsequent round; the engine re-calls this if it rebuilds the pool.
+  /// Sharding a precompute must not change its bytes: results stay
+  /// identical at every thread count.  Default: ignored (serial channels
+  /// have nothing to fan out).
+  virtual void set_round_pool(util::ThreadPool* pool) { (void)pool; }
 
   /// Sharded reception: fills heard[u] for u in [begin, end) only, reading
   /// whatever prepare_round() staged.  May be called concurrently for

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/assert.h"
+#include "util/thread_pool.h"
 
 namespace dg::phys {
 
@@ -107,16 +108,35 @@ void SinrChannel::prepare_round(sim::Round round, const Bitmap& transmitting) {
   // per-cell monopole whose distance term depends only on cell geometry, so
   // the estimate is monotone in the transmit set (see header).  tx_cells_
   // is in first-touch (ascending transmitter) order: deterministic.
+  //
+  // The receiver-cell loop shards over the engine's pool when one is
+  // installed (prepare_round runs in the engine's serial section, so the
+  // pool is idle): per-cell writes are disjoint and each cell keeps the
+  // exact inner tx_cells_ accumulation order, so the sharded fill is
+  // bit-identical to the serial one at every thread count.
   const geo::GridPartition grid(params_.cell_side, near_radius_);
-  for (std::size_t rc = 0; rc < cells_.size(); ++rc) {
-    double far = 0.0;
-    for (std::size_t tc : tx_cells_) {
-      const double d = grid.min_cell_distance(cells_[rc].id, cells_[tc].id);
-      if (d <= near_radius_) continue;  // exact near term handles it
-      far += params_.power * static_cast<double>(cell_tx_[tc].size()) *
-             std::pow(d, -params_.alpha);
+  const auto fill_cells = [&](std::size_t rc_begin, std::size_t rc_end) {
+    for (std::size_t rc = rc_begin; rc < rc_end; ++rc) {
+      double far = 0.0;
+      for (std::size_t tc : tx_cells_) {
+        const double d = grid.min_cell_distance(cells_[rc].id, cells_[tc].id);
+        if (d <= near_radius_) continue;  // exact near term handles it
+        far += params_.power * static_cast<double>(cell_tx_[tc].size()) *
+               std::pow(d, -params_.alpha);
+      }
+      far_field_[rc] = far;
     }
-    far_field_[rc] = far;
+  };
+  const std::size_t cell_count = cells_.size();
+  if (pool_ != nullptr && pool_->threads() > 1 && cell_count >= 2) {
+    const std::size_t blocks = std::min(pool_->threads() * 4, cell_count);
+    const std::size_t block_size = (cell_count + blocks - 1) / blocks;
+    pool_->for_blocks(blocks, [&](std::size_t b) {
+      const std::size_t rc_begin = b * block_size;
+      fill_cells(rc_begin, std::min(rc_begin + block_size, cell_count));
+    });
+  } else {
+    fill_cells(0, cell_count);
   }
 }
 

@@ -92,6 +92,10 @@ class SinrChannel final : public ChannelModel {
   /// and accumulation order are identical to the serial pass, so the
   /// floating-point verdicts match bit for bit.
   bool shardable() const override { return true; }
+  /// The far-field precompute (per receiver cell, disjoint writes, inner
+  /// accumulation order unchanged) shards over the engine's pool when one
+  /// is installed -- bit-identical to the serial pass at any thread count.
+  void set_round_pool(util::ThreadPool* pool) override { pool_ = pool; }
   void prepare_round(sim::Round round, const Bitmap& transmitting) override;
   void compute_shard(sim::Round round, const Bitmap& transmitting,
                      std::span<std::uint64_t> heard, graph::Vertex begin,
@@ -124,6 +128,8 @@ class SinrChannel final : public ChannelModel {
   std::vector<std::vector<graph::Vertex>> cell_tx_;  ///< transmitters per cell
   std::vector<std::size_t> tx_cells_;                ///< touched cell indices
   std::vector<double> far_field_;                    ///< per receiver cell
+
+  util::ThreadPool* pool_ = nullptr;  ///< engine's pool; idle when we run
 };
 
 }  // namespace dg::phys

@@ -158,7 +158,7 @@ class ObjectReader {
 constexpr std::initializer_list<const char*> kTopLevelKeys = {
     "campaign", "scenarios"};
 constexpr std::initializer_list<const char*> kScenarioKeys = {
-    "name", "topology", "scheduler", "channel", "traffic",
+    "name", "topology", "scheduler", "channel", "traffic", "faults",
     "algorithm", "trials", "seed", "round_threads", "matrix"};
 constexpr std::initializer_list<const char*> kTopologyKeys = {
     "type", "n", "side", "r", "cols", "rows", "spacing",
@@ -175,13 +175,14 @@ const std::set<std::string> kTopologyTypes = {
     "contention_star", "disjoint_cliques", "deployment"};
 const std::set<std::string> kAlgorithmTypes = {
     "lb_progress", "decay_progress", "seed_agreement",
-    "seed_then_progress", "abstraction_fidelity", "traffic_latency"};
+    "seed_then_progress", "abstraction_fidelity", "traffic_latency",
+    "lb_churn"};
 
 /// The one-line workload list every workload-related rejection embeds
 /// (the same actionable style as the channel/scheduler/traffic specs).
 const char* kValidAlgorithmTypes =
     "lb_progress, decay_progress, seed_agreement, seed_then_progress, "
-    "abstraction_fidelity, traffic_latency";
+    "abstraction_fidelity, traffic_latency, lb_churn";
 /// Topology families that attach a plane embedding (required by SINR
 /// reception).
 const std::set<std::string> kEmbeddedTopologies = {
@@ -354,17 +355,19 @@ bool validate_semantics(Ctx& ctx, const json::Value& at,
                           spec.topology.type + "'");
     }
   }
-  if (a.type == "traffic_latency") {
+  const bool uses_traffic =
+      a.type == "traffic_latency" || a.type == "lb_churn";
+  if (uses_traffic) {
     if (spec.traffic.empty()) {
       return ctx.fail(at, path,
-                      "algorithm 'traffic_latency' needs a \"traffic\" "
-                      "spec (valid: " +
+                      "algorithm '" + a.type +
+                          "' needs a \"traffic\" spec (valid: " +
                           traffic::valid_traffic_specs() + ")");
     }
   } else if (!spec.traffic.empty()) {
     return ctx.fail(at, path,
                     "key \"traffic\" is only consumed by algorithm "
-                    "'traffic_latency'; algorithm '" +
+                    "'traffic_latency' or 'lb_churn'; algorithm '" +
                         a.type + "' manages its own environment (valid "
                         "workload kinds: " +
                         std::string(kValidAlgorithmTypes) + ")");
@@ -374,10 +377,44 @@ bool validate_semantics(Ctx& ctx, const json::Value& at,
     // no diagnostic.
     return ctx.fail(at, path,
                     "key \"queue_cap\" is only consumed by algorithm "
-                    "'traffic_latency'; algorithm '" +
+                    "'traffic_latency' or 'lb_churn'; algorithm '" +
                         a.type + "' has no admission queue (valid "
                         "workload kinds: " +
                         std::string(kValidAlgorithmTypes) + ")");
+  }
+  if (a.type == "lb_churn") {
+    if (spec.faults.empty()) {
+      return ctx.fail(at, path,
+                      "algorithm 'lb_churn' needs a \"faults\" spec "
+                      "(valid: " +
+                          fault::valid_fault_specs() + ")");
+    }
+  } else if (!spec.faults.empty()) {
+    return ctx.fail(at, path,
+                    "key \"faults\" is only consumed by algorithm "
+                    "'lb_churn'; algorithm '" +
+                        a.type + "' runs fault-free (valid workload "
+                        "kinds: " +
+                        std::string(kValidAlgorithmTypes) + ")");
+  }
+  if (!spec.faults.empty()) {
+    const fault::FaultSpec& f = spec.fault_spec;
+    const bool names_vertex = f.kind == fault::FaultSpec::Kind::kCrash ||
+                              f.kind == fault::FaultSpec::Kind::kRegion;
+    if (names_vertex && f.vertex >= n) {
+      std::ostringstream os;
+      os << "faults '" << spec.faults << "' names vertex " << f.vertex
+         << ", but the topology has only " << n << " vertices";
+      return ctx.fail(at, path, os.str());
+    }
+    if (f.kind == fault::FaultSpec::Kind::kAdversary &&
+        static_cast<std::size_t>(f.k) > n) {
+      std::ostringstream os;
+      os << "faults '" << spec.faults << "' crashes " << f.k
+         << " vertices per period, but the topology has only " << n
+         << " vertices";
+      return ctx.fail(at, path, os.str());
+    }
   }
   if (!spec.traffic.empty()) {
     const traffic::TrafficSpec& t = spec.traffic_spec;
@@ -443,6 +480,15 @@ bool parse_scenario(Ctx& ctx, const json::Value& v, const std::string& path,
     if (!err.empty()) {
       const json::Value* at = v.find("traffic");
       return ctx.fail(at != nullptr ? *at : v, path + ".traffic", err);
+    }
+  }
+  if (!r.str("faults", out.faults)) return false;
+  if (!out.faults.empty()) {
+    const std::string err =
+        fault::parse_fault_spec(out.faults, out.fault_spec);
+    if (!err.empty()) {
+      const json::Value* at = v.find("faults");
+      return ctx.fail(at != nullptr ? *at : v, path + ".faults", err);
     }
   }
   if (const json::Value* t = r.get("topology")) {

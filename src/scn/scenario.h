@@ -4,10 +4,13 @@
 // names a topology generator, an oblivious link scheduler, a channel model
 // (dual_graph or sinr:alpha,beta,noise), an optional traffic model
 // (saturate/poisson/burst/hotspot -- the environment automaton, consumed
-// by the traffic_latency workload), an algorithm workload (LBAlg
+// by the traffic_latency and lb_churn workloads), an optional fault
+// schedule (crash/poisson/region/adversary -- crash/recover churn,
+// consumed by the lb_churn workload), an algorithm workload (LBAlg
 // progress, Decay baseline, SeedAlg agreement, the combined r-sensitivity
-// workload, the SINR abstraction-fidelity comparison, or the open-loop
-// traffic_latency queueing workload), a trial count and a base seed.  An
+// workload, the SINR abstraction-fidelity comparison, the open-loop
+// traffic_latency queueing workload, or the lb_churn graceful-degradation
+// workload), a trial count and a base seed.  An
 // optional "matrix" block sweeps axes whose
 // cross-product expands into concrete scenario *variants* -- the topology
 // x scheduler x channel x algorithm x adversary cross-product as data
@@ -55,6 +58,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/spec.h"
 #include "graph/dual_graph.h"
 #include "phys/channel_spec.h"
 #include "sim/scheduler.h"
@@ -84,7 +88,7 @@ struct TopologySpec {
 
 struct AlgorithmSpec {
   /// lb_progress | decay_progress | seed_agreement | seed_then_progress
-  /// | abstraction_fidelity | traffic_latency
+  /// | abstraction_fidelity | traffic_latency | lb_churn
   std::string type = "lb_progress";
 
   // LBAlg knobs (lb_progress, seed_then_progress, abstraction_fidelity).
@@ -118,9 +122,14 @@ struct ScenarioSpec {
   std::string channel = "dual_graph";
   phys::ChannelSpec channel_spec;  ///< parsed form of `channel`
   /// Traffic model (the environment automaton), e.g. "poisson:0.3"; only
-  /// the traffic_latency workload consumes it.  Empty = none.
+  /// the traffic_latency and lb_churn workloads consume it.  Empty = none.
   std::string traffic;
   traffic::TrafficSpec traffic_spec;  ///< parsed form of `traffic`
+  /// Fault schedule (crash/recover churn, see fault/spec.h), e.g.
+  /// "poisson:0.05:128"; only the lb_churn workload consumes it.  Empty =
+  /// none.  Sweepable through the matrix like every other axis.
+  std::string faults;
+  fault::FaultSpec fault_spec;  ///< parsed form of `faults`
   AlgorithmSpec algorithm;
   std::size_t trials = 1;
   std::uint64_t seed = 1;  ///< base + matrix seed offsets

@@ -32,6 +32,12 @@ namespace dg::scn {
 ///                         dual_ack_latency, dual_acked, sinr_progress,
 ///                         sinr_reached, sinr_receptions, sinr_ack_latency,
 ///                         sinr_acked, reliable_edges, unreliable_edges
+///   lb_churn:             offered, admitted, acked, aborted, dropped,
+///                         crash_requeues, readmitted, crashes, recoveries,
+///                         clean_progress_rate, clean_progress_trials,
+///                         faulty_violation_rate, faulty_progress_trials,
+///                         restab_mean, fault_round_frac, fault_ack_rate,
+///                         ack_rate
 std::vector<std::string> metric_names(const ScenarioSpec& spec);
 
 /// Runs one trial of the variant's workload with the given per-trial seed

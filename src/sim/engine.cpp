@@ -44,6 +44,7 @@ Engine::Engine(const graph::DualGraph& g, phys::ChannelModel& channel,
 }
 
 void Engine::init(std::uint64_t master_seed) {
+  master_seed_ = master_seed;
   const graph::DualGraph& g = *graph_;
   DG_EXPECTS(g.finalized());
   DG_EXPECTS(processes_.size() == g.size());
@@ -63,6 +64,7 @@ void Engine::init(std::uint64_t master_seed) {
   outgoing_slab_.resize(processes_.size());
   transmitting_.resize(processes_.size());
   heard_.resize(processes_.size());
+  crashed_.resize(processes_.size());
 
   all_shard_safe_ =
       std::all_of(processes_.begin(), processes_.end(),
@@ -125,6 +127,38 @@ Rng& Engine::process_rng(graph::Vertex v) {
   return rngs_[v];
 }
 
+void Engine::set_fault_plan(fault::FaultPlan* plan,
+                            fault::FaultListener* listener) {
+  fault_plan_ = plan;
+  fault_listener_ = plan != nullptr ? listener : nullptr;
+  if (plan != nullptr) plan->bind(*graph_, master_seed_);
+}
+
+void Engine::apply_faults(Round t) {
+  if (fault_plan_ == nullptr) return;
+  fault_events_.clear();
+  fault_plan_->plan_round(t, crashed_, fault_events_);
+  for (const fault::FaultEvent& ev : fault_events_) {
+    DG_EXPECTS(ev.vertex < processes_.size());
+    if (ev.kind == fault::FaultKind::kCrash) {
+      if (crashed_.test(ev.vertex)) continue;  // idempotent
+      crashed_.set(ev.vertex);
+      // Listener first: it may read pre-crash process state (e.g. abort
+      // the in-flight broadcast) before on_crash wipes it.
+      if (fault_listener_ != nullptr) fault_listener_->on_crash(t, ev.vertex);
+      processes_[ev.vertex]->on_crash(t);
+    } else {
+      if (!crashed_.test(ev.vertex)) continue;  // idempotent
+      crashed_.reset(ev.vertex);
+      // Process first: the listener talks to a re-initialized process.
+      processes_[ev.vertex]->on_recover(t);
+      if (fault_listener_ != nullptr) {
+        fault_listener_->on_recover(t, ev.vertex);
+      }
+    }
+  }
+}
+
 void Engine::run_round() {
   if (round_threads_ > 1 && all_shard_safe_ && channel_->shardable()) {
     const std::size_t block_size = shard_block_size();
@@ -133,6 +167,10 @@ void Engine::run_round() {
     if (blocks >= 2) {
       if (pool_ == nullptr || pool_->threads() != round_threads_) {
         pool_ = std::make_unique<util::ThreadPool>(round_threads_);
+        // Channels may shard their serial-section precomputes (e.g. the
+        // SINR far field) over the same pool; it is idle whenever the
+        // engine calls into the channel serially.
+        channel_->set_round_pool(pool_.get());
       }
       run_round_sharded(block_size, blocks);
       return;
@@ -143,20 +181,26 @@ void Engine::run_round() {
 
 void Engine::run_round_serial() {
   const Round t = ++round_;
+  apply_faults(t);
   const auto n = static_cast<graph::Vertex>(processes_.size());
   // Per-event fan-out guards: executions with no (interested) observers --
-  // the Monte Carlo bulk -- skip the fan-outs entirely.
+  // the Monte Carlo bulk -- skip the fan-outs entirely.  Same idea for the
+  // crash probes: fault-free executions never pay the bitmap tests.
   const bool obs_tx = !obs_transmit_.empty();
   const bool obs_rx = !obs_receive_.empty();
   const bool obs_sil = !obs_silence_.empty();
+  const bool faults = fault_plan_ != nullptr;
 
   for (Observer* obs : obs_round_begin_) {
     obs->on_round_begin(t);
   }
 
   // Step 2: transmit decisions, into the packet slab + transmit bitmask.
+  // Crashed vertices sit the whole round out: no process calls, no
+  // observer events, rng stream untouched.
   transmitting_.clear();
   for (graph::Vertex v = 0; v < n; ++v) {
+    if (faults && crashed_.test(v)) continue;
     RoundContext ctx(t, rngs_[v]);
     auto packet = processes_[v]->transmit(ctx);
     if (!packet.has_value()) continue;
@@ -180,6 +224,7 @@ void Engine::run_round_serial() {
 
   for (graph::Vertex u = 0; u < n; ++u) {
     if (transmitting_.test(u)) continue;  // transmitters do not receive
+    if (faults && crashed_.test(u)) continue;
     RoundContext ctx(t, rngs_[u]);
     const std::uint64_t h = heard_[u];
     const auto count = static_cast<std::uint32_t>(h);
@@ -205,6 +250,7 @@ void Engine::run_round_serial() {
 
   // Step 4: outputs.
   for (graph::Vertex v = 0; v < n; ++v) {
+    if (faults && crashed_.test(v)) continue;
     RoundContext ctx(t, rngs_[v]);
     processes_[v]->end_round(ctx);
   }
@@ -217,6 +263,11 @@ void Engine::run_round_serial() {
 
 void Engine::run_round_sharded(std::size_t block_size, std::size_t blocks) {
   const Round t = ++round_;
+  // Fault events apply serially before any parallel phase, so crashed_ is
+  // frozen (read-only) for the whole round -- the same events, in the same
+  // order, as the serial loop.
+  apply_faults(t);
+  const bool faults = fault_plan_ != nullptr;
   const auto n = static_cast<graph::Vertex>(processes_.size());
   const auto block_range = [&](std::size_t b) {
     const auto begin = static_cast<graph::Vertex>(b * block_size);
@@ -238,6 +289,7 @@ void Engine::run_round_sharded(std::size_t block_size, std::size_t blocks) {
   pool_->for_blocks(blocks, [&](std::size_t b) {
     const auto [begin, end] = block_range(b);
     for (graph::Vertex v = begin; v < end; ++v) {
+      if (faults && crashed_.test(v)) continue;
       RoundContext ctx(t, rngs_[v]);
       auto packet = processes_[v]->transmit(ctx);
       if (!packet.has_value()) continue;
@@ -274,6 +326,7 @@ void Engine::run_round_sharded(std::size_t block_size, std::size_t blocks) {
     const auto [begin, end] = block_range(b);
     for (graph::Vertex u = begin; u < end; ++u) {
       if (transmitting_.test(u)) continue;
+      if (faults && crashed_.test(u)) continue;
       RoundContext ctx(t, rngs_[u]);
       const std::uint64_t h = heard_[u];
       if (static_cast<std::uint32_t>(h) == 1) {
@@ -286,6 +339,7 @@ void Engine::run_round_sharded(std::size_t block_size, std::size_t blocks) {
   if (!obs_receive_.empty() || !obs_silence_.empty()) {
     for (graph::Vertex u = 0; u < n; ++u) {
       if (transmitting_.test(u)) continue;
+      if (faults && crashed_.test(u)) continue;
       const std::uint64_t h = heard_[u];
       const auto count = static_cast<std::uint32_t>(h);
       if (count == 1) {
@@ -306,6 +360,7 @@ void Engine::run_round_sharded(std::size_t block_size, std::size_t blocks) {
   pool_->for_blocks(blocks, [&](std::size_t b) {
     const auto [begin, end] = block_range(b);
     for (graph::Vertex v = begin; v < end; ++v) {
+      if (faults && crashed_.test(v)) continue;
       RoundContext ctx(t, rngs_[v]);
       processes_[v]->end_round(ctx);
     }

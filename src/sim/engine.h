@@ -36,12 +36,18 @@
 // event stream of the serial loop.  Golden digests and campaign counters
 // are therefore byte-identical at any thread count
 // (tests/engine_shard_test.cpp sweeps the contract).
+// Fault injection: an installed fault::FaultPlan is consulted serially at
+// the top of every round (both loops), before any parallel phase starts.
+// Crashed vertices are skipped in the transmit, reception and output
+// phases -- no process calls, no observer events, rng stream paused -- so
+// a fault schedule stays byte-identical across round_threads too.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "fault/plan.h"
 #include "graph/dual_graph.h"
 #include "phys/channel.h"
 #include "sim/adaptive.h"
@@ -126,6 +132,20 @@ class Engine {
   void set_round_threads(std::size_t threads);
   std::size_t round_threads() const noexcept { return round_threads_; }
 
+  /// Installs a fault plan (nullptr to remove): the plan is bound to the
+  /// execution's graph and master seed here, then consulted serially at
+  /// the top of every subsequent round.  `listener` (optional) receives
+  /// crash/recover notifications for wrapper-level bookkeeping -- before
+  /// Process::on_crash on a crash, after Process::on_recover on a
+  /// recovery (see fault/plan.h).  Both must outlive the engine.
+  void set_fault_plan(fault::FaultPlan* plan,
+                      fault::FaultListener* listener = nullptr);
+
+  /// True while vertex v is crashed by the installed fault plan.
+  bool crashed(graph::Vertex v) const { return crashed_.test(v); }
+  /// Crashed vertices this round (count() for a population probe).
+  const Bitmap& crashed_vertices() const noexcept { return crashed_; }
+
   /// Installs the serial between-phase checkpoints (nullptr to remove).
   /// The hooks object must outlive the engine and is fired by both round
   /// loops, so wrappers can keep buffering enabled regardless of which
@@ -163,6 +183,11 @@ class Engine {
   void run_round_serial();
   void run_round_sharded(std::size_t block_size, std::size_t blocks);
 
+  /// Serial fault checkpoint at the top of both round loops: asks the plan
+  /// for this round's events and applies them (crashed_ bitmap, process
+  /// and listener callbacks) before any phase -- parallel or not -- runs.
+  void apply_faults(Round t);
+
   const graph::DualGraph* graph_;
   std::unique_ptr<phys::ChannelModel> owned_channel_;  ///< scheduler ctor only
   phys::ChannelModel* channel_;
@@ -182,6 +207,12 @@ class Engine {
   bool all_shard_safe_ = false;  ///< every process consented, at init()
   RoundHooks* hooks_ = nullptr;
   std::unique_ptr<util::ThreadPool> pool_;  ///< created on first sharded round
+
+  std::uint64_t master_seed_ = 0;  ///< kept for late fault-plan binding
+  fault::FaultPlan* fault_plan_ = nullptr;
+  fault::FaultListener* fault_listener_ = nullptr;
+  Bitmap crashed_;  ///< bit v = v is down; written only in apply_faults()
+  std::vector<fault::FaultEvent> fault_events_;  ///< per-round scratch
 
   // Scratch reused every round, sized once at construction.
   std::vector<Packet> outgoing_slab_;   ///< packet of v iff v transmits

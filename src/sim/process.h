@@ -57,6 +57,17 @@ class Process {
   /// recv, decide) are emitted from here via protocol-specific callbacks.
   virtual void end_round(RoundContext& ctx) { (void)ctx; }
 
+  /// Fault seam (Engine::set_fault_plan).  While crashed, the process gets
+  /// no transmit()/receive()/end_round() calls at all; on_crash fires once
+  /// at the crash round (after the wrapper's FaultListener has read any
+  /// pre-crash state it needs) and on_recover once at the recovery round,
+  /// where the process must re-initialize its protocol state -- keeping
+  /// only identity-level facts (its id, message sequence numbers) so a
+  /// recovered node rejoins as itself, not as a duplicate.  Both are
+  /// invoked serially at the round boundary, never from worker threads.
+  virtual void on_crash(Round round) { (void)round; }
+  virtual void on_recover(Round round) { (void)round; }
+
   /// True when transmit()/receive()/end_round() touch only this process's
   /// own state (plus its RoundContext rng), so the engine may run different
   /// vertices' steps concurrently within a phase.  Processes whose callbacks

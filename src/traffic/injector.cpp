@@ -33,7 +33,11 @@ class Injector::Port final : public Admission {
 };
 
 Injector::Injector(std::size_t nodes, LbPort& port)
-    : port_(&port), queues_(nodes), arrival_counter_(nodes, 0) {}
+    : port_(&port),
+      queues_(nodes),
+      arrival_counter_(nodes, 0),
+      down_(nodes, false),
+      inflight_(nodes, 0) {}
 
 void Injector::add_source(std::unique_ptr<TrafficSource> source) {
   DG_EXPECTS(source != nullptr);
@@ -62,7 +66,9 @@ void Injector::enqueue(graph::Vertex v, std::uint64_t content,
 }
 
 void Injector::step(sim::Round round) {
-  if (sources_.empty()) return;  // offers only originate from sources
+  // Crash re-queues can leave messages waiting even with no sources
+  // attached, so the fast exit for non-traffic runs needs both empty.
+  if (sources_.empty() && active_.empty()) return;
 
   // 1. Arrival step: sources offer, in attach order (keep_busy call order).
   Port port(*this, round);
@@ -78,14 +84,16 @@ void Injector::step(sim::Round round) {
   std::size_t keep = 0;
   for (std::size_t i = 0; i < active_.size(); ++i) {
     const graph::Vertex v = active_[i];
-    if (!port_->busy(v)) {
+    if (!down_[v] && !port_->busy(v)) {
       const std::size_t index = queues_[v].front();
       queues_[v].pop_front();
       MessageRecord& rec = records_[index];
       rec.id = port_->admit(v, rec.content);
       rec.admit_round = round;
       index_of_.emplace(rec.id, index);
+      inflight_[v] = index + 1;
       ++stats_.admitted;
+      if (rec.requeued) ++stats_.readmitted;
       stats_.wait_sum +=
           static_cast<std::uint64_t>(round - rec.enqueue_round);
     }
@@ -105,6 +113,7 @@ void Injector::on_ack(const sim::MessageId& m, sim::Round round) {
   MessageRecord& rec = records_[it->second];
   if (rec.ack_round != 0) return;
   rec.ack_round = round;
+  if (inflight_[rec.vertex] == it->second + 1) inflight_[rec.vertex] = 0;
   ++stats_.acked;
   stats_.ack_latency_sum +=
       static_cast<std::uint64_t>(round - rec.enqueue_round);
@@ -129,7 +138,36 @@ void Injector::on_abort(const sim::MessageId& m, sim::Round round) {
   MessageRecord& rec = records_[it->second];
   if (rec.abort_round != 0) return;
   rec.abort_round = round;
+  if (inflight_[rec.vertex] == it->second + 1) inflight_[rec.vertex] = 0;
   ++stats_.aborted;
+}
+
+void Injector::on_crash(graph::Vertex v, sim::Round round) {
+  DG_EXPECTS(v < static_cast<graph::Vertex>(queues_.size()));
+  down_[v] = true;
+  const std::size_t slot = inflight_[v];
+  if (slot == 0) return;  // nothing of ours was in flight
+  inflight_[v] = 0;
+  const std::size_t index = slot - 1;
+  MessageRecord& rec = records_[index];
+  // The crash aborts the service-side broadcast; account it here (the
+  // wrapper routes the crash-abort to us through this call, not on_abort)
+  // and put the message back at the head of the queue for re-admission
+  // after recovery.  Its next admission assigns a fresh MessageId.
+  if (rec.abort_round == 0) {
+    rec.abort_round = round;
+    ++stats_.aborted;
+  }
+  if (queues_[v].empty()) active_.push_back(v);
+  queues_[v].push_front(index);
+  rec.requeued = true;
+  ++stats_.crash_requeues;
+}
+
+void Injector::on_recover(graph::Vertex v, sim::Round round) {
+  (void)round;
+  DG_EXPECTS(v < static_cast<graph::Vertex>(queues_.size()));
+  down_[v] = false;
 }
 
 }  // namespace dg::traffic

@@ -52,6 +52,9 @@ struct MessageRecord {
   sim::Round first_recv_round = 0;
   sim::Round ack_round = 0;
   sim::Round abort_round = 0;
+  /// Re-queued by a crash of its node while admitted-but-unacked; a later
+  /// admission of this record counts as a re-admission.
+  bool requeued = false;
 
   bool admitted() const noexcept { return admit_round != 0; }
   bool acked() const noexcept { return ack_round != 0; }
@@ -68,6 +71,13 @@ struct TrafficStats {
   std::uint64_t acked = 0;
   std::uint64_t aborted = 0;
   std::uint64_t first_recvs = 0;  ///< messages with >= 1 recv output
+
+  // Fault accounting (crash/recover schedules, see fault/plan.h).  A crash
+  // aborts the node's in-flight admitted-but-unacked message; the injector
+  // puts it back at the HEAD of the queue -- the source's intent outlives
+  // the node -- and re-admits it after recovery.
+  std::uint64_t crash_requeues = 0;  ///< in-flight messages re-queued by a crash
+  std::uint64_t readmitted = 0;      ///< re-admissions of crash-requeued messages
 
   std::uint64_t wait_sum = 0;         ///< enqueue->admit, over admitted
   std::uint64_t ack_latency_sum = 0;  ///< enqueue->ack, over acked
@@ -130,6 +140,17 @@ class Injector {
   void on_recv(const sim::MessageId& m, sim::Round round);
   void on_abort(const sim::MessageId& m, sim::Round round);
 
+  // ---- fault notifications (wired through LbSimulation's FaultListener) --
+
+  /// Vertex v crashed at `round`.  Any admitted-but-unacked message of v's
+  /// is accounted as aborted and re-queued at the head of v's queue (the
+  /// queue is the source's intent, which outlives the node; the re-queue
+  /// bypasses the capacity bound -- the message was already accepted once).
+  /// While down, v admits nothing; offers keep queueing as usual.
+  void on_crash(graph::Vertex v, sim::Round round);
+  /// Vertex v recovered: admission resumes at the next step().
+  void on_recover(graph::Vertex v, sim::Round round);
+
   // ---- results ----
 
   const TrafficStats& stats() const noexcept { return stats_; }
@@ -140,6 +161,7 @@ class Injector {
   std::size_t queue_depth(graph::Vertex v) const {
     return queues_[v].size();
   }
+  bool down(graph::Vertex v) const { return down_[v]; }
 
  private:
   class Port;  // Admission implementation handed to sources
@@ -159,6 +181,10 @@ class Injector {
   /// engine's O(n) budget on big topologies.
   std::vector<graph::Vertex> active_;
   std::vector<std::uint64_t> arrival_counter_;   ///< auto-content per node
+  std::vector<bool> down_;  ///< crashed vertices admit nothing
+  /// Record index + 1 of the admitted-but-unacked message per vertex
+  /// (0 = none); lets a crash find the in-flight message without a scan.
+  std::vector<std::size_t> inflight_;
   std::vector<MessageRecord> records_;
   /// Admitted id -> record index (acks/recvs/aborts arrive by MessageId).
   std::unordered_map<sim::MessageId, std::size_t, sim::MessageIdHash>

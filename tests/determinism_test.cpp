@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "fault/plan.h"
 #include "graph/generators.h"
 #include "lb/simulation.h"
 #include "sim/adaptive.h"
@@ -117,6 +118,29 @@ TEST(DeterminismGolden, FullLbStackOnGrid) {
       << "actual digest: 0x" << std::hex << digest.digest();
 }
 
+TEST(DeterminismGolden, LbStackUnderCrashRecoverChurn) {
+  // The FullLbStackOnGrid execution with a Poisson crash/recover schedule
+  // attached: pins the fault seam itself (event stream truncation at
+  // crashed vertices, the 0xFA17 fault rng stream, crash-abort plumbing).
+  const auto g = graph::grid(6, 6, 1.0, 1.5);
+  lb::LbScales scales;
+  scales.ack_scale = 0.01;
+  const auto params =
+      lb::LbParams::calibrated(0.1, 1.5, g.delta(), g.delta_prime(), scales);
+  lb::LbSimulation sim(g, std::make_unique<BernoulliScheduler>(0.4), params,
+                       /*master_seed=*/2027);
+  DigestObserver digest;
+  sim.add_observer(&digest);
+  sim.keep_busy({0, 17, 35});
+  fault::PoissonFaultPlan plan(/*rate=*/0.1, /*mean_repair=*/48.0);
+  sim.set_fault_plan(&plan);
+  sim.run_rounds(300);
+  EXPECT_EQ(digest.digest(), 0xc5870458133631caULL)
+      << "actual digest: 0x" << std::hex << digest.digest();
+  EXPECT_EQ(sim.ledger().crashes, 21u)
+      << "actual crashes: " << std::dec << sim.ledger().crashes;
+}
+
 TEST(DeterminismGolden, CoinProcessesUnderFlicker) {
   const auto g = graph::bridged_clusters(8, 1.5);
   FlickerScheduler sched(7, 3);
@@ -175,6 +199,27 @@ TEST(DeterminismGoldenSharded, FullLbStackOnGrid) {
   sim.run_rounds(300);
   EXPECT_EQ(digest.digest(), 0x737f76bb0a33085fULL)
       << "actual digest: 0x" << std::hex << digest.digest();
+}
+
+TEST(DeterminismGoldenSharded, LbStackUnderCrashRecoverChurn) {
+  const auto g = graph::grid(6, 6, 1.0, 1.5);
+  lb::LbScales scales;
+  scales.ack_scale = 0.01;
+  const auto params =
+      lb::LbParams::calibrated(0.1, 1.5, g.delta(), g.delta_prime(), scales);
+  lb::LbSimulation sim(g, std::make_unique<BernoulliScheduler>(0.4), params,
+                       /*master_seed=*/2027);
+  sim.set_round_threads(kMaxRoundThreads);
+  DigestObserver digest;
+  sim.add_observer(&digest);
+  sim.keep_busy({0, 17, 35});
+  fault::PoissonFaultPlan plan(/*rate=*/0.1, /*mean_repair=*/48.0);
+  sim.set_fault_plan(&plan);
+  sim.run_rounds(300);
+  EXPECT_EQ(digest.digest(), 0xc5870458133631caULL)
+      << "actual digest: 0x" << std::hex << digest.digest();
+  EXPECT_EQ(sim.ledger().crashes, 21u)
+      << "actual crashes: " << std::dec << sim.ledger().crashes;
 }
 
 TEST(DeterminismGoldenSharded, CoinProcessesUnderFlicker) {

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/spec.h"
 #include "graph/generators.h"
 #include "lb/simulation.h"
 #include "phys/sinr.h"
@@ -239,7 +240,7 @@ std::vector<std::uint64_t> ledger(const traffic::TrafficStats& ts) {
           ts.admitted,         ts.acked,           ts.aborted,
           ts.first_recvs,      ts.wait_sum,        ts.ack_latency_sum,
           ts.recv_latency_sum, ts.depth_samples,   ts.depth_sum,
-          ts.depth_max};
+          ts.depth_max,        ts.crash_requeues,  ts.readmitted};
 }
 
 TEST(EngineShardDifferential, LbStackWithTrafficLedger) {
@@ -271,6 +272,65 @@ TEST(EngineShardDifferential, LbStackWithTrafficLedger) {
     const auto sharded = run(threads);
     ASSERT_EQ(serial.second, sharded.second)
         << threads << " threads (traffic ledger)";
+    ASSERT_EQ(serial.first.size(), sharded.first.size()) << threads;
+    for (std::size_t i = 0; i < serial.first.size(); ++i) {
+      ASSERT_EQ(serial.first[i], sharded.first[i])
+          << threads << " threads, event " << i;
+    }
+  }
+}
+
+TEST(EngineShardDifferential, LbStackUnderFaultPlan) {
+  // Crash/recover schedules are applied serially at the top of both round
+  // loops, so a faulted execution must stay byte-identical across thread
+  // counts -- observer stream, traffic ledger (including the crash-requeue
+  // counters) and the checker's degradation ledger alike.
+  const auto g = graph::grid(10, 10, 1.0, 1.5);
+  lb::LbScales scales;
+  scales.ack_scale = 0.02;
+  const auto params =
+      lb::LbParams::calibrated(0.1, 1.5, g.delta(), g.delta_prime(), scales);
+
+  traffic::TrafficSpec tspec;
+  ASSERT_EQ(traffic::parse_traffic_spec("poisson:0.05", tspec), "");
+  fault::FaultSpec fspec;
+  ASSERT_EQ(fault::parse_fault_spec("poisson:0.1:96", fspec), "");
+
+  const auto run = [&](std::size_t threads) {
+    lb::LbSimulation sim(g, std::make_unique<BernoulliScheduler>(0.5), params,
+                         /*master_seed=*/2028);
+    sim.set_round_threads(threads);
+    StreamObserver stream;
+    sim.add_observer(&stream);
+    sim.add_traffic(traffic::build_source(tspec, g.size(),
+                                          derive_seed(2028, 0x7fcULL)));
+    const auto plan = fault::build_fault_plan(fspec);
+    sim.set_fault_plan(plan.get());
+    sim.run_phases(3);
+    const lb::DegradationLedger& led = sim.ledger();
+    std::vector<std::uint64_t> fault_ledger = {
+        led.crashes,
+        led.recoveries,
+        led.faulty_progress.trials(),
+        led.faulty_progress.successes(),
+        led.faulty_reliability.trials(),
+        led.faulty_reliability.successes(),
+        led.restab_count,
+        led.restab_rounds_sum,
+        led.fault_rounds,
+        led.acks_in_fault_rounds};
+    auto all = ledger(sim.traffic().stats());
+    all.insert(all.end(), fault_ledger.begin(), fault_ledger.end());
+    return std::make_pair(stream.events(), all);
+  };
+
+  const auto serial = run(1);
+  EXPECT_GT(serial.second[13], 0u) << "no crash-requeues; weak fixture";
+  for (std::size_t threads : kThreadCounts) {
+    if (threads == 1) continue;
+    const auto sharded = run(threads);
+    ASSERT_EQ(serial.second, sharded.second)
+        << threads << " threads (traffic + degradation ledgers)";
     ASSERT_EQ(serial.first.size(), sharded.first.size()) << threads;
     for (std::size_t i = 0; i < serial.first.size(); ++i) {
       ASSERT_EQ(serial.first[i], sharded.first[i])

@@ -116,6 +116,47 @@ TEST(Injector, AbortFreesTheServiceForQueuedMessages) {
   EXPECT_EQ(sim->traffic().stats().aborted, 1u);
 }
 
+TEST(Injector, ConsecutiveRoundAbortsAdmitInFifoOrder) {
+  const auto g = graph::clique_cluster(4);
+  auto sim = make_sim(g, 15);
+  std::vector<ScriptSource::Post> posts{
+      {1, 0, 401}, {1, 0, 402}, {1, 0, 403}};
+  sim->add_traffic(std::make_unique<ScriptSource>(std::move(posts)));
+  // Abort vertex 0's outstanding broadcast in two consecutive rounds: each
+  // abort hits a message that is admitted but not yet acked, and each
+  // freed service admits the FIFO successor in the abort's own round.
+  sim->run_rounds(1);  // 401 admitted round 1
+  ASSERT_TRUE(sim->busy(0));
+  const auto a1 = sim->post_abort(0);
+  ASSERT_TRUE(a1.has_value());
+  sim->run_rounds(1);  // abort lands round 2; 402 admitted round 2
+  const auto a2 = sim->post_abort(0);
+  ASSERT_TRUE(a2.has_value());
+  EXPECT_NE(*a1, *a2);
+  sim->run_rounds(1);  // abort lands round 3; 403 admitted round 3
+  sim->run_phases(10);
+
+  const auto& recs = sim->traffic().messages();
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_EQ(recs[0].admit_round, 1);
+  EXPECT_EQ(recs[0].abort_round, 2);
+  EXPECT_FALSE(recs[0].acked());
+  EXPECT_EQ(recs[1].admit_round, 2);
+  EXPECT_EQ(recs[1].abort_round, 3);
+  EXPECT_FALSE(recs[1].acked());
+  EXPECT_EQ(recs[2].admit_round, 3);
+  EXPECT_FALSE(recs[2].aborted());
+  EXPECT_TRUE(recs[2].acked());
+  const auto& ts = sim->traffic().stats();
+  EXPECT_EQ(ts.offered, 3u);
+  EXPECT_EQ(ts.admitted, 3u);
+  EXPECT_EQ(ts.aborted, 2u);
+  EXPECT_EQ(ts.acked, 1u);
+  // Plain environment aborts never trigger the crash-requeue path.
+  EXPECT_EQ(ts.crash_requeues, 0u);
+  EXPECT_EQ(ts.readmitted, 0u);
+}
+
 TEST(Injector, MessageIdsUniqueUnderHeavyEnqueue) {
   const auto g = graph::clique_cluster(6);
   auto sim = make_sim(g, 14);

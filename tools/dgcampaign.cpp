@@ -177,6 +177,7 @@ int cmd_validate(const std::vector<std::string>& args) {
 
 int cmd_list(const std::vector<std::string>& args, const Flags& flags) {
   const std::string filter = flags.str("filter", "");
+  std::size_t matched = 0;
   for (const std::string& arg : args) {
     for (const std::string& path : expand_paths(arg)) {
       const auto parsed = scn::parse_campaign_file(path);
@@ -189,12 +190,21 @@ int cmd_list(const std::vector<std::string>& args, const Flags& flags) {
         if (!filter.empty() && v.name.find(filter) == std::string::npos) {
           continue;
         }
+        ++matched;
         std::cout << "  " << v.name << ": " << v.topology.type << " x "
                   << v.scheduler << " x " << v.channel << " x "
                   << v.algorithm.type << ", trials " << v.trials << ", seed "
                   << v.seed << "\n";
       }
     }
+  }
+  // An over-narrow filter must not look like an empty-but-healthy listing
+  // (the same zero-match policy as `run`): a typo like --filter=e3_progess
+  // would otherwise exit 0 with nothing listed.
+  if (!filter.empty() && matched == 0) {
+    std::cerr << "dgcampaign: no variants matched filter '" << filter
+              << "'\n";
+    return 1;
   }
   return 0;
 }

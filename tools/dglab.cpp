@@ -20,6 +20,11 @@
 //           | hotspot:rate:bias[:hot]   (environment traffic model; replaces
 //           the --senders keep-busy default and prints queue/latency stats)
 //   --traffic-cap=N  (per-node admission queue bound; 0 = unbounded)
+//   --faults=crash:round:vertex[:repair] | poisson:rate[:mean_repair]
+//           | region:round:center:radius[:repair] | adversary:k[:period[:repair]]
+//           (crash/recover schedule; prints the graceful-degradation
+//           ledger -- fault-window progress violations, re-stabilization
+//           time, throughput dip -- next to the clean-window spec report)
 //   --round-threads=N  (sharded-round worker cap, N >= 1; omit to use the
 //           DG_ROUND_THREADS default.  Results are byte-identical at every
 //           value -- the flag moves wall clock, never outcomes)
@@ -40,6 +45,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/spec.h"
 #include "graph/generators.h"
 #include "lb/simulation.h"
 #include "phys/channel_spec.h"
@@ -65,7 +71,7 @@ constexpr const char* kValidFlags[] = {
     "type", "n", "side", "r", "cols", "rows", "spacing", "k",   // topology
     "eps", "seed", "phases", "senders", "ack-scale",            // run
     "sched", "channel", "reuse", "ablate", "trace", "deltas",   // run/sweep
-    "traffic", "traffic-cap", "round-threads",                  // environment
+    "traffic", "traffic-cap", "round-threads", "faults",        // environment
 };
 
 class Flags {
@@ -390,6 +396,29 @@ int cmd_run(const Flags& flags) {
           static_cast<std::size_t>(senders), g.size()));
     }
   }
+  const std::string faults_str = flags.str("faults", "");
+  std::unique_ptr<fault::FaultPlan> plan;  // must outlive the run
+  if (!faults_str.empty()) {
+    fault::FaultSpec fspec;
+    const std::string error = fault::parse_fault_spec(faults_str, fspec);
+    if (!error.empty()) {
+      std::cerr << "dglab: --faults: " << error << "\n";
+      std::exit(2);
+    }
+    const bool names_vertex = fspec.kind == fault::FaultSpec::Kind::kCrash ||
+                              fspec.kind == fault::FaultSpec::Kind::kRegion;
+    if ((names_vertex && fspec.vertex >= g.size()) ||
+        (fspec.kind == fault::FaultSpec::Kind::kAdversary &&
+         static_cast<std::size_t>(fspec.k) > g.size())) {
+      std::cerr << "dglab: --faults: vertex bound exceeds network size "
+                << g.size() << " in '" << faults_str << "'\n";
+      std::exit(2);
+    }
+    plan = fault::build_fault_plan(fspec);
+    sim.set_fault_plan(plan.get());
+    std::cout << "faults: " << faults_str << " (" << plan->name()
+              << " plan)\n";
+  }
   sim.run_phases(static_cast<std::int64_t>(flags.uint("phases", 30)));
 
   const auto& r = sim.report();
@@ -416,6 +445,30 @@ int cmd_run(const Flags& flags) {
               << ts.mean_recv_latency() << "\n"
               << "  queued: network backlog mean " << ts.mean_backlog()
               << "  per-node depth max " << ts.depth_max << "\n";
+    if (ts.crash_requeues != 0 || ts.readmitted != 0) {
+      std::cout << "  crash re-queues: " << ts.crash_requeues
+                << "  re-admitted after recovery: " << ts.readmitted << "\n";
+    }
+  }
+  if (!faults_str.empty()) {
+    // The graceful-degradation ledger: spec tallies above cover only
+    // fault-free windows; everything a fault touched degrades into here.
+    const lb::DegradationLedger& led = sim.ledger();
+    std::cout << "  degradation: crashes/recoveries " << led.crashes << "/"
+              << led.recoveries << "  fault rounds " << led.fault_rounds
+              << "/" << led.rounds_observed << "\n"
+              << "  fault-window progress: "
+              << led.faulty_progress.successes() << "/"
+              << led.faulty_progress.trials() << " (violation rate "
+              << led.progress_violation_rate() << ")\n"
+              << "  fault-window reliability: "
+              << led.faulty_reliability.successes() << "/"
+              << led.faulty_reliability.trials() << "\n"
+              << "  re-stabilization: mean "
+              << led.mean_restabilization_rounds() << " rounds over "
+              << led.restab_count << " recoveries"
+              << "  fault-window ack rate "
+              << led.fault_window_ack_rate() << "/round\n";
   }
   if (flags.flag("trace")) {
     std::cout << "\ntrace tail:\n";
@@ -466,6 +519,10 @@ void usage() {
                "  --channel=dual | sinr:alpha,beta,noise  reception physics\n"
                "  --traffic=saturate[:count] | poisson:rate | "
                "burst:period:size[:count] | hotspot:rate:bias[:hot]\n"
+               "  --faults=crash:round:vertex[:repair] | "
+               "poisson:rate[:mean_repair] | "
+               "region:round:center:radius[:repair] | "
+               "adversary:k[:period[:repair]]\n"
                "see the header of tools/dglab.cpp for the full flag list\n";
 }
 
@@ -491,9 +548,10 @@ int main(int argc, char** argv) {
   // own environments, and silently ignoring the flags there would break
   // the no-silent-ignore policy the run command enforces.
   if (cmd != "run" &&
-      (flags.flag("traffic") || flags.flag("traffic-cap"))) {
-    std::cerr << "dglab: --traffic/--traffic-cap only apply to the 'run' "
-                 "subcommand\n";
+      (flags.flag("traffic") || flags.flag("traffic-cap") ||
+       flags.flag("faults"))) {
+    std::cerr << "dglab: --traffic/--traffic-cap/--faults only apply to "
+                 "the 'run' subcommand\n";
     return 2;
   }
   if (cmd == "net") return cmd_net(flags);
