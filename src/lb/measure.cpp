@@ -29,10 +29,15 @@ sim::Round progress_latency(const graph::DualGraph& g,
                             const std::vector<graph::Vertex>& senders,
                             graph::Vertex receiver,
                             std::int64_t horizon_phases, std::uint64_t seed,
-                            std::size_t round_threads) {
+                            std::size_t round_threads,
+                            obs::Registry* registry, obs::TraceSink* trace) {
   LbSimulation sim(g, std::move(scheduler), params, seed);
   if (round_threads != 0) sim.set_round_threads(round_threads);
-  return progress_of(sim, senders, receiver, horizon_phases);
+  sim.set_telemetry(registry, trace);
+  const sim::Round latency =
+      progress_of(sim, senders, receiver, horizon_phases);
+  sim.export_telemetry();
+  return latency;
 }
 
 sim::Round progress_latency(const graph::DualGraph& g,
@@ -41,10 +46,15 @@ sim::Round progress_latency(const graph::DualGraph& g,
                             const std::vector<graph::Vertex>& senders,
                             graph::Vertex receiver,
                             std::int64_t horizon_phases, std::uint64_t seed,
-                            std::size_t round_threads) {
+                            std::size_t round_threads,
+                            obs::Registry* registry, obs::TraceSink* trace) {
   LbSimulation sim(g, std::move(channel), params, seed);
   if (round_threads != 0) sim.set_round_threads(round_threads);
-  return progress_of(sim, senders, receiver, horizon_phases);
+  sim.set_telemetry(registry, trace);
+  const sim::Round latency =
+      progress_of(sim, senders, receiver, horizon_phases);
+  sim.export_telemetry();
+  return latency;
 }
 
 FloodStats run_flood(LbSimulation& sim, graph::Vertex sender,

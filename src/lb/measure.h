@@ -22,14 +22,18 @@ namespace dg::lb {
 /// receiver never received within `horizon_phases`.  `round_threads` caps
 /// the engine's sharded-round thread budget (0 = keep the constructed
 /// simulation's default, i.e. the DG_ROUND_THREADS environment knob);
-/// results are byte-identical for every value.
+/// results are byte-identical for every value.  `registry`/`trace`
+/// (optional) install obs telemetry on the internally constructed
+/// simulation and export its wrapper aggregates after the run.
 sim::Round progress_latency(const graph::DualGraph& g,
                             std::unique_ptr<sim::LinkScheduler> scheduler,
                             const LbParams& params,
                             const std::vector<graph::Vertex>& senders,
                             graph::Vertex receiver,
                             std::int64_t horizon_phases, std::uint64_t seed,
-                            std::size_t round_threads = 0);
+                            std::size_t round_threads = 0,
+                            obs::Registry* registry = nullptr,
+                            obs::TraceSink* trace = nullptr);
 
 /// Same measurement, but reception decided by an explicit channel model
 /// (e.g. phys::SinrChannel ground truth) instead of the scheduler.
@@ -39,7 +43,9 @@ sim::Round progress_latency(const graph::DualGraph& g,
                             const std::vector<graph::Vertex>& senders,
                             graph::Vertex receiver,
                             std::int64_t horizon_phases, std::uint64_t seed,
-                            std::size_t round_threads = 0);
+                            std::size_t round_threads = 0,
+                            obs::Registry* registry = nullptr,
+                            obs::TraceSink* trace = nullptr);
 
 /// Flood-shape statistics of one saturated-sender LBAlg execution (the E14
 /// abstraction-fidelity metrics): mean first-data-reception round over all

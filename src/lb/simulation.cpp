@@ -264,6 +264,81 @@ void LbSimulation::keep_busy(const std::vector<graph::Vertex>& vertices) {
   add_traffic(std::make_unique<traffic::SaturateSource>(vertices));
 }
 
+void LbSimulation::set_telemetry(obs::Registry* registry,
+                                 obs::TraceSink* trace) {
+  obs_registry_ = registry;
+  obs_trace_ = registry != nullptr ? trace : nullptr;
+  engine_->set_telemetry(registry, obs_trace_);
+}
+
+void LbSimulation::export_telemetry() {
+  if (obs_registry_ == nullptr) return;
+  using obs::Domain;
+  obs::Registry& reg = *obs_registry_;
+
+  // Traffic ledger: logical to the last byte -- the injector's counters
+  // are pure functions of the execution.
+  const traffic::TrafficStats& ts = traffic_->stats();
+  reg.counter("traffic.offered", Domain::kLogical) += ts.offered;
+  reg.counter("traffic.enqueued", Domain::kLogical) += ts.enqueued;
+  reg.counter("traffic.dropped", Domain::kLogical) += ts.dropped;
+  reg.counter("traffic.admitted", Domain::kLogical) += ts.admitted;
+  reg.counter("traffic.acked", Domain::kLogical) += ts.acked;
+  reg.counter("traffic.aborted", Domain::kLogical) += ts.aborted;
+  reg.counter("traffic.first_recvs", Domain::kLogical) += ts.first_recvs;
+  reg.counter("traffic.crash_requeues", Domain::kLogical) +=
+      ts.crash_requeues;
+  reg.counter("traffic.readmitted", Domain::kLogical) += ts.readmitted;
+  reg.counter("traffic.wait_rounds", Domain::kLogical) += ts.wait_sum;
+  reg.counter("traffic.ack_latency_rounds", Domain::kLogical) +=
+      ts.ack_latency_sum;
+  reg.counter("traffic.recv_latency_rounds", Domain::kLogical) +=
+      ts.recv_latency_sum;
+
+  // Spec checker + degradation ledger (the paper's Section 4 bounds).
+  const LbSpecReport& rep = checker_->report();
+  reg.counter("lb.bcasts", Domain::kLogical) += rep.bcast_count;
+  reg.counter("lb.acks", Domain::kLogical) += rep.ack_count;
+  reg.counter("lb.recvs", Domain::kLogical) += rep.recv_count;
+  reg.counter("lb.violations", Domain::kLogical) += rep.violations;
+  reg.counter("lb.progress.trials", Domain::kLogical) +=
+      rep.progress.trials();
+  reg.counter("lb.progress.successes", Domain::kLogical) +=
+      rep.progress.successes();
+  reg.counter("lb.reliability.trials", Domain::kLogical) +=
+      rep.reliability.trials();
+  reg.counter("lb.reliability.successes", Domain::kLogical) +=
+      rep.reliability.successes();
+  const DegradationLedger& led = checker_->ledger();
+  reg.counter("lb.fault.crashes", Domain::kLogical) += led.crashes;
+  reg.counter("lb.fault.recoveries", Domain::kLogical) += led.recoveries;
+  reg.counter("lb.fault.rounds", Domain::kLogical) += led.fault_rounds;
+  reg.counter("lb.fault.restab_count", Domain::kLogical) +=
+      led.restab_count;
+  reg.counter("lb.fault.restab_rounds", Domain::kLogical) +=
+      led.restab_rounds_sum;
+
+  // Ack-latency histogram over the traffic ledger, in enqueue order (a
+  // deterministic iteration; the sum of recorded values equals
+  // traffic.ack_latency_rounds).
+  obs::Registry::Histogram& ack_hist = reg.histogram(
+      "traffic.ack_latency", Domain::kLogical,
+      {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096});
+  for (const traffic::MessageRecord& m : traffic_->messages()) {
+    if (m.acked()) {
+      ack_hist.record(static_cast<double>(m.ack_round - m.enqueue_round));
+    }
+    if (obs_trace_ != nullptr) {
+      obs_trace_->message_span(
+          m.vertex, m.content, static_cast<std::int64_t>(m.enqueue_round),
+          static_cast<std::int64_t>(m.admit_round),
+          static_cast<std::int64_t>(m.first_recv_round),
+          static_cast<std::int64_t>(m.ack_round),
+          static_cast<std::int64_t>(m.abort_round));
+    }
+  }
+}
+
 void LbSimulation::run_round() {
   // Environment input step: traffic sources offer + the admission queues
   // drain, then the custom hook (both deterministic given the execution so

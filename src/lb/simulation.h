@@ -21,6 +21,8 @@
 #include "fault/plan.h"
 #include "graph/dual_graph.h"
 #include "lb/lb_alg.h"
+#include "obs/registry.h"
+#include "obs/trace_sink.h"
 #include "lb/params.h"
 #include "lb/spec.h"
 #include "phys/channel.h"
@@ -137,6 +139,22 @@ class LbSimulation {
     engine_->add_observer(observer);
   }
 
+  // ---- telemetry (src/obs/) ----
+
+  /// Installs telemetry before the run (both must outlive the simulation;
+  /// nullptr to remove).  Forwards to the engine -- per-round logical
+  /// counters, phase timing, fault instants -- and arms export_telemetry()
+  /// for the wrapper-level aggregates.
+  void set_telemetry(obs::Registry* registry,
+                     obs::TraceSink* trace = nullptr);
+
+  /// Exports the wrapper-level telemetry accumulated by the run: traffic
+  /// ledger counters, spec-checker tallies and the degradation ledger into
+  /// the registry (all logical), and one lifecycle span per traffic
+  /// message into the sink.  Call exactly ONCE, after the run -- calling
+  /// it twice would double-count the aggregates.
+  void export_telemetry();
+
  private:
   class Fanout;       // forwards process outputs to checker + listeners
   class TrafficPort;  // adapts this simulation to traffic::LbPort
@@ -162,6 +180,8 @@ class LbSimulation {
   fault::FaultPlan* fault_plan_ = nullptr;
   std::function<void(LbSimulation&, sim::Round)> environment_;
   LbListener* extra_ = nullptr;
+  obs::Registry* obs_registry_ = nullptr;
+  obs::TraceSink* obs_trace_ = nullptr;
 };
 
 }  // namespace dg::lb

@@ -1,0 +1,64 @@
+#include "obs/profiler.h"
+
+#include <numeric>
+#include <string>
+
+namespace dg::obs {
+
+PhaseProfiler::PhaseProfiler(Registry& registry) {
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    phase_ns_[p] = &registry.counter(
+        std::string("engine.phase.") + phase_name(static_cast<Phase>(p)) +
+            ".ns",
+        Domain::kTiming);
+  }
+  round_ns_ = &registry.counter("engine.round.ns", Domain::kTiming);
+  parallel_ns_ = &registry.counter("engine.pool.parallel.ns",
+                                   Domain::kTiming);
+  round_us_ = &registry.histogram(
+      "engine.round.us", Domain::kTiming,
+      {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000, 20000,
+       50000, 100000});
+}
+
+void PhaseProfiler::begin_round(std::int64_t round) {
+  round_ = round;
+  current_.fill(0);
+  current_parallel_ns_ = 0;
+  round_start_ = Clock::now();
+}
+
+void PhaseProfiler::phase_begin(Phase phase) {
+  (void)phase;
+  phase_start_ = Clock::now();
+}
+
+void PhaseProfiler::phase_end(Phase phase) {
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      Clock::now() - phase_start_)
+                      .count();
+  current_[static_cast<std::size_t>(phase)] +=
+      static_cast<std::uint64_t>(ns);
+}
+
+void PhaseProfiler::add_parallel_ns(std::uint64_t ns) {
+  current_parallel_ns_ += ns;
+}
+
+void PhaseProfiler::end_round(TraceSink* sink) {
+  const auto round_ns =
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              Clock::now() - round_start_)
+              .count());
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    *phase_ns_[p] += current_[p];
+  }
+  *round_ns_ += round_ns;
+  *parallel_ns_ += current_parallel_ns_;
+  round_us_->record(static_cast<double>(round_ns) / 1000.0);
+  last_ = current_;
+  if (sink != nullptr) sink->round_phases(round_, current_);
+}
+
+}  // namespace dg::obs

@@ -1,0 +1,78 @@
+// obs::PhaseProfiler -- per-round wall-clock phase timing for the engine.
+//
+// The engine owns one profiler per installed telemetry registry and brackets
+// each phase of run_round() with ScopedPhase guards; end_round() folds the
+// measured nanoseconds into TIMING-domain registry counters/histograms and
+// emits one round slice (with nested phase slices) into the trace sink.
+// Everything here is wall clock, so nothing it writes lands in the logical
+// (CI-gated) domain.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+
+#include "obs/registry.h"
+#include "obs/trace_sink.h"
+
+namespace dg::obs {
+
+class PhaseProfiler {
+ public:
+  /// Registers the timing metrics in `registry` (which must outlive the
+  /// profiler): engine.phase.<name>.ns counters, the engine.round.us
+  /// histogram, and the engine.pool.parallel.ns utilization counter.
+  explicit PhaseProfiler(Registry& registry);
+
+  void begin_round(std::int64_t round);
+  void phase_begin(Phase phase);
+  void phase_end(Phase phase);
+  /// Nanoseconds spent inside thread-pool dispatches this round (the
+  /// utilization numerator; the round total is the denominator).
+  void add_parallel_ns(std::uint64_t ns);
+  /// Accumulates the round into the registry and, when `sink` is non-null,
+  /// emits the round's phase slices.
+  void end_round(TraceSink* sink);
+
+  /// Last finished round's per-phase nanoseconds (tests).
+  const std::array<std::uint64_t, kPhaseCount>& last_round_ns() const
+      noexcept {
+    return last_;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  std::array<std::uint64_t*, kPhaseCount> phase_ns_{};
+  std::uint64_t* round_ns_ = nullptr;
+  std::uint64_t* parallel_ns_ = nullptr;
+  Registry::Histogram* round_us_ = nullptr;
+
+  std::int64_t round_ = 0;
+  Clock::time_point round_start_{};
+  Clock::time_point phase_start_{};
+  std::array<std::uint64_t, kPhaseCount> current_{};
+  std::array<std::uint64_t, kPhaseCount> last_{};
+  std::uint64_t current_parallel_ns_ = 0;
+};
+
+/// RAII phase bracket that is a no-op on a null profiler, so the engine's
+/// round loops stay branch-light when telemetry is off.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseProfiler* profiler, Phase phase)
+      : profiler_(profiler), phase_(phase) {
+    if (profiler_ != nullptr) profiler_->phase_begin(phase_);
+  }
+  ~ScopedPhase() {
+    if (profiler_ != nullptr) profiler_->phase_end(phase_);
+  }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseProfiler* profiler_;
+  Phase phase_;
+};
+
+}  // namespace dg::obs

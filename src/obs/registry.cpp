@@ -1,0 +1,159 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "scn/json.h"
+#include "util/assert.h"
+
+namespace dg::obs {
+
+void Registry::Histogram::record(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  buckets_[static_cast<std::size_t>(it - bounds_.begin())] += 1;
+  count_ += 1;
+  sum_ += value;
+}
+
+Registry::Metric& Registry::slot(const std::string& name, Domain domain,
+                                 Kind kind) {
+  auto [it, inserted] = metrics_.try_emplace(name);
+  Metric& m = it->second;
+  if (inserted) {
+    m.domain = domain;
+    m.kind = kind;
+  } else {
+    // A name means one thing: re-registration must agree on kind and
+    // domain, or two call sites would silently share unrelated state.
+    DG_EXPECTS(m.domain == domain);
+    DG_EXPECTS(m.kind == kind);
+  }
+  return m;
+}
+
+std::uint64_t& Registry::counter(const std::string& name, Domain domain) {
+  return slot(name, domain, Kind::kCounter).counter;
+}
+
+double& Registry::gauge(const std::string& name, Domain domain) {
+  return slot(name, domain, Kind::kGauge).gauge;
+}
+
+Registry::Histogram& Registry::histogram(const std::string& name,
+                                         Domain domain,
+                                         std::vector<double> bounds) {
+  DG_EXPECTS(!bounds.empty());
+  DG_EXPECTS(std::is_sorted(bounds.begin(), bounds.end()));
+  DG_EXPECTS(std::adjacent_find(bounds.begin(), bounds.end()) ==
+             bounds.end());
+  Metric& m = slot(name, domain, Kind::kHistogram);
+  if (m.hist.bounds_.empty()) {
+    m.hist.bounds_ = std::move(bounds);
+    m.hist.buckets_.assign(m.hist.bounds_.size() + 1, 0);
+  } else {
+    DG_EXPECTS(m.hist.bounds_ == bounds);
+  }
+  return m.hist;
+}
+
+void Registry::merge(const Registry& other) {
+  for (const auto& [name, theirs] : other.metrics_) {
+    switch (theirs.kind) {
+      case Kind::kCounter:
+        counter(name, theirs.domain) += theirs.counter;
+        break;
+      case Kind::kGauge:
+        gauge(name, theirs.domain) = theirs.gauge;
+        break;
+      case Kind::kHistogram: {
+        Histogram& h =
+            histogram(name, theirs.domain, theirs.hist.bounds_);
+        for (std::size_t i = 0; i < h.buckets_.size(); ++i) {
+          h.buckets_[i] += theirs.hist.buckets_[i];
+        }
+        h.count_ += theirs.hist.count_;
+        h.sum_ += theirs.hist.sum_;
+        break;
+      }
+    }
+  }
+}
+
+namespace {
+
+void write_domain(std::ostream& os, const std::string& indent,
+                  const std::map<std::string, Registry::Histogram>& hists,
+                  const std::vector<std::pair<std::string, std::uint64_t>>&
+                      counters,
+                  const std::vector<std::pair<std::string, double>>& gauges) {
+  os << "{\n" << indent << "  \"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    os << (i ? ",\n" : "\n") << indent << "    \""
+       << scn::json::escape(counters[i].first)
+       << "\": " << counters[i].second;
+  }
+  os << (counters.empty() ? "},\n" : "\n" + indent + "  },\n");
+  os << indent << "  \"gauges\": {";
+  std::size_t i = 0;
+  for (const auto& [name, value] : gauges) {
+    os << (i++ ? ",\n" : "\n") << indent << "    \""
+       << scn::json::escape(name)
+       << "\": " << scn::json::format_number(value);
+  }
+  os << (gauges.empty() ? "},\n" : "\n" + indent + "  },\n");
+  os << indent << "  \"histograms\": {";
+  i = 0;
+  for (const auto& [name, h] : hists) {
+    os << (i++ ? ",\n" : "\n") << indent << "    \""
+       << scn::json::escape(name) << "\": {\"bounds\": [";
+    for (std::size_t b = 0; b < h.bounds().size(); ++b) {
+      os << (b ? ", " : "") << scn::json::format_number(h.bounds()[b]);
+    }
+    os << "], \"buckets\": [";
+    for (std::size_t b = 0; b < h.buckets().size(); ++b) {
+      os << (b ? ", " : "") << h.buckets()[b];
+    }
+    os << "], \"count\": " << h.count()
+       << ", \"sum\": " << scn::json::format_number(h.sum()) << "}";
+  }
+  os << (hists.empty() ? "}\n" : "\n" + indent + "  }\n");
+  os << indent << "}";
+}
+
+}  // namespace
+
+void Registry::write_json(std::ostream& os, bool include_timing,
+                          const std::string& indent) const {
+  const auto emit = [&](Domain domain) {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::map<std::string, Histogram> hists;
+    for (const auto& [name, m] : metrics_) {
+      if (m.domain != domain) continue;
+      switch (m.kind) {
+        case Kind::kCounter: counters.emplace_back(name, m.counter); break;
+        case Kind::kGauge: gauges.emplace_back(name, m.gauge); break;
+        case Kind::kHistogram: hists.emplace(name, m.hist); break;
+      }
+    }
+    write_domain(os, indent + "  ", hists, counters, gauges);
+  };
+  os << "{\n" << indent << "  \"format\": \"dg-metrics-v1\",\n"
+     << indent << "  \"logical\": ";
+  emit(Domain::kLogical);
+  if (include_timing) {
+    os << ",\n" << indent << "  \"timing\": ";
+    emit(Domain::kTiming);
+  }
+  os << "\n" << indent << "}";
+}
+
+std::string Registry::json(bool include_timing) const {
+  std::ostringstream os;
+  write_json(os, include_timing);
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace dg::obs

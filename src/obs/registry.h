@@ -1,0 +1,122 @@
+// obs::Registry -- the telemetry metrics registry (counters, gauges,
+// fixed-bucket histograms) behind --metrics-out and METRICS_* campaign
+// artifacts.
+//
+// Every metric lives in one of two strictly separated domains:
+//
+//   kLogical -- a pure function of (scenario, seed): round counts,
+//               transmissions, deliveries, traffic ledger sums.  Logical
+//               dumps are BYTE-IDENTICAL across --round-threads / --threads
+//               and machines, which is what lets CI gate on them exactly
+//               like campaign counters.
+//   kTiming  -- wall-clock measurements (phase durations, dispatch counts,
+//               pool stats).  Never gated, excluded from logical dumps by
+//               construction.
+//
+// Determinism contract: logical metrics may only be recorded from serial
+// code (or serially replayed code) whose order does not depend on thread
+// scheduling; the engine and wrappers uphold this by recording them at the
+// same serial seams that keep observers deterministic.  The registry itself
+// is not thread-safe -- one registry per trial, merged afterwards in trial
+// order (see scn/campaign.cpp).
+//
+// Merge semantics (Registry::merge): counters add, gauges last-write-wins
+// (the merged-in value overwrites -- this makes merge ORDER observable,
+// which the deterministic-rollup tests rely on), histograms add bucketwise
+// and require identical bounds.
+//
+// Serialization is byte-stable: metrics sort by name, numbers render via
+// the shared shortest-round-trip formatter (scn/json.h, a standalone leaf
+// with no scn dependencies).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <map>
+#include <vector>
+
+namespace dg::obs {
+
+enum class Domain : std::uint8_t { kLogical = 0, kTiming = 1 };
+
+class Registry {
+ public:
+  /// Fixed-bucket histogram: bucket i counts values v with
+  /// bounds[i-1] < v <= bounds[i]; the final bucket (index bounds.size())
+  /// is the overflow bucket for v > bounds.back().  Bounds are fixed at
+  /// registration and must be strictly increasing.
+  class Histogram {
+   public:
+    void record(double value);
+
+    const std::vector<double>& bounds() const noexcept { return bounds_; }
+    /// bounds().size() + 1 entries; the last is the overflow bucket.
+    const std::vector<std::uint64_t>& buckets() const noexcept {
+      return buckets_;
+    }
+    std::uint64_t count() const noexcept { return count_; }
+    double sum() const noexcept { return sum_; }
+
+   private:
+    friend class Registry;
+    std::vector<double> bounds_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0;
+  };
+
+  /// Returns the counter slot for `name`, creating it at 0.  The reference
+  /// stays valid for the registry's lifetime (node-based storage), so hot
+  /// paths cache it once and bump it directly.  Re-registration with a
+  /// different kind or domain is a contract violation.
+  std::uint64_t& counter(const std::string& name, Domain domain);
+
+  /// The gauge slot for `name` (a plain double, last write wins).
+  double& gauge(const std::string& name, Domain domain);
+
+  /// The histogram for `name`; `bounds` must be strictly increasing and
+  /// must match on re-registration.
+  Histogram& histogram(const std::string& name, Domain domain,
+                       std::vector<double> bounds);
+
+  /// Folds `other` into this registry: counters add, gauges overwrite,
+  /// histogram buckets add (bounds must match).  Metrics unknown here are
+  /// created.  Merge order is observable through gauges -- deterministic
+  /// rollups must merge in a deterministic order (trial order, then
+  /// variant order).
+  void merge(const Registry& other);
+
+  bool empty() const noexcept { return metrics_.empty(); }
+  std::size_t size() const noexcept { return metrics_.size(); }
+
+  /// Byte-stable JSON document (format "dg-metrics-v1"): metrics sorted by
+  /// name within their domain.  With include_timing=false the "timing" key
+  /// is omitted entirely -- the logical dump CI byte-compares across
+  /// --round-threads.
+  std::string json(bool include_timing = true) const;
+
+  /// Streaming form of json(); every line after the first is prefixed with
+  /// `indent` so campaign roll-ups can embed dumps at any nesting depth.
+  void write_json(std::ostream& os, bool include_timing,
+                  const std::string& indent = "") const;
+
+ private:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  struct Metric {
+    Domain domain = Domain::kLogical;
+    Kind kind = Kind::kCounter;
+    std::uint64_t counter = 0;
+    double gauge = 0;
+    Histogram hist;
+  };
+
+  Metric& slot(const std::string& name, Domain domain, Kind kind);
+
+  /// std::map: stable references (counter() hands them out) and sorted
+  /// iteration (byte-stable dumps) in one structure.
+  std::map<std::string, Metric> metrics_;
+};
+
+}  // namespace dg::obs

@@ -1,0 +1,242 @@
+#include "obs/trace_sink.h"
+
+#include <algorithm>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+
+#include "scn/json.h"
+#include "sim/trace.h"
+#include "util/assert.h"
+
+namespace dg::obs {
+
+namespace {
+
+constexpr int kEnginePid = 1;
+constexpr int kMessagesPid = 2;
+constexpr int kFaultsPid = 3;
+constexpr int kRecorderPid = 4;
+
+const char* pid_name(int pid) {
+  switch (pid) {
+    case kEnginePid: return "engine";
+    case kMessagesPid: return "messages";
+    case kFaultsPid: return "faults";
+    case kRecorderPid: return "recorder";
+    default: return "track";
+  }
+}
+
+}  // namespace
+
+const char* phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kTransmit: return "transmit";
+    case Phase::kPrepare: return "prepare_round";
+    case Phase::kCompute: return "compute";
+    case Phase::kReceive: return "receive";
+    case Phase::kOutput: return "output_flush";
+  }
+  return "?";
+}
+
+TraceSink::TraceSink(Filter filter) : filter_(std::move(filter)) {
+  DG_EXPECTS(filter_.round_lo <= filter_.round_hi);
+  std::sort(filter_.vertices.begin(), filter_.vertices.end());
+}
+
+bool TraceSink::round_in_range(std::int64_t round) const noexcept {
+  return round >= filter_.round_lo && round <= filter_.round_hi;
+}
+
+bool TraceSink::vertex_selected(std::uint32_t vertex) const {
+  if (filter_.vertices.empty()) return true;
+  return std::binary_search(filter_.vertices.begin(), filter_.vertices.end(),
+                            vertex);
+}
+
+void TraceSink::push(Event event) {
+  const std::size_t pid = static_cast<std::size_t>(event.pid);
+  if (pid < used_pids_.size()) used_pids_[pid] = true;
+  events_.push_back(std::move(event));
+}
+
+void TraceSink::round_phases(
+    std::int64_t round, const std::array<std::uint64_t, kPhaseCount>& ns) {
+  if (!round_in_range(round)) return;
+  const std::int64_t tick = round * kRoundTickUs;
+  const std::uint64_t total =
+      std::accumulate(ns.begin(), ns.end(), std::uint64_t{0});
+  {
+    Event e;
+    e.name = "round " + std::to_string(round);
+    e.ts = tick;
+    e.dur = kRoundTickUs;
+    e.pid = kEnginePid;
+    e.args_json = "{\"total_ns\": " + std::to_string(total) + "}";
+    push(std::move(e));
+  }
+  if (total == 0) return;
+  // Phase slices split the tick proportionally to measured nanoseconds
+  // (floor, min 1us so sub-promille phases stay visible), clamped so the
+  // children never escape the parent slice.
+  std::int64_t pos = tick;
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    if (ns[p] == 0) continue;
+    std::int64_t dur = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(ns[p] * static_cast<std::uint64_t>(
+                                                 kRoundTickUs) / total));
+    dur = std::min(dur, tick + kRoundTickUs - pos);
+    if (dur <= 0) break;
+    Event e;
+    e.name = phase_name(static_cast<Phase>(p));
+    e.ts = pos;
+    e.dur = dur;
+    e.pid = kEnginePid;
+    e.args_json = "{\"ns\": " + std::to_string(ns[p]) + "}";
+    push(std::move(e));
+    pos += dur;
+  }
+}
+
+void TraceSink::message_span(std::uint32_t vertex, std::uint64_t content,
+                             std::int64_t enqueue, std::int64_t admit,
+                             std::int64_t first_recv, std::int64_t ack,
+                             std::int64_t abort_round) {
+  if (!vertex_selected(vertex)) return;
+  // The span closes at its terminal event; unterminated messages close one
+  // tick after their last recorded event so the slice stays well-formed.
+  const std::int64_t last =
+      std::max({enqueue, admit, first_recv, ack, abort_round});
+  const std::int64_t end =
+      ack != 0 ? ack : (abort_round != 0 ? abort_round : last + 1);
+  if (enqueue > filter_.round_hi || end < filter_.round_lo) return;
+
+  const char* status =
+      ack != 0 ? "acked" : (abort_round != 0 ? "aborted" : "open");
+  {
+    Event e;
+    e.name = "msg " + std::to_string(content);
+    e.ts = enqueue * kRoundTickUs;
+    e.dur = std::max<std::int64_t>(1, (end - enqueue) * kRoundTickUs);
+    e.pid = kMessagesPid;
+    e.tid = vertex;
+    std::ostringstream args;
+    args << "{\"enqueue\": " << enqueue << ", \"admit\": " << admit
+         << ", \"first_recv\": " << first_recv << ", \"ack\": " << ack
+         << ", \"abort\": " << abort_round << ", \"status\": \"" << status
+         << "\"}";
+    e.args_json = args.str();
+    push(std::move(e));
+  }
+  if (admit != 0) {
+    Event e;
+    e.name = "queued";
+    e.ts = enqueue * kRoundTickUs;
+    e.dur = std::max<std::int64_t>(1, (admit - enqueue) * kRoundTickUs);
+    e.pid = kMessagesPid;
+    e.tid = vertex;
+    push(std::move(e));
+    Event f;
+    f.name = "inflight";
+    f.ts = admit * kRoundTickUs;
+    f.dur = std::max<std::int64_t>(1, (end - admit) * kRoundTickUs);
+    f.pid = kMessagesPid;
+    f.tid = vertex;
+    push(std::move(f));
+  }
+  if (first_recv != 0) {
+    Event e;
+    e.name = "first_recv";
+    e.ph = 'i';
+    e.ts = first_recv * kRoundTickUs;
+    e.pid = kMessagesPid;
+    e.tid = vertex;
+    push(std::move(e));
+  }
+}
+
+void TraceSink::crash(std::int64_t round, std::uint32_t vertex) {
+  instant(round, vertex, "crash", kFaultsPid);
+}
+
+void TraceSink::recover(std::int64_t round, std::uint32_t vertex) {
+  instant(round, vertex, "recover", kFaultsPid);
+}
+
+void TraceSink::instant(std::int64_t round, std::uint32_t vertex,
+                        const std::string& name, int pid,
+                        const std::string& args_json) {
+  if (!round_in_range(round) || !vertex_selected(vertex)) return;
+  Event e;
+  e.name = name;
+  e.ph = 'i';
+  e.ts = round * kRoundTickUs;
+  e.pid = pid;
+  e.tid = vertex;
+  e.args_json = args_json;
+  push(std::move(e));
+}
+
+void TraceSink::write_json(std::ostream& os) const {
+  // Stable sort by timestamp: per-track monotone file order, parents
+  // before children at equal ts (insertion order breaks ties).
+  std::vector<std::size_t> order(events_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return events_[a].ts < events_[b].ts;
+                   });
+  os << "{\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [";
+  bool first = true;
+  for (std::size_t pid = 0; pid < used_pids_.size(); ++pid) {
+    if (!used_pids_[pid]) continue;
+    os << (first ? "\n" : ",\n") << "{\"name\": \"process_name\", \"ph\": "
+       << "\"M\", \"pid\": " << pid << ", \"tid\": 0, \"ts\": 0, \"args\": "
+       << "{\"name\": \"" << pid_name(static_cast<int>(pid)) << "\"}}";
+    first = false;
+  }
+  for (const std::size_t idx : order) {
+    const Event& e = events_[idx];
+    os << (first ? "\n" : ",\n") << "{\"name\": \""
+       << scn::json::escape(e.name) << "\", \"ph\": \"" << e.ph
+       << "\", \"ts\": " << e.ts;
+    if (e.ph == 'X') os << ", \"dur\": " << e.dur;
+    if (e.ph == 'i') os << ", \"s\": \"t\"";
+    os << ", \"pid\": " << e.pid << ", \"tid\": " << e.tid;
+    if (!e.args_json.empty()) os << ", \"args\": " << e.args_json;
+    os << "}";
+    first = false;
+  }
+  os << "\n]}\n";
+}
+
+std::string TraceSink::json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+void export_recorder(const sim::TraceRecorder& recorder, TraceSink& sink) {
+  using EventKind = sim::TraceRecorder::EventKind;
+  for (const auto& ev : recorder.events()) {
+    const char* name = "?";
+    switch (ev.kind) {
+      case EventKind::transmit: name = "tx"; break;
+      case EventKind::receive: name = "rx"; break;
+      case EventKind::collision: name = "collision"; break;
+      case EventKind::round_begin: name = "round_begin"; break;
+      case EventKind::round_end: name = "round_end"; break;
+      case EventKind::crash: name = "crash"; break;
+      case EventKind::recover: name = "recover"; break;
+    }
+    const std::string args = "{\"text\": \"" +
+                             scn::json::escape(
+                                 sim::TraceRecorder::describe(ev)) +
+                             "\"}";
+    sink.instant(ev.round, ev.vertex, name, /*pid=*/4, args);
+  }
+}
+
+}  // namespace dg::obs

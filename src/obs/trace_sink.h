@@ -1,0 +1,128 @@
+// obs::TraceSink -- span/event collector emitting Chrome trace-event JSON
+// (the format Perfetto and chrome://tracing load natively).
+//
+// Time axis: the trace runs on VIRTUAL time -- round t owns the tick
+// [t*1000, (t+1)*1000) microseconds -- so logical events (message
+// lifecycles, crash/recover instants) and wall-clock measurements (the
+// engine phase profile) share one coherent timeline.  Phase slices
+// subdivide their round's tick proportionally to the measured wall-clock
+// nanoseconds; everything else sits at its round's tick boundary.
+//
+// Tracks (pid/tid):
+//   pid 1 "engine"   tid 0: one "round N" slice per profiled round with
+//                           the phase slices nested inside it
+//   pid 2 "messages" tid = vertex: one outer "msg <content>" slice per
+//                           traffic message with "queued"/"inflight"
+//                           children and a "first_recv" instant
+//   pid 3 "faults"   tid = vertex: "crash"/"recover" instants
+//   pid 4 "recorder" tid = vertex: sim::TraceRecorder events exported via
+//                           export_recorder()
+//
+// Filters: a round range and a vertex set, applied at record time so
+// million-node runs stay bounded.  Phase slices honor only the round
+// range; vertex-scoped events honor both.
+//
+// Output ordering: write_json() sorts events by timestamp (stable, so a
+// parent slice inserted before its children stays before them at equal
+// ts), which makes per-track timestamps monotone in file order -- the
+// property tools/validate_trace.py checks in CI.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace dg::sim {
+class TraceRecorder;
+}  // namespace dg::sim
+
+namespace dg::obs {
+
+/// Engine round phases, in execution order (serial rounds never enter
+/// kPrepare: the serial channel call fuses prepare into compute).
+enum class Phase : std::size_t {
+  kTransmit = 0,
+  kPrepare = 1,
+  kCompute = 2,
+  kReceive = 3,
+  kOutput = 4,
+};
+inline constexpr std::size_t kPhaseCount = 5;
+const char* phase_name(Phase phase);
+
+class TraceSink {
+ public:
+  /// Microseconds of virtual time per round.
+  static constexpr std::int64_t kRoundTickUs = 1000;
+
+  struct Filter {
+    std::int64_t round_lo = 0;  ///< inclusive
+    std::int64_t round_hi = std::numeric_limits<std::int64_t>::max();
+    /// Vertices to keep for vertex-scoped events; empty = all.
+    std::vector<std::uint32_t> vertices;
+  };
+
+  TraceSink() = default;
+  explicit TraceSink(Filter filter);
+
+  const Filter& filter() const noexcept { return filter_; }
+
+  /// One profiled round: per-phase wall-clock nanoseconds (0 = the phase
+  /// did not run).  Emits the round slice plus nested phase slices.
+  void round_phases(std::int64_t round,
+                    const std::array<std::uint64_t, kPhaseCount>& ns);
+
+  /// One traffic message lifecycle (rounds are 0 where the event never
+  /// happened, matching traffic::MessageRecord).  Emits the outer message
+  /// slice, queued/inflight children, and the first_recv instant.
+  void message_span(std::uint32_t vertex, std::uint64_t content,
+                    std::int64_t enqueue, std::int64_t admit,
+                    std::int64_t first_recv, std::int64_t ack,
+                    std::int64_t abort_round);
+
+  void crash(std::int64_t round, std::uint32_t vertex);
+  void recover(std::int64_t round, std::uint32_t vertex);
+
+  /// Free-form instant on (pid, tid=vertex) at the round tick; used by the
+  /// recorder export.  Subject to both filters.
+  void instant(std::int64_t round, std::uint32_t vertex,
+               const std::string& name, int pid,
+               const std::string& args_json = "");
+
+  /// Recorded events (metadata excluded).
+  std::size_t event_count() const noexcept { return events_.size(); }
+
+  /// The complete trace document: {"displayTimeUnit", "traceEvents": [..]}.
+  void write_json(std::ostream& os) const;
+  std::string json() const;
+
+ private:
+  struct Event {
+    std::string name;
+    char ph = 'X';  ///< 'X' complete slice, 'i' instant
+    std::int64_t ts = 0;
+    std::int64_t dur = 0;  ///< slices only
+    int pid = 1;
+    std::uint64_t tid = 0;
+    std::string args_json;  ///< pre-rendered {"k": v} body, may be empty
+  };
+
+  bool round_in_range(std::int64_t round) const noexcept;
+  bool vertex_selected(std::uint32_t vertex) const;
+  void push(Event event);
+
+  Filter filter_;
+  std::vector<bool> used_pids_ = std::vector<bool>(8, false);
+  std::vector<Event> events_;
+};
+
+/// Replays a sim::TraceRecorder's buffered events into `sink` as instants
+/// on the "recorder" track (pid 4), named by event kind with the
+/// describe() text as an argument, so the text and JSON renderings of one
+/// recording agree event-for-event (modulo the sink's filters).
+void export_recorder(const sim::TraceRecorder& recorder, TraceSink& sink);
+
+}  // namespace dg::obs

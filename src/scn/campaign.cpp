@@ -57,13 +57,24 @@ CampaignResult run_campaign(const Campaign& campaign,
     }
     const auto start = Clock::now();
     // The sharding seam: work-stealing trial scheduler, trial-ordered
-    // results, per-trial seeds independent of the claiming worker.
+    // results, per-trial seeds independent of the claiming worker.  With
+    // obs enabled each trial fills its own pre-allocated registry slot
+    // (no sharing across workers); the fold below runs in TRIAL order, so
+    // the merged registry is independent of which worker ran what.
+    std::vector<obs::Registry> trial_registries(
+        vr.spec.obs ? vr.spec.trials : 0);
     vr.trials = stats::run_trials(
         vr.spec.trials, vr.spec.seed,
-        [&vr](std::size_t, std::uint64_t trial_seed) {
-          return run_trial(vr.spec, trial_seed);
+        [&vr, &trial_registries](std::size_t trial,
+                                 std::uint64_t trial_seed) {
+          obs::Registry* reg =
+              vr.spec.obs ? &trial_registries[trial] : nullptr;
+          return run_trial(vr.spec, trial_seed, reg);
         },
         options.threads);
+    for (const obs::Registry& reg : trial_registries) {
+      vr.registry.merge(reg);
+    }
     vr.elapsed_ms = ms_since(start);
     if (options.progress != nullptr) {
       *options.progress << " done (" << static_cast<long>(vr.elapsed_ms)
@@ -103,6 +114,27 @@ std::string counters_json(const CampaignResult& result) {
     os << "]\n    }";
   }
   os << "\n  ]\n}\n";
+  return os.str();
+}
+
+std::string metrics_json(const CampaignResult& result) {
+  std::ostringstream os;
+  os << "{\n  \"format\": \"dg-campaign-metrics-v1\",\n  \"campaign\": \""
+     << json::escape(result.name) << "\",\n  \"variants\": [";
+  obs::Registry merged;
+  bool first = true;
+  for (const VariantResult& v : result.variants) {
+    if (!v.spec.obs) continue;
+    os << (first ? "\n" : ",\n") << "    {\n      \"name\": \""
+       << json::escape(v.spec.name) << "\",\n      \"metrics\": ";
+    v.registry.write_json(os, /*include_timing=*/false, "      ");
+    os << "\n    }";
+    merged.merge(v.registry);  // variant order, matching the file order
+    first = false;
+  }
+  os << "\n  ],\n  \"campaign_metrics\": ";
+  merged.write_json(os, /*include_timing=*/false, "  ");
+  os << "\n}\n";
   return os.str();
 }
 
@@ -223,11 +255,21 @@ std::string write_reports(const CampaignResult& result,
     os << content;
     return static_cast<bool>(os);
   };
+  bool any_obs = false;
   for (const VariantResult& v : result.variants) {
     const std::string file =
         "SCN_" + sanitize_filename(v.spec.name) + ".json";
     if (!write(file, variant_report_json(v, git_sha))) {
       return out_dir + "/" + file + ": write failed";
+    }
+    if (v.spec.obs) {
+      any_obs = true;
+      const std::string mfile =
+          "METRICS_" + sanitize_filename(v.spec.name) + ".json";
+      // Logical domain only: the byte-comparable artifact.
+      if (!write(mfile, v.registry.json(/*include_timing=*/false))) {
+        return out_dir + "/" + mfile + ": write failed";
+      }
     }
   }
   const std::string stem = sanitize_filename(result.name);
@@ -236,6 +278,10 @@ std::string write_reports(const CampaignResult& result,
   }
   if (!write("CAMPAIGN_" + stem + ".json", rollup_json(result, git_sha))) {
     return out_dir + "/CAMPAIGN_" + stem + ".json: write failed";
+  }
+  if (any_obs &&
+      !write("METRICS_" + stem + ".json", metrics_json(result))) {
+    return out_dir + "/METRICS_" + stem + ".json: write failed";
   }
   return "";
 }

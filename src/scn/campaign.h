@@ -7,12 +7,18 @@
 // is what lets CI gate on it (tools/bench_diff.py --counters-only against
 // a checked-in golden).
 //
-// Three artifacts per run (write_reports):
+// Artifacts per run (write_reports):
 //   SCN_<variant>.json      per-variant bench_support.h-style report
 //                           (elapsed_ms + machine stamps + metric tables)
 //   COUNTERS_<campaign>.json seed-deterministic counters only -- no
 //                           timing, no machine stamps; the gating file
 //   CAMPAIGN_<campaign>.json roll-up (variant list, totals, wall time)
+//   METRICS_<variant>.json  (variants with "obs": true) the variant's
+//                           merged obs::Registry, logical domain only --
+//                           gateable exactly like the counters file
+//   METRICS_<campaign>.json campaign metrics roll-up embedding every obs
+//                           variant's logical dump plus the campaign-wide
+//                           merge (variant order)
 #pragma once
 
 #include <cstdint>
@@ -20,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/registry.h"
 #include "scn/scenario.h"
 
 namespace dg::scn {
@@ -41,6 +48,10 @@ struct VariantResult {
   std::vector<std::string> metrics;         ///< column names
   std::vector<std::vector<double>> trials;  ///< [trial][metric], trial order
   double elapsed_ms = 0;                    ///< wall clock (non-gating)
+  /// Merged obs telemetry (only populated when spec.obs): per-trial
+  /// registries folded in TRIAL order -- not completion order -- so the
+  /// logical domain is byte-identical at every --threads/--round-threads.
+  obs::Registry registry;
 
   /// Sum of one metric column over all trials, accumulated in trial order
   /// (the deterministic aggregate the counters file records).
@@ -69,6 +80,12 @@ std::string variant_report_json(const VariantResult& variant,
 /// Campaign roll-up: totals + per-variant timing and counter sums.
 std::string rollup_json(const CampaignResult& result,
                         const std::string& git_sha);
+
+/// Campaign metrics roll-up (format "dg-campaign-metrics-v1"): embeds each
+/// obs variant's logical registry dump, plus "campaign" -- all variant
+/// registries merged in VARIANT order.  Pure function of the campaign
+/// inputs (no timing domain, no stamps), gateable like counters_json.
+std::string metrics_json(const CampaignResult& result);
 
 /// Writes the three artifact kinds into out_dir (created if needed).
 /// Returns "" on success, else an error message.

@@ -104,6 +104,14 @@ class ObjectReader {
     return true;
   }
 
+  bool boolean(const char* key, bool& out) {
+    const json::Value* v = get(key);
+    if (v == nullptr) return true;
+    if (!v->is_bool()) return wrong_kind(*v, key, "a boolean");
+    out = v->as_bool();
+    return true;
+  }
+
   bool number(const char* key, double& out) {
     const json::Value* v = get(key);
     if (v == nullptr) return true;
@@ -159,7 +167,7 @@ constexpr std::initializer_list<const char*> kTopLevelKeys = {
     "campaign", "scenarios"};
 constexpr std::initializer_list<const char*> kScenarioKeys = {
     "name", "topology", "scheduler", "channel", "traffic", "faults",
-    "algorithm", "trials", "seed", "round_threads", "matrix"};
+    "algorithm", "trials", "seed", "round_threads", "obs", "matrix"};
 constexpr std::initializer_list<const char*> kTopologyKeys = {
     "type", "n", "side", "r", "cols", "rows", "spacing",
     "k", "cliques", "p_grey_reliable", "p_grey_unreliable"};
@@ -505,7 +513,8 @@ bool parse_scenario(Ctx& ctx, const json::Value& v, const std::string& path,
   std::int64_t seed = 0;
   bool have_seed = v.find("seed") != nullptr;
   if (!r.integer("trials", trials, 1) || !r.integer("seed", seed, 0) ||
-      !r.size("round_threads", out.round_threads)) {
+      !r.size("round_threads", out.round_threads) ||
+      !r.boolean("obs", out.obs)) {
     return false;
   }
   out.trials = static_cast<std::size_t>(trials);

@@ -138,6 +138,11 @@ struct ScenarioSpec {
   /// (the DG_ROUND_THREADS environment knob); >= 1 pins it for the
   /// variant's trials.
   std::size_t round_threads = 0;
+  /// Collect obs telemetry for this variant: each trial fills a per-trial
+  /// obs::Registry, merged in trial order into a per-variant registry the
+  /// campaign writes as METRICS_<variant>.json.  The logical domain of
+  /// that dump is byte-identical at every round_threads value.
+  bool obs = false;
 };
 
 struct Campaign {

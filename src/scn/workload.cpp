@@ -54,7 +54,8 @@ lb::LbParams lb_params_for(const AlgorithmSpec& a,
 // ---- lb_progress (the E3/E6 trial body) ----
 
 std::vector<double> run_lb_progress(const ScenarioSpec& spec,
-                                    std::uint64_t seed) {
+                                    std::uint64_t seed,
+                                    obs::Registry* registry) {
   Rng rng(seed);
   const auto g = build_topology(spec.topology, rng);
   const auto params = lb_params_for(spec.algorithm, g);
@@ -65,12 +66,12 @@ std::vector<double> run_lb_progress(const ScenarioSpec& spec,
     latency = lb::progress_latency(
         g, std::make_unique<phys::SinrChannel>(spec.channel_spec.sinr),
         params, senders, receiver, spec.algorithm.horizon_phases, seed,
-        spec.round_threads);
+        spec.round_threads, registry);
   } else {
     latency = lb::progress_latency(g, build_scheduler(spec.scheduler),
                                    params, senders, receiver,
                                    spec.algorithm.horizon_phases, seed,
-                                   spec.round_threads);
+                                   spec.round_threads, registry);
   }
   return {static_cast<double>(latency),
           static_cast<double>(params.phase_length())};
@@ -79,7 +80,8 @@ std::vector<double> run_lb_progress(const ScenarioSpec& spec,
 // ---- decay_progress (the E6 Decay trial body) ----
 
 std::vector<double> run_decay_progress(const ScenarioSpec& spec,
-                                       std::uint64_t seed) {
+                                       std::uint64_t seed,
+                                       obs::Registry* registry) {
   Rng rng(seed);
   const auto g = build_topology(spec.topology, rng);
   const auto ids = sim::assign_ids(g.size(), seed);
@@ -94,6 +96,7 @@ std::vector<double> run_decay_progress(const ScenarioSpec& spec,
   }
   sim::Engine engine(g, *sched, std::move(procs), seed);
   if (spec.round_threads != 0) engine.set_round_threads(spec.round_threads);
+  engine.set_telemetry(registry);
   stats::FirstReceptionProbe probe(g.size());
   engine.add_observer(&probe);
   const auto receiver =
@@ -112,7 +115,8 @@ std::vector<double> run_decay_progress(const ScenarioSpec& spec,
 
 seed::SeedSpecResult run_seed_check(const ScenarioSpec& spec,
                                     const graph::DualGraph& g,
-                                    std::uint64_t seed) {
+                                    std::uint64_t seed,
+                                    obs::Registry* registry) {
   const auto sparams =
       seed::SeedAlgParams::make(spec.algorithm.seed_eps, g.delta());
   const auto ids = sim::assign_ids(g.size(), derive_seed(seed, 1));
@@ -135,6 +139,7 @@ seed::SeedSpecResult run_seed_check(const ScenarioSpec& spec,
                                            derive_seed(seed, 3));
   }
   if (spec.round_threads != 0) engine->set_round_threads(spec.round_threads);
+  engine->set_telemetry(registry);
   engine->run_rounds(sparams.total_rounds());
   seed::DecisionVector decisions(g.size());
   for (graph::Vertex v = 0; v < g.size(); ++v) {
@@ -145,10 +150,11 @@ seed::SeedSpecResult run_seed_check(const ScenarioSpec& spec,
 }
 
 std::vector<double> run_seed_agreement(const ScenarioSpec& spec,
-                                       std::uint64_t seed) {
+                                       std::uint64_t seed,
+                                       obs::Registry* registry) {
   Rng rng(seed);
   const auto g = build_topology(spec.topology, rng);
-  const auto res = run_seed_check(spec, g, seed);
+  const auto res = run_seed_check(spec, g, seed, registry);
   return {res.well_formed ? 1.0 : 0.0,
           res.consistent ? 1.0 : 0.0,
           res.owners_local ? 1.0 : 0.0,
@@ -160,17 +166,18 @@ std::vector<double> run_seed_agreement(const ScenarioSpec& spec,
 // progress on one geometric deployment, shared trial seed) ----
 
 std::vector<double> run_seed_then_progress(const ScenarioSpec& spec,
-                                           std::uint64_t seed) {
+                                           std::uint64_t seed,
+                                           obs::Registry* registry) {
   Rng rng(seed);
   const auto g = build_topology(spec.topology, rng);
-  const auto res = run_seed_check(spec, g, seed);
+  const auto res = run_seed_check(spec, g, seed, registry);
   const auto params = lb_params_for(spec.algorithm, g);
   const auto senders = resolve_senders(spec.algorithm, g.size());
   const auto receiver = resolve_receiver(spec.algorithm, g, senders);
   const auto latency = lb::progress_latency(
       g, build_scheduler(spec.scheduler), params, senders, receiver,
       spec.algorithm.horizon_phases, derive_seed(seed, 4),
-      spec.round_threads);
+      spec.round_threads, registry);
   return {static_cast<double>(latency),
           static_cast<double>(res.max_neighborhood_owners),
           res.consistent ? 1.0 : 0.0};
@@ -180,7 +187,8 @@ std::vector<double> run_seed_then_progress(const ScenarioSpec& spec,
 // vs SINR ground truth over one sampled deployment) ----
 
 std::vector<double> run_abstraction_fidelity(const ScenarioSpec& spec,
-                                             std::uint64_t seed) {
+                                             std::uint64_t seed,
+                                             obs::Registry* registry) {
   Rng rng(seed);
   geo::Embedding emb;
   emb.reserve(spec.topology.n);
@@ -202,7 +210,9 @@ std::vector<double> run_abstraction_fidelity(const ScenarioSpec& spec,
     lb::LbSimulation sim(ext.graph, build_scheduler(spec.scheduler), params,
                          master);
     if (spec.round_threads != 0) sim.set_round_threads(spec.round_threads);
+    sim.set_telemetry(registry);
     dual = lb::run_flood(sim, sender, spec.algorithm.horizon_phases);
+    sim.export_telemetry();
   }
   lb::FloodStats sinr;
   {
@@ -213,7 +223,9 @@ std::vector<double> run_abstraction_fidelity(const ScenarioSpec& spec,
         ext.graph, std::make_unique<phys::SinrChannel>(xp.sinr, emb), params,
         master);
     if (spec.round_threads != 0) sim.set_round_threads(spec.round_threads);
+    sim.set_telemetry(registry);
     sinr = lb::run_flood(sim, sender, spec.algorithm.horizon_phases);
+    sim.export_telemetry();
   }
   return {dual.progress_rounds,
           dual.reached_frac,
@@ -234,7 +246,8 @@ std::vector<double> run_abstraction_fidelity(const ScenarioSpec& spec,
 // and enqueue->ack / enqueue->first-recv latency) ----
 
 std::vector<double> run_traffic_latency(const ScenarioSpec& spec,
-                                        std::uint64_t seed) {
+                                        std::uint64_t seed,
+                                        obs::Registry* registry) {
   Rng rng(seed);
   const auto g = build_topology(spec.topology, rng);
   const auto params = lb_params_for(spec.algorithm, g);
@@ -254,7 +267,9 @@ std::vector<double> run_traffic_latency(const ScenarioSpec& spec,
   // hang off the master seed; 1..4 are taken by the other workloads).
   sim->add_traffic(
       traffic::build_source(spec.traffic_spec, g.size(), derive_seed(seed, 5)));
+  sim->set_telemetry(registry);
   sim->run_phases(spec.algorithm.horizon_phases);
+  sim->export_telemetry();
 
   const traffic::TrafficStats& ts = sim->traffic().stats();
   const double rounds = static_cast<double>(sim->round());
@@ -279,7 +294,8 @@ std::vector<double> run_traffic_latency(const ScenarioSpec& spec,
 // the clean-window spec tallies) ----
 
 std::vector<double> run_lb_churn(const ScenarioSpec& spec,
-                                 std::uint64_t seed) {
+                                 std::uint64_t seed,
+                                 obs::Registry* registry) {
   Rng rng(seed);
   const auto g = build_topology(spec.topology, rng);
   const auto params = lb_params_for(spec.algorithm, g);
@@ -302,7 +318,9 @@ std::vector<double> run_lb_churn(const ScenarioSpec& spec,
       traffic::build_source(spec.traffic_spec, g.size(), derive_seed(seed, 5)));
   const auto plan = fault::build_fault_plan(spec.fault_spec);
   sim->set_fault_plan(plan.get());
+  sim->set_telemetry(registry);
   sim->run_phases(spec.algorithm.horizon_phases);
+  sim->export_telemetry();
 
   const traffic::TrafficStats& ts = sim->traffic().stats();
   const lb::LbSpecReport& rep = sim->report();
@@ -375,18 +393,25 @@ std::vector<std::string> metric_names(const ScenarioSpec& spec) {
 }
 
 std::vector<double> run_trial(const ScenarioSpec& spec,
-                              std::uint64_t trial_seed) {
+                              std::uint64_t trial_seed,
+                              obs::Registry* registry) {
   const std::string& t = spec.algorithm.type;
-  if (t == "lb_progress") return run_lb_progress(spec, trial_seed);
-  if (t == "decay_progress") return run_decay_progress(spec, trial_seed);
-  if (t == "seed_agreement") return run_seed_agreement(spec, trial_seed);
-  if (t == "seed_then_progress") {
-    return run_seed_then_progress(spec, trial_seed);
+  if (t == "lb_progress") return run_lb_progress(spec, trial_seed, registry);
+  if (t == "decay_progress") {
+    return run_decay_progress(spec, trial_seed, registry);
   }
-  if (t == "traffic_latency") return run_traffic_latency(spec, trial_seed);
-  if (t == "lb_churn") return run_lb_churn(spec, trial_seed);
+  if (t == "seed_agreement") {
+    return run_seed_agreement(spec, trial_seed, registry);
+  }
+  if (t == "seed_then_progress") {
+    return run_seed_then_progress(spec, trial_seed, registry);
+  }
+  if (t == "traffic_latency") {
+    return run_traffic_latency(spec, trial_seed, registry);
+  }
+  if (t == "lb_churn") return run_lb_churn(spec, trial_seed, registry);
   DG_EXPECTS(t == "abstraction_fidelity");
-  return run_abstraction_fidelity(spec, trial_seed);
+  return run_abstraction_fidelity(spec, trial_seed, registry);
 }
 
 }  // namespace dg::scn

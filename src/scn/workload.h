@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/registry.h"
 #include "scn/scenario.h"
 
 namespace dg::scn {
@@ -42,8 +43,14 @@ std::vector<std::string> metric_names(const ScenarioSpec& spec);
 
 /// Runs one trial of the variant's workload with the given per-trial seed
 /// (stats::run_trials derives it as derive_seed(spec.seed, trial_index)).
-/// Returns one value per metric_names() entry.
+/// Returns one value per metric_names() entry.  When `registry` is
+/// non-null the trial's simulations record obs telemetry into it; the
+/// registry's logical domain is a pure function of (spec, trial_seed),
+/// byte-identical at every round_threads value.  The registry must be
+/// exclusive to this trial -- merge per-trial registries afterwards (in
+/// trial order) for a deterministic aggregate.
 std::vector<double> run_trial(const ScenarioSpec& spec,
-                              std::uint64_t trial_seed);
+                              std::uint64_t trial_seed,
+                              obs::Registry* registry = nullptr);
 
 }  // namespace dg::scn

@@ -1,6 +1,7 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <string_view>
 #include <thread>
@@ -110,6 +111,70 @@ void Engine::add_observer(Observer* observer) {
   if (mask & Observer::kReceive) obs_receive_.push_back(observer);
   if (mask & Observer::kSilence) obs_silence_.push_back(observer);
   if (mask & Observer::kRoundEnd) obs_round_end_.push_back(observer);
+  if (mask & Observer::kFault) obs_fault_.push_back(observer);
+}
+
+void Engine::set_telemetry(obs::Registry* registry, obs::TraceSink* sink) {
+  registry_ = registry;
+  trace_sink_ = registry != nullptr ? sink : nullptr;
+  if (registry == nullptr) {
+    profiler_.reset();
+    m_rounds_ = m_tx_ = m_delivered_ = m_collisions_ = m_silent_ = nullptr;
+    m_crashes_ = m_recoveries_ = nullptr;
+    m_dispatch_serial_ = m_dispatch_sharded_ = nullptr;
+    m_tx_per_round_ = nullptr;
+    return;
+  }
+  using obs::Domain;
+  m_rounds_ = &registry->counter("engine.rounds", Domain::kLogical);
+  m_tx_ = &registry->counter("engine.tx", Domain::kLogical);
+  m_delivered_ = &registry->counter("engine.rx.delivered", Domain::kLogical);
+  m_collisions_ =
+      &registry->counter("engine.rx.collisions", Domain::kLogical);
+  m_silent_ = &registry->counter("engine.rx.silent", Domain::kLogical);
+  m_crashes_ = &registry->counter("engine.faults.crashes", Domain::kLogical);
+  m_recoveries_ =
+      &registry->counter("engine.faults.recoveries", Domain::kLogical);
+  m_tx_per_round_ = &registry->histogram(
+      "engine.tx_per_round", Domain::kLogical,
+      {0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
+  // Dispatch counts and thread knobs depend on round_threads by
+  // definition, so they live in the (never-gated) timing domain.
+  m_dispatch_serial_ =
+      &registry->counter("engine.dispatch.serial", Domain::kTiming);
+  m_dispatch_sharded_ =
+      &registry->counter("engine.dispatch.sharded", Domain::kTiming);
+  registry->gauge("engine.round_threads", Domain::kTiming) =
+      static_cast<double>(round_threads_);
+  registry->gauge("engine.vertices", Domain::kLogical) =
+      static_cast<double>(processes_.size());
+  profiler_ = std::make_unique<obs::PhaseProfiler>(*registry);
+}
+
+void Engine::record_logical_round() {
+  if (m_rounds_ == nullptr) return;
+  *m_rounds_ += 1;
+  const std::uint64_t tx = transmitting_.count();
+  *m_tx_ += tx;
+  m_tx_per_round_->record(static_cast<double>(tx));
+  const bool faults = fault_plan_ != nullptr;
+  const auto n = static_cast<graph::Vertex>(processes_.size());
+  std::uint64_t delivered = 0, collisions = 0, silent = 0;
+  for (graph::Vertex u = 0; u < n; ++u) {
+    if (transmitting_.test(u)) continue;
+    if (faults && crashed_.test(u)) continue;
+    const auto count = static_cast<std::uint32_t>(heard_[u]);
+    if (count == 1) {
+      ++delivered;
+    } else if (count > 1) {
+      ++collisions;
+    } else {
+      ++silent;
+    }
+  }
+  *m_delivered_ += delivered;
+  *m_collisions_ += collisions;
+  *m_silent_ += silent;
 }
 
 Process& Engine::process(graph::Vertex v) {
@@ -147,6 +212,9 @@ void Engine::apply_faults(Round t) {
       // the in-flight broadcast) before on_crash wipes it.
       if (fault_listener_ != nullptr) fault_listener_->on_crash(t, ev.vertex);
       processes_[ev.vertex]->on_crash(t);
+      for (Observer* obs : obs_fault_) obs->on_crash(t, ev.vertex);
+      if (m_crashes_ != nullptr) *m_crashes_ += 1;
+      if (trace_sink_ != nullptr) trace_sink_->crash(t, ev.vertex);
     } else {
       if (!crashed_.test(ev.vertex)) continue;  // idempotent
       crashed_.reset(ev.vertex);
@@ -155,6 +223,9 @@ void Engine::apply_faults(Round t) {
       if (fault_listener_ != nullptr) {
         fault_listener_->on_recover(t, ev.vertex);
       }
+      for (Observer* obs : obs_fault_) obs->on_recover(t, ev.vertex);
+      if (m_recoveries_ != nullptr) *m_recoveries_ += 1;
+      if (trace_sink_ != nullptr) trace_sink_->recover(t, ev.vertex);
     }
   }
 }
@@ -181,6 +252,10 @@ void Engine::run_round() {
 
 void Engine::run_round_serial() {
   const Round t = ++round_;
+  if (profiler_ != nullptr) {
+    profiler_->begin_round(t);
+    *m_dispatch_serial_ += 1;
+  }
   apply_faults(t);
   const auto n = static_cast<graph::Vertex>(processes_.size());
   // Per-event fan-out guards: executions with no (interested) observers --
@@ -199,18 +274,21 @@ void Engine::run_round_serial() {
   // Crashed vertices sit the whole round out: no process calls, no
   // observer events, rng stream untouched.
   transmitting_.clear();
-  for (graph::Vertex v = 0; v < n; ++v) {
-    if (faults && crashed_.test(v)) continue;
-    RoundContext ctx(t, rngs_[v]);
-    auto packet = processes_[v]->transmit(ctx);
-    if (!packet.has_value()) continue;
-    // The wire carries the true sender id; processes cannot spoof.
-    DG_ASSERT(packet->sender == processes_[v]->id());
-    outgoing_slab_[v] = *std::move(packet);
-    transmitting_.set(v);
-    if (obs_tx) {
-      for (Observer* obs : obs_transmit_) {
-        obs->on_transmit(t, v, outgoing_slab_[v]);
+  {
+    obs::ScopedPhase phase(profiler_.get(), obs::Phase::kTransmit);
+    for (graph::Vertex v = 0; v < n; ++v) {
+      if (faults && crashed_.test(v)) continue;
+      RoundContext ctx(t, rngs_[v]);
+      auto packet = processes_[v]->transmit(ctx);
+      if (!packet.has_value()) continue;
+      // The wire carries the true sender id; processes cannot spoof.
+      DG_ASSERT(packet->sender == processes_[v]->id());
+      outgoing_slab_[v] = *std::move(packet);
+      transmitting_.set(v);
+      if (obs_tx) {
+        for (Observer* obs : obs_transmit_) {
+          obs->on_transmit(t, v, outgoing_slab_[v]);
+        }
       }
     }
   }
@@ -219,50 +297,80 @@ void Engine::run_round_serial() {
   // single-transmitter rule under DualGraphChannel, SINR physics under
   // SinrChannel).  The channel fills one packed heard word per vertex (high
   // 32 bits last sender, low 32 bits decodable-sender count).
-  std::fill(heard_.begin(), heard_.end(), 0U);
-  channel_->compute_round(t, transmitting_, heard_);
-
-  for (graph::Vertex u = 0; u < n; ++u) {
-    if (transmitting_.test(u)) continue;  // transmitters do not receive
-    if (faults && crashed_.test(u)) continue;
-    RoundContext ctx(t, rngs_[u]);
-    const std::uint64_t h = heard_[u];
-    const auto count = static_cast<std::uint32_t>(h);
-    if (count == 1) {
-      const auto from = static_cast<graph::Vertex>(h >> 32);
-      const Packet& packet = outgoing_slab_[from];
-      if (obs_rx) {
-        for (Observer* obs : obs_receive_) {
-          obs->on_receive(t, u, from, packet);
-        }
-      }
-      processes_[u]->receive(packet, ctx);
-    } else {
-      if (obs_sil) {
-        for (Observer* obs : obs_silence_) {
-          obs->on_silence(t, u, /*collision=*/count > 1);
-        }
-      }
-      processes_[u]->receive(std::nullopt, ctx);
-    }
+  {
+    obs::ScopedPhase phase(profiler_.get(), obs::Phase::kCompute);
+    std::fill(heard_.begin(), heard_.end(), 0U);
+    channel_->compute_round(t, transmitting_, heard_);
   }
-  if (hooks_ != nullptr) hooks_->after_receive_phase(t);
+  record_logical_round();
+
+  {
+    obs::ScopedPhase phase(profiler_.get(), obs::Phase::kReceive);
+    for (graph::Vertex u = 0; u < n; ++u) {
+      if (transmitting_.test(u)) continue;  // transmitters do not receive
+      if (faults && crashed_.test(u)) continue;
+      RoundContext ctx(t, rngs_[u]);
+      const std::uint64_t h = heard_[u];
+      const auto count = static_cast<std::uint32_t>(h);
+      if (count == 1) {
+        const auto from = static_cast<graph::Vertex>(h >> 32);
+        const Packet& packet = outgoing_slab_[from];
+        if (obs_rx) {
+          for (Observer* obs : obs_receive_) {
+            obs->on_receive(t, u, from, packet);
+          }
+        }
+        processes_[u]->receive(packet, ctx);
+      } else {
+        if (obs_sil) {
+          for (Observer* obs : obs_silence_) {
+            obs->on_silence(t, u, /*collision=*/count > 1);
+          }
+        }
+        processes_[u]->receive(std::nullopt, ctx);
+      }
+    }
+    if (hooks_ != nullptr) hooks_->after_receive_phase(t);
+  }
 
   // Step 4: outputs.
-  for (graph::Vertex v = 0; v < n; ++v) {
-    if (faults && crashed_.test(v)) continue;
-    RoundContext ctx(t, rngs_[v]);
-    processes_[v]->end_round(ctx);
+  {
+    obs::ScopedPhase phase(profiler_.get(), obs::Phase::kOutput);
+    for (graph::Vertex v = 0; v < n; ++v) {
+      if (faults && crashed_.test(v)) continue;
+      RoundContext ctx(t, rngs_[v]);
+      processes_[v]->end_round(ctx);
+    }
+    if (hooks_ != nullptr) hooks_->after_output_phase(t);
   }
-  if (hooks_ != nullptr) hooks_->after_output_phase(t);
 
   for (Observer* obs : obs_round_end_) {
     obs->on_round_end(t);
   }
+  if (profiler_ != nullptr) profiler_->end_round(trace_sink_);
 }
 
 void Engine::run_round_sharded(std::size_t block_size, std::size_t blocks) {
   const Round t = ++round_;
+  if (profiler_ != nullptr) {
+    profiler_->begin_round(t);
+    *m_dispatch_sharded_ += 1;
+  }
+  // Every pool dispatch of the round funnels through this wrapper so the
+  // profiler can total the parallel-section wall clock (the utilization
+  // numerator) without instrumenting the pool itself.
+  const auto pooled = [&](std::size_t count, auto&& fn) {
+    if (profiler_ == nullptr) {
+      pool_->for_blocks(count, fn);
+      return;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    pool_->for_blocks(count, fn);
+    profiler_->add_parallel_ns(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
+  };
   // Fault events apply serially before any parallel phase, so crashed_ is
   // frozen (read-only) for the whole round -- the same events, in the same
   // order, as the serial loop.
@@ -286,90 +394,107 @@ void Engine::run_round_sharded(std::size_t block_size, std::size_t blocks) {
   // transmitting_.set() read-modify-writes never touch another block's
   // word; slab entries and rng streams are per-vertex.
   transmitting_.clear();
-  pool_->for_blocks(blocks, [&](std::size_t b) {
-    const auto [begin, end] = block_range(b);
-    for (graph::Vertex v = begin; v < end; ++v) {
-      if (faults && crashed_.test(v)) continue;
-      RoundContext ctx(t, rngs_[v]);
-      auto packet = processes_[v]->transmit(ctx);
-      if (!packet.has_value()) continue;
-      DG_ASSERT(packet->sender == processes_[v]->id());
-      outgoing_slab_[v] = *std::move(packet);
-      transmitting_.set(v);
-    }
-  });
-  // Serial transmit fan-out: ascending-vertex replay off the bitmap is the
-  // exact event stream the serial loop emits inline.
-  if (!obs_transmit_.empty()) {
-    transmitting_.for_each_set([&](std::size_t v) {
-      for (Observer* obs : obs_transmit_) {
-        obs->on_transmit(t, static_cast<graph::Vertex>(v),
-                         outgoing_slab_[v]);
+  {
+    obs::ScopedPhase phase(profiler_.get(), obs::Phase::kTransmit);
+    pooled(blocks, [&](std::size_t b) {
+      const auto [begin, end] = block_range(b);
+      for (graph::Vertex v = begin; v < end; ++v) {
+        if (faults && crashed_.test(v)) continue;
+        RoundContext ctx(t, rngs_[v]);
+        auto packet = processes_[v]->transmit(ctx);
+        if (!packet.has_value()) continue;
+        DG_ASSERT(packet->sender == processes_[v]->id());
+        outgoing_slab_[v] = *std::move(packet);
+        transmitting_.set(v);
       }
     });
+    // Serial transmit fan-out: ascending-vertex replay off the bitmap is
+    // the exact event stream the serial loop emits inline.
+    if (!obs_transmit_.empty()) {
+      transmitting_.for_each_set([&](std::size_t v) {
+        for (Observer* obs : obs_transmit_) {
+          obs->on_transmit(t, static_cast<graph::Vertex>(v),
+                           outgoing_slab_[v]);
+        }
+      });
+    }
   }
 
   // Step 3: reception.  The channel stages everything transmit-set-
   // dependent serially, then fills disjoint receiver ranges in parallel.
-  channel_->prepare_round(t, transmitting_);
-  pool_->for_blocks(blocks, [&](std::size_t b) {
-    const auto [begin, end] = block_range(b);
-    std::fill(heard_.begin() + begin, heard_.begin() + end, 0U);
-    channel_->compute_shard(t, transmitting_, heard_, begin, end);
-  });
+  {
+    obs::ScopedPhase phase(profiler_.get(), obs::Phase::kPrepare);
+    channel_->prepare_round(t, transmitting_);
+  }
+  {
+    obs::ScopedPhase phase(profiler_.get(), obs::Phase::kCompute);
+    pooled(blocks, [&](std::size_t b) {
+      const auto [begin, end] = block_range(b);
+      std::fill(heard_.begin() + begin, heard_.begin() + end, 0U);
+      channel_->compute_shard(t, transmitting_, heard_, begin, end);
+    });
+  }
+  record_logical_round();
 
   // Deliver block-parallel (per-vertex state only -- shard_safe() is the
   // processes' promise that their receive() fan-out tolerates this), then
   // replay the reception observers serially from the heard words: same
   // verdicts, ascending vertex order, exactly the serial loop's stream.
-  pool_->for_blocks(blocks, [&](std::size_t b) {
-    const auto [begin, end] = block_range(b);
-    for (graph::Vertex u = begin; u < end; ++u) {
-      if (transmitting_.test(u)) continue;
-      if (faults && crashed_.test(u)) continue;
-      RoundContext ctx(t, rngs_[u]);
-      const std::uint64_t h = heard_[u];
-      if (static_cast<std::uint32_t>(h) == 1) {
-        processes_[u]->receive(outgoing_slab_[h >> 32], ctx);
-      } else {
-        processes_[u]->receive(std::nullopt, ctx);
-      }
-    }
-  });
-  if (!obs_receive_.empty() || !obs_silence_.empty()) {
-    for (graph::Vertex u = 0; u < n; ++u) {
-      if (transmitting_.test(u)) continue;
-      if (faults && crashed_.test(u)) continue;
-      const std::uint64_t h = heard_[u];
-      const auto count = static_cast<std::uint32_t>(h);
-      if (count == 1) {
-        const auto from = static_cast<graph::Vertex>(h >> 32);
-        for (Observer* obs : obs_receive_) {
-          obs->on_receive(t, u, from, outgoing_slab_[from]);
-        }
-      } else {
-        for (Observer* obs : obs_silence_) {
-          obs->on_silence(t, u, /*collision=*/count > 1);
+  {
+    obs::ScopedPhase phase(profiler_.get(), obs::Phase::kReceive);
+    pooled(blocks, [&](std::size_t b) {
+      const auto [begin, end] = block_range(b);
+      for (graph::Vertex u = begin; u < end; ++u) {
+        if (transmitting_.test(u)) continue;
+        if (faults && crashed_.test(u)) continue;
+        RoundContext ctx(t, rngs_[u]);
+        const std::uint64_t h = heard_[u];
+        if (static_cast<std::uint32_t>(h) == 1) {
+          processes_[u]->receive(outgoing_slab_[h >> 32], ctx);
+        } else {
+          processes_[u]->receive(std::nullopt, ctx);
         }
       }
+    });
+    if (!obs_receive_.empty() || !obs_silence_.empty()) {
+      for (graph::Vertex u = 0; u < n; ++u) {
+        if (transmitting_.test(u)) continue;
+        if (faults && crashed_.test(u)) continue;
+        const std::uint64_t h = heard_[u];
+        const auto count = static_cast<std::uint32_t>(h);
+        if (count == 1) {
+          const auto from = static_cast<graph::Vertex>(h >> 32);
+          for (Observer* obs : obs_receive_) {
+            obs->on_receive(t, u, from, outgoing_slab_[from]);
+          }
+        } else {
+          for (Observer* obs : obs_silence_) {
+            obs->on_silence(t, u, /*collision=*/count > 1);
+          }
+        }
+      }
     }
+    if (hooks_ != nullptr) hooks_->after_receive_phase(t);
   }
-  if (hooks_ != nullptr) hooks_->after_receive_phase(t);
 
   // Step 4: outputs, block-parallel, then the serial checkpoint.
-  pool_->for_blocks(blocks, [&](std::size_t b) {
-    const auto [begin, end] = block_range(b);
-    for (graph::Vertex v = begin; v < end; ++v) {
-      if (faults && crashed_.test(v)) continue;
-      RoundContext ctx(t, rngs_[v]);
-      processes_[v]->end_round(ctx);
-    }
-  });
-  if (hooks_ != nullptr) hooks_->after_output_phase(t);
+  {
+    obs::ScopedPhase phase(profiler_.get(), obs::Phase::kOutput);
+    pooled(blocks, [&](std::size_t b) {
+      const auto [begin, end] = block_range(b);
+      for (graph::Vertex v = begin; v < end; ++v) {
+        if (faults && crashed_.test(v)) continue;
+        RoundContext ctx(t, rngs_[v]);
+        processes_[v]->end_round(ctx);
+      }
+    });
+    if (hooks_ != nullptr) hooks_->after_output_phase(t);
+  }
 
   for (Observer* obs : obs_round_end_) {
     obs->on_round_end(t);
   }
+  if (profiler_ != nullptr) profiler_->end_round(trace_sink_);
 }
 
 void Engine::run_rounds(Round count) {

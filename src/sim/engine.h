@@ -49,6 +49,9 @@
 
 #include "fault/plan.h"
 #include "graph/dual_graph.h"
+#include "obs/profiler.h"
+#include "obs/registry.h"
+#include "obs/trace_sink.h"
 #include "phys/channel.h"
 #include "sim/adaptive.h"
 #include "sim/observer.h"
@@ -146,6 +149,16 @@ class Engine {
   /// Crashed vertices this round (count() for a population probe).
   const Bitmap& crashed_vertices() const noexcept { return crashed_; }
 
+  /// Installs telemetry (both nullptr to remove; they must outlive the
+  /// engine).  The registry receives LOGICAL per-round counters (rounds,
+  /// transmissions, delivery/collision/silence verdicts, fault events) that
+  /// are byte-identical across round_threads -- they are tallied in a
+  /// serial pass over the channel's verdicts in both round loops -- plus
+  /// TIMING phase/dispatch metrics that are wall-clock and never gated.
+  /// The sink receives per-round phase slices and crash/recover instants.
+  void set_telemetry(obs::Registry* registry,
+                     obs::TraceSink* sink = nullptr);
+
   /// Installs the serial between-phase checkpoints (nullptr to remove).
   /// The hooks object must outlive the engine and is fired by both round
   /// loops, so wrappers can keep buffering enabled regardless of which
@@ -188,6 +201,12 @@ class Engine {
   /// and listener callbacks) before any phase -- parallel or not -- runs.
   void apply_faults(Round t);
 
+  /// Serial logical-metrics pass over the round's frozen verdicts
+  /// (transmitting_, heard_, crashed_), identical in both round loops --
+  /// the reason logical registry dumps are byte-identical across
+  /// round_threads.  Only runs when a registry is installed.
+  void record_logical_round();
+
   const graph::DualGraph* graph_;
   std::unique_ptr<phys::ChannelModel> owned_channel_;  ///< scheduler ctor only
   phys::ChannelModel* channel_;
@@ -201,7 +220,24 @@ class Engine {
   std::vector<Observer*> obs_receive_;
   std::vector<Observer*> obs_silence_;
   std::vector<Observer*> obs_round_end_;
+  std::vector<Observer*> obs_fault_;
   Round round_ = 0;
+
+  // Telemetry (see set_telemetry).  Logical counter slots are cached
+  // registry references so the per-round pass never pays a map lookup.
+  obs::Registry* registry_ = nullptr;
+  obs::TraceSink* trace_sink_ = nullptr;
+  std::unique_ptr<obs::PhaseProfiler> profiler_;
+  std::uint64_t* m_rounds_ = nullptr;
+  std::uint64_t* m_tx_ = nullptr;
+  std::uint64_t* m_delivered_ = nullptr;
+  std::uint64_t* m_collisions_ = nullptr;
+  std::uint64_t* m_silent_ = nullptr;
+  std::uint64_t* m_crashes_ = nullptr;
+  std::uint64_t* m_recoveries_ = nullptr;
+  std::uint64_t* m_dispatch_serial_ = nullptr;
+  std::uint64_t* m_dispatch_sharded_ = nullptr;
+  obs::Registry::Histogram* m_tx_per_round_ = nullptr;
 
   std::size_t round_threads_ = 1;
   bool all_shard_safe_ = false;  ///< every process consented, at init()

@@ -25,7 +25,8 @@ class Observer {
     kReceive = 1u << 2,
     kSilence = 1u << 3,
     kRoundEnd = 1u << 4,
-    kAllEvents = (1u << 5) - 1,
+    kFault = 1u << 5,
+    kAllEvents = (1u << 6) - 1,
   };
 
   virtual ~Observer() = default;
@@ -65,6 +66,19 @@ class Observer {
   }
 
   virtual void on_round_end(Round round) { (void)round; }
+
+  /// Vertex v crashed / recovered at the top of `round` (fault-plan
+  /// events, fired serially from the engine's fault checkpoint after the
+  /// process and fault-listener callbacks ran).  Requires the kFault
+  /// interest bit.
+  virtual void on_crash(Round round, graph::Vertex v) {
+    (void)round;
+    (void)v;
+  }
+  virtual void on_recover(Round round, graph::Vertex v) {
+    (void)round;
+    (void)v;
+  }
 };
 
 }  // namespace dg::sim

@@ -51,6 +51,36 @@ void TraceRecorder::on_silence(Round round, graph::Vertex u, bool collision) {
   push(e);
 }
 
+void TraceRecorder::on_round_begin(Round round) {
+  Event e;
+  e.round = round;
+  e.kind = EventKind::round_begin;
+  push(e);
+}
+
+void TraceRecorder::on_round_end(Round round) {
+  Event e;
+  e.round = round;
+  e.kind = EventKind::round_end;
+  push(e);
+}
+
+void TraceRecorder::on_crash(Round round, graph::Vertex v) {
+  Event e;
+  e.round = round;
+  e.kind = EventKind::crash;
+  e.vertex = v;
+  push(e);
+}
+
+void TraceRecorder::on_recover(Round round, graph::Vertex v) {
+  Event e;
+  e.round = round;
+  e.kind = EventKind::recover;
+  e.vertex = v;
+  push(e);
+}
+
 void TraceRecorder::clear() {
   events_.clear();
   dropped_ = 0;
@@ -70,6 +100,18 @@ std::string TraceRecorder::describe(const Event& event) {
       break;
     case EventKind::collision:
       os << "v" << event.vertex << " collision";
+      break;
+    case EventKind::round_begin:
+      os << "round begin";
+      break;
+    case EventKind::round_end:
+      os << "round end";
+      break;
+    case EventKind::crash:
+      os << "v" << event.vertex << " crash";
+      break;
+    case EventKind::recover:
+      os << "v" << event.vertex << " recover";
       break;
   }
   return os.str();

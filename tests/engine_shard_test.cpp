@@ -23,6 +23,7 @@
 #include "fault/spec.h"
 #include "graph/generators.h"
 #include "lb/simulation.h"
+#include "obs/registry.h"
 #include "phys/sinr.h"
 #include "sim/engine.h"
 #include "sim/scheduler.h"
@@ -336,6 +337,71 @@ TEST(EngineShardDifferential, LbStackUnderFaultPlan) {
       ASSERT_EQ(serial.first[i], sharded.first[i])
           << threads << " threads, event " << i;
     }
+  }
+}
+
+// ---- obs telemetry: the logical domain is part of the contract ----
+
+TEST(EngineShardDifferential, LogicalMetricsByteIdentical) {
+  // The obs::Registry logical dump (counters, gauges, histograms minus the
+  // timing domain) must be byte-for-byte equal at every thread count: the
+  // engine records logical metrics only at serial seams.  Timing metrics
+  // exist in every run but are excluded by json(false) by construction.
+  const auto g = graph::grid(16, 16, 1.0, 1.5);
+  const auto run = [&](std::size_t threads) {
+    BernoulliScheduler sched(0.5);
+    Engine engine(g, sched, shard_coins(g.size(), 0xAB5eedULL), 0xAB);
+    engine.set_round_threads(threads);
+    obs::Registry registry;
+    engine.set_telemetry(&registry);
+    engine.run_rounds(48);
+    return registry.json(/*include_timing=*/false);
+  };
+  const std::string serial = run(1);
+  EXPECT_NE(serial.find("engine.rounds"), std::string::npos);
+  EXPECT_NE(serial.find("engine.tx_per_round"), std::string::npos);
+  for (std::size_t threads : kThreadCounts) {
+    if (threads == 1) continue;
+    ASSERT_EQ(serial, run(threads)) << threads << " threads";
+  }
+}
+
+TEST(EngineShardDifferential, LogicalMetricsByteIdenticalUnderFaultPlan) {
+  // The full stack's logical telemetry -- engine counters, fault
+  // crash/recover counters, traffic ledger sums, checker tallies exported
+  // by LbSimulation::export_telemetry -- under a crash/recover schedule.
+  const auto g = graph::grid(10, 10, 1.0, 1.5);
+  lb::LbScales scales;
+  scales.ack_scale = 0.02;
+  const auto params =
+      lb::LbParams::calibrated(0.1, 1.5, g.delta(), g.delta_prime(), scales);
+  traffic::TrafficSpec tspec;
+  ASSERT_EQ(traffic::parse_traffic_spec("poisson:0.05", tspec), "");
+  fault::FaultSpec fspec;
+  ASSERT_EQ(fault::parse_fault_spec("poisson:0.1:96", fspec), "");
+
+  const auto run = [&](std::size_t threads) {
+    lb::LbSimulation sim(g, std::make_unique<BernoulliScheduler>(0.5), params,
+                         /*master_seed=*/2029);
+    sim.set_round_threads(threads);
+    sim.add_traffic(traffic::build_source(tspec, g.size(),
+                                          derive_seed(2029, 0x7fcULL)));
+    const auto plan = fault::build_fault_plan(fspec);
+    sim.set_fault_plan(plan.get());
+    obs::Registry registry;
+    sim.set_telemetry(&registry);
+    sim.run_phases(3);
+    sim.export_telemetry();
+    return registry.json(/*include_timing=*/false);
+  };
+
+  const std::string serial = run(1);
+  EXPECT_NE(serial.find("engine.faults.crashes"), std::string::npos);
+  EXPECT_NE(serial.find("traffic.acked"), std::string::npos);
+  EXPECT_NE(serial.find("lb.fault.crashes"), std::string::npos);
+  for (std::size_t threads : kThreadCounts) {
+    if (threads == 1) continue;
+    ASSERT_EQ(serial, run(threads)) << threads << " threads";
   }
 }
 

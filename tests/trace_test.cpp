@@ -3,6 +3,7 @@
 
 #include <sstream>
 
+#include "fault/plan.h"
 #include "sim/engine.h"
 #include "sim/scheduler.h"
 #include "sim/trace.h"
@@ -67,6 +68,80 @@ TEST(TraceRecorder, RingBufferDropsOldest) {
   EXPECT_EQ(trace.events().size(), 3u);
   EXPECT_EQ(trace.dropped(), 2u);
   EXPECT_EQ(trace.events().front().round, 3);
+}
+
+TEST(TraceRecorder, RoundMarkersAreOptInAndBracketTheRound) {
+  const auto g = reliable_path(2);
+  const auto ids = assign_ids(2, 1);
+  ConstantScheduler sched(false);
+  std::vector<std::unique_ptr<Process>> procs;
+  procs.push_back(std::make_unique<ScriptProcess>(
+      ids[0], std::map<Round, std::uint64_t>{{1, 42}}));
+  procs.push_back(std::make_unique<ScriptProcess>(
+      ids[1], std::map<Round, std::uint64_t>{}));
+  Engine engine(g, sched, std::move(procs), 7);
+  TraceRecorder trace;
+  trace.enable_round_markers(true);  // before add_observer: interest is
+                                     // sampled at registration
+  engine.add_observer(&trace);
+  engine.run_round();
+  ASSERT_EQ(trace.events().size(), 4u);
+  EXPECT_EQ(trace.events().front().kind, TraceRecorder::EventKind::round_begin);
+  EXPECT_EQ(trace.events()[1].kind, TraceRecorder::EventKind::transmit);
+  EXPECT_EQ(trace.events()[2].kind, TraceRecorder::EventKind::receive);
+  EXPECT_EQ(trace.events().back().kind, TraceRecorder::EventKind::round_end);
+  EXPECT_EQ(TraceRecorder::describe(trace.events().front()),
+            "round 1: round begin");
+  EXPECT_EQ(TraceRecorder::describe(trace.events().back()),
+            "round 1: round end");
+}
+
+TEST(TraceRecorder, RoundMarkersDefaultOff) {
+  const auto g = reliable_path(2);
+  const auto ids = assign_ids(2, 1);
+  ConstantScheduler sched(false);
+  std::vector<std::unique_ptr<Process>> procs;
+  procs.push_back(std::make_unique<ScriptProcess>(
+      ids[0], std::map<Round, std::uint64_t>{{1, 42}}));
+  procs.push_back(std::make_unique<ScriptProcess>(
+      ids[1], std::map<Round, std::uint64_t>{}));
+  Engine engine(g, sched, std::move(procs), 7);
+  TraceRecorder trace;  // default interest: wire events only
+  engine.add_observer(&trace);
+  engine.run_round();
+  for (const auto& e : trace.events()) {
+    EXPECT_NE(e.kind, TraceRecorder::EventKind::round_begin);
+    EXPECT_NE(e.kind, TraceRecorder::EventKind::round_end);
+  }
+}
+
+TEST(TraceRecorder, FaultEventsFlowThroughTheEngineSeam) {
+  const auto g = reliable_path(2);
+  const auto ids = assign_ids(2, 1);
+  ConstantScheduler sched(false);
+  std::vector<std::unique_ptr<Process>> procs;
+  procs.push_back(std::make_unique<ScriptProcess>(
+      ids[0], std::map<Round, std::uint64_t>{}));
+  procs.push_back(std::make_unique<ScriptProcess>(
+      ids[1], std::map<Round, std::uint64_t>{}));
+  Engine engine(g, sched, std::move(procs), 7);
+  fault::ScriptFaultPlan plan({{1, 1, fault::FaultKind::kCrash},
+                               {2, 1, fault::FaultKind::kRecover}});
+  engine.set_fault_plan(&plan);
+  TraceRecorder trace;
+  trace.enable_fault_events(true);
+  engine.add_observer(&trace);
+  engine.run_rounds(2);
+  std::vector<std::string> described;
+  for (const auto& e : trace.events()) {
+    if (e.kind == TraceRecorder::EventKind::crash ||
+        e.kind == TraceRecorder::EventKind::recover) {
+      described.push_back(TraceRecorder::describe(e));
+    }
+  }
+  ASSERT_EQ(described.size(), 2u);
+  EXPECT_EQ(described[0], "round 1: v1 crash");
+  EXPECT_EQ(described[1], "round 2: v1 recover");
 }
 
 TEST(TraceRecorder, DescribeFormats) {

@@ -32,6 +32,14 @@ exits 1.  Timing never enters this comparison (counters files carry
 none), so the gate is immune to CI noise.  --allow-new downgrades
 current-only variants to warnings: when a campaign grows, the pre-existing
 variants still gate exactly while the additions await a golden refresh.
+
+The same mode also accepts obs telemetry dumps -- "dg-metrics-v1"
+(dglab --metrics-out / METRICS_<variant>.json) and
+"dg-campaign-metrics-v1" (METRICS_<campaign>.json) -- dispatched on the
+file's "format" key.  Only the LOGICAL domain is compared (counters,
+gauges, histogram buckets); any "timing" section is ignored, since it is
+wall clock by definition.  --allow-new applies the same way: current-only
+variants and current-only metric names warn instead of failing.
 """
 import argparse
 import json
@@ -190,6 +198,98 @@ def diff_counters(baseline_path, current_path, allow_new=False):
     return mismatches
 
 
+def diff_logical_domain(prefix, base, cur, report, allow_new):
+    """Exact comparison of one dg-metrics-v1 "logical" object (counters,
+    gauges, histograms).  New metric names in current warn under
+    allow_new; everything else mismatches."""
+    base = base or {}
+    cur = cur or {}
+    for group in ("counters", "gauges", "histograms"):
+        b_group = base.get(group, {})
+        c_group = cur.get(group, {})
+        for name in sorted(b_group.keys() - c_group.keys()):
+            report(f"{prefix}.{group}[{name}]", "present", "MISSING")
+        for name in sorted(c_group.keys() - b_group.keys()):
+            if allow_new:
+                print(f"  warning: {prefix}.{group}[{name}] is new "
+                      "(no golden entry; --allow-new accepted it)")
+            else:
+                report(f"{prefix}.{group}[{name}]", "MISSING", "present")
+        for name in sorted(b_group.keys() & c_group.keys()):
+            b, c = b_group[name], c_group[name]
+            if group != "histograms":
+                if b != c:
+                    report(f"{prefix}.{group}[{name}]", b, c)
+                continue
+            for key in ("bounds", "buckets", "count", "sum"):
+                if b.get(key) != c.get(key):
+                    report(f"{prefix}.{group}[{name}].{key}",
+                           b.get(key), c.get(key))
+
+
+def diff_metrics_files(baseline_path, current_path, allow_new=False):
+    """Gating comparison of two obs metrics dumps (dg-metrics-v1 or
+    dg-campaign-metrics-v1).  Returns the mismatch count; only the logical
+    domain participates."""
+    base = load(baseline_path)
+    cur = load(current_path)
+    if base is None or cur is None:
+        print("metrics diff: unreadable input", file=sys.stderr)
+        return 1
+    mismatches = 0
+
+    def report(path, b, c):
+        nonlocal mismatches
+        mismatches += 1
+        print(f"  METRIC MISMATCH {path}: {b!r} -> {c!r}")
+
+    if base.get("format") != cur.get("format"):
+        report("format", base.get("format"), cur.get("format"))
+    elif base.get("format") == "dg-metrics-v1":
+        diff_logical_domain("logical", base.get("logical"),
+                            cur.get("logical"), report, allow_new)
+    else:  # dg-campaign-metrics-v1
+        if base.get("campaign") != cur.get("campaign"):
+            report("campaign", base.get("campaign"), cur.get("campaign"))
+        base_variants = variants_by_name(base)
+        cur_variants = variants_by_name(cur)
+        for name in sorted(base_variants.keys() - cur_variants.keys()):
+            report(f"variants[{name}]", "present", "MISSING")
+        for name in sorted(cur_variants.keys() - base_variants.keys()):
+            if allow_new:
+                print(f"  warning: variants[{name}] is new (no golden "
+                      "entry; --allow-new accepted it)")
+            else:
+                report(f"variants[{name}]", "MISSING", "present")
+        for name in sorted(base_variants.keys() & cur_variants.keys()):
+            diff_logical_domain(
+                f"variants[{name}].logical",
+                base_variants[name].get("metrics", {}).get("logical"),
+                cur_variants[name].get("metrics", {}).get("logical"),
+                report, allow_new)
+        diff_logical_domain(
+            "campaign_metrics.logical",
+            base.get("campaign_metrics", {}).get("logical"),
+            cur.get("campaign_metrics", {}).get("logical"),
+            report, allow_new)
+
+    print(f"metrics diff: {baseline_path} -> {current_path}: "
+          f"{'OK' if mismatches == 0 else f'{mismatches} mismatch(es)'}")
+    return mismatches
+
+
+METRICS_FORMATS = ("dg-metrics-v1", "dg-campaign-metrics-v1")
+
+
+def diff_gating(baseline_path, current_path, allow_new=False):
+    """--counters-only dispatcher: routes on the files' "format" key so
+    counters files and obs metrics dumps share one gating flag."""
+    cur = load(current_path)
+    if cur is not None and cur.get("format") in METRICS_FORMATS:
+        return diff_metrics_files(baseline_path, current_path, allow_new)
+    return diff_counters(baseline_path, current_path, allow_new)
+
+
 def main():
     parser = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -219,11 +319,12 @@ def main():
         for path in (args.baseline, args.current):
             if not os.path.isfile(path):
                 print(f"counter diff: {path} is not a file "
-                      "(--counters-only takes two COUNTERS_*.json files)",
+                      "(--counters-only takes two COUNTERS_*.json or "
+                      "METRICS_*.json files)",
                       file=sys.stderr)
                 return 2
-        return 1 if diff_counters(args.baseline, args.current,
-                                  args.allow_new) else 0
+        return 1 if diff_gating(args.baseline, args.current,
+                                args.allow_new) else 0
 
     def bench_names(d):
         return {f[len("BENCH_"):-len(".json")]

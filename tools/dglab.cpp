@@ -29,9 +29,24 @@
 //           DG_ROUND_THREADS default.  Results are byte-identical at every
 //           value -- the flag moves wall clock, never outcomes)
 //   --reuse=1 (phases per seed)  --ablate (private coins)  --trace=N
+// Telemetry flags (run only):
+//   --metrics-out=FILE  write the obs::Registry dump (dg-metrics-v1 JSON;
+//           the "logical" domain is byte-identical at every
+//           --round-threads value, "timing" is wall clock)
+//   --trace-out=FILE    write a Chrome trace-event JSON (open in Perfetto
+//           or chrome://tracing): per-round engine phase slices, message
+//           lifecycle spans (enqueue->admit->first-recv->ack/abort),
+//           crash/recover instants, and the TraceRecorder tail
+//   --trace-rounds=LO:HI  clamp trace events to a round window
+//   --trace-vertices=v1,v2,...  keep only these vertices' message spans
+//           and fault instants (engine phase slices always pass)
+//
+// --topology=family:args is a compact alias for the topology flags:
+//   grid:32x32 | geometric:256 | clique:16 | star:16 | line:16
 //
 // Unknown --flags are rejected (a typo like --schd= must not silently run
-// the default configuration).
+// the default configuration).  When the first argument is a --flag the
+// `run` subcommand is implied: `dglab --topology=grid:8x8 --phases=10`.
 //
 // Example:
 //   dglab run --type=geometric --n=48 --sched=bernoulli:0.5 --phases=40
@@ -45,9 +60,13 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+
 #include "fault/spec.h"
 #include "graph/generators.h"
 #include "lb/simulation.h"
+#include "obs/registry.h"
+#include "obs/trace_sink.h"
 #include "phys/channel_spec.h"
 #include "phys/sinr.h"
 #include "scn/scenario.h"
@@ -69,9 +88,11 @@ using namespace dg;
 /// Every flag any subcommand understands; parsing rejects the rest.
 constexpr const char* kValidFlags[] = {
     "type", "n", "side", "r", "cols", "rows", "spacing", "k",   // topology
+    "topology",                                                 // alias
     "eps", "seed", "phases", "senders", "ack-scale",            // run
     "sched", "channel", "reuse", "ablate", "trace", "deltas",   // run/sweep
     "traffic", "traffic-cap", "round-threads", "faults",        // environment
+    "metrics-out", "trace-out", "trace-rounds", "trace-vertices",  // obs
 };
 
 class Flags {
@@ -154,7 +175,68 @@ std::size_t round_threads_flag(const Flags& flags) {
 
 // ---- builders ----
 
+/// Strict non-negative integer parse for compound specs (strtoull would
+/// silently wrap "-1" and accept trailing junk).
+bool parse_uint(const std::string& s, std::uint64_t& out) {
+  if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  out = std::strtoull(s.c_str(), nullptr, 10);
+  return true;
+}
+
+/// Expands the --topology=family:args alias (grid:32x32, geometric:256,
+/// clique:16, star:16, line:16) directly into a network.  Geometry knobs
+/// (--side, --spacing, --r) still apply; the alias only fixes the family
+/// and its size.
+graph::DualGraph build_network_alias(const Flags& flags, Rng& rng) {
+  const std::string spec = flags.str("topology", "");
+  const auto colon = spec.find(':');
+  const std::string fam = spec.substr(0, colon);
+  const std::string args =
+      colon == std::string::npos ? "" : spec.substr(colon + 1);
+  const double r = flags.num("r", 1.5);
+  const auto bad = [&]() -> graph::DualGraph {
+    std::cerr << "dglab: --topology: malformed spec '" << spec
+              << "' (valid: grid:COLSxROWS, geometric:N, clique:K, "
+                 "star:K, line:K)\n";
+    std::exit(2);
+  };
+  if (fam == "grid") {
+    const auto x = args.find('x');
+    std::uint64_t cols = 0, rows = 0;
+    if (x == std::string::npos || !parse_uint(args.substr(0, x), cols) ||
+        !parse_uint(args.substr(x + 1), rows) || cols == 0 || rows == 0) {
+      return bad();
+    }
+    return graph::grid(static_cast<std::size_t>(cols),
+                       static_cast<std::size_t>(rows),
+                       flags.num("spacing", 1.0), r);
+  }
+  std::uint64_t k = 0;
+  if (!parse_uint(args, k) || k == 0) return bad();
+  if (fam == "geometric") {
+    graph::GeometricSpec gspec;
+    gspec.n = static_cast<std::size_t>(k);
+    gspec.side = flags.num("side", 4.0);
+    gspec.r = r;
+    return graph::random_geometric(gspec, rng);
+  }
+  if (fam == "clique") return graph::clique_cluster(k);
+  if (fam == "star") return graph::star_ring(k, r);
+  if (fam == "line") return graph::line(k, flags.num("spacing", 1.0), r);
+  return bad();
+}
+
 graph::DualGraph build_network(const Flags& flags, Rng& rng) {
+  if (flags.flag("topology")) {
+    if (flags.flag("type")) {
+      std::cerr << "dglab: --topology and --type are mutually exclusive "
+                   "(the alias already names the family)\n";
+      std::exit(2);
+    }
+    return build_network_alias(flags, rng);
+  }
   const std::string type = flags.str("type", "geometric");
   const double r = flags.num("r", 1.5);
   const auto k = static_cast<std::size_t>(flags.uint("k", 16));
@@ -214,6 +296,44 @@ std::unique_ptr<phys::ChannelModel> build_channel(const Flags& flags,
     std::exit(2);
   }
   return std::make_unique<phys::SinrChannel>(spec.sinr);
+}
+
+/// Parses --trace-rounds=LO:HI / --trace-vertices=v1,v2,... into a sink
+/// filter, exiting with a message on malformed values.
+obs::TraceSink::Filter trace_filter_flags(const Flags& flags) {
+  obs::TraceSink::Filter f;
+  if (flags.flag("trace-rounds")) {
+    const std::string s = flags.str("trace-rounds", "");
+    const auto colon = s.find(':');
+    std::uint64_t lo = 0, hi = 0;
+    if (colon == std::string::npos || !parse_uint(s.substr(0, colon), lo) ||
+        !parse_uint(s.substr(colon + 1), hi) || lo > hi) {
+      std::cerr << "dglab: --trace-rounds needs LO:HI with LO <= HI; got '"
+                << s << "'\n";
+      std::exit(2);
+    }
+    f.round_lo = static_cast<std::int64_t>(lo);
+    f.round_hi = static_cast<std::int64_t>(hi);
+  }
+  if (flags.flag("trace-vertices")) {
+    for (const std::string& v : split(flags.str("trace-vertices", ""), ',')) {
+      std::uint64_t parsed = 0;
+      if (!parse_uint(v, parsed)) {
+        std::cerr << "dglab: --trace-vertices needs a comma-separated "
+                     "vertex list; got '" << v << "'\n";
+        std::exit(2);
+      }
+      f.vertices.push_back(static_cast<std::uint32_t>(parsed));
+    }
+  }
+  return f;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << content;
+  return static_cast<bool>(os);
 }
 
 /// Builds the LB simulation with --channel deciding reception: an explicit
@@ -341,9 +461,31 @@ int cmd_run(const Flags& flags) {
   auto sim_ptr = make_simulation(flags, g, params, master);
   lb::LbSimulation& sim = *sim_ptr;
   std::cout << "channel: " << sim.engine().channel().name() << "\n";
+
+  const bool want_metrics = flags.flag("metrics-out");
+  const bool want_trace = flags.flag("trace-out");
+  if (!want_trace &&
+      (flags.flag("trace-rounds") || flags.flag("trace-vertices"))) {
+    std::cerr << "dglab: --trace-rounds/--trace-vertices need --trace-out=\n";
+    std::exit(2);
+  }
+  obs::Registry registry;  // backs --trace-out's profiler even without
+                           // --metrics-out; only written when asked for
+  std::unique_ptr<obs::TraceSink> sink;
+  if (want_trace) {
+    sink = std::make_unique<obs::TraceSink>(trace_filter_flags(flags));
+  }
+
   sim::TraceRecorder trace(static_cast<std::size_t>(
       std::max<std::uint64_t>(1, flags.uint("trace", 16))));
+  if (want_trace) {
+    // Richer recorder tail for the exported track (set before
+    // registration: observer interest is sampled at add_observer).
+    trace.enable_round_markers(true);
+    trace.enable_fault_events(true);
+  }
   sim.add_observer(&trace);
+  if (want_metrics || want_trace) sim.set_telemetry(&registry, sink.get());
 
   const std::string traffic_str = flags.str("traffic", "");
   // Flag combinations that would otherwise be silently ignored are
@@ -420,6 +562,7 @@ int cmd_run(const Flags& flags) {
               << " plan)\n";
   }
   sim.run_phases(static_cast<std::int64_t>(flags.uint("phases", 30)));
+  if (want_metrics || want_trace) sim.export_telemetry();
 
   const auto& r = sim.report();
   std::cout << "\nafter " << sim.round() << " rounds:\n"
@@ -474,6 +617,25 @@ int cmd_run(const Flags& flags) {
     std::cout << "\ntrace tail:\n";
     trace.print(std::cout);
   }
+  if (want_metrics) {
+    const std::string path = flags.str("metrics-out", "");
+    if (!write_file(path, registry.json())) {
+      std::cerr << "dglab: --metrics-out: cannot write '" << path << "'\n";
+      return 2;
+    }
+    std::cout << "metrics: " << registry.size() << " series -> " << path
+              << "\n";
+  }
+  if (want_trace) {
+    obs::export_recorder(trace, *sink);
+    const std::string path = flags.str("trace-out", "");
+    if (!write_file(path, sink->json())) {
+      std::cerr << "dglab: --trace-out: cannot write '" << path << "'\n";
+      return 2;
+    }
+    std::cout << "trace: " << sink->event_count() << " events -> " << path
+              << "\n";
+  }
   return r.timely_ack_ok && r.validity_ok ? 0 : 1;
 }
 
@@ -516,6 +678,12 @@ int cmd_sweep(const Flags& flags) {
 
 void usage() {
   std::cout << "usage: dglab <net|seed|run|sweep> [--flags]\n"
+               "       dglab --flags...   (implies 'run')\n"
+               "  --topology=grid:32x32 | geometric:256 | clique:16 | "
+               "star:16 | line:16\n"
+               "  --metrics-out=FILE --trace-out=FILE  telemetry dumps "
+               "(trace-event JSON loads in Perfetto)\n"
+               "  --trace-rounds=LO:HI --trace-vertices=v1,v2  trace filters\n"
                "  --channel=dual | sinr:alpha,beta,noise  reception physics\n"
                "  --traffic=saturate[:count] | poisson:rate | "
                "burst:period:size[:count] | hotspot:rate:bias[:hot]\n"
@@ -533,8 +701,15 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
-  const std::string cmd = argv[1];
-  const Flags flags(argc, argv, 2);
+  // A leading --flag implies `run`, so the flag-only invocation
+  // `dglab --topology=grid:32x32 --metrics-out=m.json` works as-is.
+  std::string cmd = argv[1];
+  int first = 2;
+  if (cmd.rfind("--", 0) == 0) {
+    cmd = "run";
+    first = 1;
+  }
+  const Flags flags(argc, argv, first);
   if (!flags.unknown().empty()) {
     for (const std::string& arg : flags.unknown()) {
       std::cerr << "dglab: unknown flag '" << arg << "'\n";
@@ -552,6 +727,14 @@ int main(int argc, char** argv) {
        flags.flag("faults"))) {
     std::cerr << "dglab: --traffic/--traffic-cap/--faults only apply to "
                  "the 'run' subcommand\n";
+    return 2;
+  }
+  if (cmd != "run" &&
+      (flags.flag("metrics-out") || flags.flag("trace-out") ||
+       flags.flag("trace-rounds") || flags.flag("trace-vertices"))) {
+    std::cerr << "dglab: the telemetry flags (--metrics-out/--trace-out/"
+                 "--trace-rounds/--trace-vertices) only apply to the 'run' "
+                 "subcommand\n";
     return 2;
   }
   if (cmd == "net") return cmd_net(flags);
