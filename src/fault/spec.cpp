@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "scn/spec_error.h"
 #include "util/assert.h"
 #include "util/specparse.h"
 
@@ -114,7 +115,7 @@ std::string parse_fault_spec(const std::string& spec, FaultSpec& out) {
     out.repair = static_cast<std::int64_t>(c);
     return "";
   }
-  return "unknown fault '" + kind + "' (valid: " + valid_fault_specs() + ")";
+  return scn::unknown_spec("fault", kind, valid_fault_specs());
 }
 
 std::unique_ptr<FaultPlan> build_fault_plan(const FaultSpec& spec) {

@@ -29,11 +29,9 @@ sim::Round progress_latency(const graph::DualGraph& g,
                             const std::vector<graph::Vertex>& senders,
                             graph::Vertex receiver,
                             std::int64_t horizon_phases, std::uint64_t seed,
-                            std::size_t round_threads,
-                            obs::Registry* registry, obs::TraceSink* trace) {
+                            const sim::EngineConfig& config) {
   LbSimulation sim(g, std::move(scheduler), params, seed);
-  if (round_threads != 0) sim.set_round_threads(round_threads);
-  sim.set_telemetry(registry, trace);
+  sim.configure(config);
   const sim::Round latency =
       progress_of(sim, senders, receiver, horizon_phases);
   sim.export_telemetry();
@@ -46,11 +44,9 @@ sim::Round progress_latency(const graph::DualGraph& g,
                             const std::vector<graph::Vertex>& senders,
                             graph::Vertex receiver,
                             std::int64_t horizon_phases, std::uint64_t seed,
-                            std::size_t round_threads,
-                            obs::Registry* registry, obs::TraceSink* trace) {
+                            const sim::EngineConfig& config) {
   LbSimulation sim(g, std::move(channel), params, seed);
-  if (round_threads != 0) sim.set_round_threads(round_threads);
-  sim.set_telemetry(registry, trace);
+  sim.configure(config);
   const sim::Round latency =
       progress_of(sim, senders, receiver, horizon_phases);
   sim.export_telemetry();

@@ -13,27 +13,25 @@
 #include "graph/dual_graph.h"
 #include "lb/params.h"
 #include "lb/simulation.h"
+#include "sim/engine_config.h"
 #include "sim/scheduler.h"
 
 namespace dg::lb {
 
 /// Measures LBAlg progress latency: rounds until the designated receiver's
 /// first data reception, with `senders` kept saturated.  Returns 0 when the
-/// receiver never received within `horizon_phases`.  `round_threads` caps
-/// the engine's sharded-round thread budget (0 = keep the constructed
-/// simulation's default, i.e. the DG_ROUND_THREADS environment knob);
-/// results are byte-identical for every value.  `registry`/`trace`
-/// (optional) install obs telemetry on the internally constructed
-/// simulation and export its wrapper aggregates after the run.
+/// receiver never received within `horizon_phases`.  `config` is applied
+/// to the internally constructed simulation through
+/// LbSimulation::configure (thread cap, telemetry, spliced stages; results
+/// are byte-identical at every thread cap); when it carries telemetry, the
+/// wrapper aggregates are exported after the run.
 sim::Round progress_latency(const graph::DualGraph& g,
                             std::unique_ptr<sim::LinkScheduler> scheduler,
                             const LbParams& params,
                             const std::vector<graph::Vertex>& senders,
                             graph::Vertex receiver,
                             std::int64_t horizon_phases, std::uint64_t seed,
-                            std::size_t round_threads = 0,
-                            obs::Registry* registry = nullptr,
-                            obs::TraceSink* trace = nullptr);
+                            const sim::EngineConfig& config = {});
 
 /// Same measurement, but reception decided by an explicit channel model
 /// (e.g. phys::SinrChannel ground truth) instead of the scheduler.
@@ -43,9 +41,7 @@ sim::Round progress_latency(const graph::DualGraph& g,
                             const std::vector<graph::Vertex>& senders,
                             graph::Vertex receiver,
                             std::int64_t horizon_phases, std::uint64_t seed,
-                            std::size_t round_threads = 0,
-                            obs::Registry* registry = nullptr,
-                            obs::TraceSink* trace = nullptr);
+                            const sim::EngineConfig& config = {});
 
 /// Flood-shape statistics of one saturated-sender LBAlg execution (the E14
 /// abstraction-fidelity metrics): mean first-data-reception round over all

@@ -229,6 +229,24 @@ void LbSimulation::set_round_threads(std::size_t threads) {
   engine_->set_round_threads(threads);
 }
 
+void LbSimulation::configure(const sim::EngineConfig& config) {
+  if (config.round_threads != 0) set_round_threads(config.round_threads);
+  if (config.has_fault_plan) {
+    // The wrapper owns the listener side (its FaultBridge routes engine
+    // fault events through the abort/checker/traffic accounting); a
+    // caller-supplied listener would silently bypass all of that.
+    DG_EXPECTS(config.fault_listener == nullptr);
+    set_fault_plan(config.fault_plan);
+  }
+  for (const sim::SpliceSpec& spec : config.splices) {
+    const std::string err = engine_->splice_stage(spec);
+    DG_EXPECTS(err.empty());
+  }
+  if (config.has_telemetry) {
+    set_telemetry(config.registry, config.trace_sink);
+  }
+}
+
 LbSimulation::~LbSimulation() = default;
 
 LbProcess& LbSimulation::process(graph::Vertex v) {

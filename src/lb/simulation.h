@@ -115,6 +115,15 @@ class LbSimulation {
   /// (the DG_ROUND_THREADS environment knob).
   void set_round_threads(std::size_t threads);
 
+  /// Applies a sim::EngineConfig through the wrapper-aware paths: the
+  /// thread cap goes through set_round_threads (fan-out mode + hooks), a
+  /// fault plan through set_fault_plan (the wrapper supplies its own
+  /// FaultBridge listener -- the config must not carry one), splices
+  /// through sim::Engine::splice_stage, and telemetry through
+  /// set_telemetry.  Each piece applies only if set, so a default
+  /// EngineConfig is a no-op.
+  void configure(const sim::EngineConfig& config);
+
   // ---- access ----
 
   sim::Round round() const noexcept { return engine_->round(); }

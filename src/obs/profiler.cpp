@@ -1,17 +1,13 @@
 #include "obs/profiler.h"
 
-#include <numeric>
+#include <algorithm>
 #include <string>
+
+#include "util/assert.h"
 
 namespace dg::obs {
 
-PhaseProfiler::PhaseProfiler(Registry& registry) {
-  for (std::size_t p = 0; p < kPhaseCount; ++p) {
-    phase_ns_[p] = &registry.counter(
-        std::string("engine.phase.") + phase_name(static_cast<Phase>(p)) +
-            ".ns",
-        Domain::kTiming);
-  }
+PhaseProfiler::PhaseProfiler(Registry& registry) : registry_(&registry) {
   round_ns_ = &registry.counter("engine.round.ns", Domain::kTiming);
   parallel_ns_ = &registry.counter("engine.pool.parallel.ns",
                                    Domain::kTiming);
@@ -21,24 +17,35 @@ PhaseProfiler::PhaseProfiler(Registry& registry) {
        50000, 100000});
 }
 
+std::size_t PhaseProfiler::register_stage(const std::string& name) {
+  const std::size_t slot = names_.size();
+  names_.push_back(name);
+  phase_ns_.push_back(&registry_->counter("engine.phase." + name + ".ns",
+                                          Domain::kTiming));
+  current_.push_back(0);
+  last_.push_back(0);
+  return slot;
+}
+
 void PhaseProfiler::begin_round(std::int64_t round) {
   round_ = round;
-  current_.fill(0);
+  std::fill(current_.begin(), current_.end(), std::uint64_t{0});
   current_parallel_ns_ = 0;
   round_start_ = Clock::now();
 }
 
-void PhaseProfiler::phase_begin(Phase phase) {
-  (void)phase;
+void PhaseProfiler::phase_begin(std::size_t slot) {
+  DG_ASSERT(slot < current_.size());
+  (void)slot;
   phase_start_ = Clock::now();
 }
 
-void PhaseProfiler::phase_end(Phase phase) {
+void PhaseProfiler::phase_end(std::size_t slot) {
+  DG_ASSERT(slot < current_.size());
   const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                       Clock::now() - phase_start_)
                       .count();
-  current_[static_cast<std::size_t>(phase)] +=
-      static_cast<std::uint64_t>(ns);
+  current_[slot] += static_cast<std::uint64_t>(ns);
 }
 
 void PhaseProfiler::add_parallel_ns(std::uint64_t ns) {
@@ -51,14 +58,14 @@ void PhaseProfiler::end_round(TraceSink* sink) {
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               Clock::now() - round_start_)
               .count());
-  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+  for (std::size_t p = 0; p < current_.size(); ++p) {
     *phase_ns_[p] += current_[p];
   }
   *round_ns_ += round_ns;
   *parallel_ns_ += current_parallel_ns_;
   round_us_->record(static_cast<double>(round_ns) / 1000.0);
   last_ = current_;
-  if (sink != nullptr) sink->round_phases(round_, current_);
+  if (sink != nullptr) sink->round_phases(round_, names_, current_);
 }
 
 }  // namespace dg::obs

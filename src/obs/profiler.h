@@ -1,16 +1,19 @@
-// obs::PhaseProfiler -- per-round wall-clock phase timing for the engine.
+// obs::PhaseProfiler -- per-round wall-clock stage timing for the engine.
 //
-// The engine owns one profiler per installed telemetry registry and brackets
-// each phase of run_round() with ScopedPhase guards; end_round() folds the
-// measured nanoseconds into TIMING-domain registry counters/histograms and
-// emits one round slice (with nested phase slices) into the trace sink.
-// Everything here is wall clock, so nothing it writes lands in the logical
-// (CI-gated) domain.
+// The engine owns one profiler per installed telemetry registry and
+// registers one timing slot per pipeline stage (register_stage), in
+// pipeline order, so spliced stages get per-stage timers automatically;
+// run_pipeline brackets each stage with ScopedPhase guards on its slot.
+// end_round() folds the measured nanoseconds into TIMING-domain registry
+// counters/histograms and emits one round slice (with nested stage
+// slices) into the trace sink.  Everything here is wall clock, so nothing
+// it writes lands in the logical (CI-gated) domain.
 #pragma once
 
-#include <array>
 #include <chrono>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "obs/registry.h"
 #include "obs/trace_sink.h"
@@ -19,31 +22,43 @@ namespace dg::obs {
 
 class PhaseProfiler {
  public:
-  /// Registers the timing metrics in `registry` (which must outlive the
-  /// profiler): engine.phase.<name>.ns counters, the engine.round.us
-  /// histogram, and the engine.pool.parallel.ns utilization counter.
+  /// Registers the stage-independent timing metrics in `registry` (which
+  /// must outlive the profiler): the engine.round.us histogram and the
+  /// engine.round.ns / engine.pool.parallel.ns counters.
   explicit PhaseProfiler(Registry& registry);
 
+  /// Registers "engine.phase.<name>.ns" and returns the slot index to
+  /// bracket with.  Counter slots in the registry are keyed by name, so
+  /// re-registering after a profiler rebuild keeps accumulating into the
+  /// same counters.
+  std::size_t register_stage(const std::string& name);
+
+  std::size_t stage_count() const noexcept { return names_.size(); }
+  const std::vector<std::string>& stage_names() const noexcept {
+    return names_;
+  }
+
   void begin_round(std::int64_t round);
-  void phase_begin(Phase phase);
-  void phase_end(Phase phase);
+  void phase_begin(std::size_t slot);
+  void phase_end(std::size_t slot);
   /// Nanoseconds spent inside thread-pool dispatches this round (the
   /// utilization numerator; the round total is the denominator).
   void add_parallel_ns(std::uint64_t ns);
   /// Accumulates the round into the registry and, when `sink` is non-null,
-  /// emits the round's phase slices.
+  /// emits the round's stage slices.
   void end_round(TraceSink* sink);
 
-  /// Last finished round's per-phase nanoseconds (tests).
-  const std::array<std::uint64_t, kPhaseCount>& last_round_ns() const
-      noexcept {
+  /// Last finished round's per-slot nanoseconds (tests).
+  const std::vector<std::uint64_t>& last_round_ns() const noexcept {
     return last_;
   }
 
  private:
   using Clock = std::chrono::steady_clock;
 
-  std::array<std::uint64_t*, kPhaseCount> phase_ns_{};
+  Registry* registry_;
+  std::vector<std::string> names_;
+  std::vector<std::uint64_t*> phase_ns_;
   std::uint64_t* round_ns_ = nullptr;
   std::uint64_t* parallel_ns_ = nullptr;
   Registry::Histogram* round_us_ = nullptr;
@@ -51,28 +66,28 @@ class PhaseProfiler {
   std::int64_t round_ = 0;
   Clock::time_point round_start_{};
   Clock::time_point phase_start_{};
-  std::array<std::uint64_t, kPhaseCount> current_{};
-  std::array<std::uint64_t, kPhaseCount> last_{};
+  std::vector<std::uint64_t> current_;
+  std::vector<std::uint64_t> last_;
   std::uint64_t current_parallel_ns_ = 0;
 };
 
-/// RAII phase bracket that is a no-op on a null profiler, so the engine's
-/// round loops stay branch-light when telemetry is off.
+/// RAII stage bracket that is a no-op on a null profiler, so the engine's
+/// round loop stays branch-light when telemetry is off.
 class ScopedPhase {
  public:
-  ScopedPhase(PhaseProfiler* profiler, Phase phase)
-      : profiler_(profiler), phase_(phase) {
-    if (profiler_ != nullptr) profiler_->phase_begin(phase_);
+  ScopedPhase(PhaseProfiler* profiler, std::size_t slot)
+      : profiler_(profiler), slot_(slot) {
+    if (profiler_ != nullptr) profiler_->phase_begin(slot_);
   }
   ~ScopedPhase() {
-    if (profiler_ != nullptr) profiler_->phase_end(phase_);
+    if (profiler_ != nullptr) profiler_->phase_end(slot_);
   }
   ScopedPhase(const ScopedPhase&) = delete;
   ScopedPhase& operator=(const ScopedPhase&) = delete;
 
  private:
   PhaseProfiler* profiler_;
-  Phase phase_;
+  std::size_t slot_;
 };
 
 }  // namespace dg::obs

@@ -17,6 +17,7 @@ constexpr int kEnginePid = 1;
 constexpr int kMessagesPid = 2;
 constexpr int kFaultsPid = 3;
 constexpr int kRecorderPid = 4;
+constexpr int kStagesPid = 5;
 
 const char* pid_name(int pid) {
   switch (pid) {
@@ -24,22 +25,12 @@ const char* pid_name(int pid) {
     case kMessagesPid: return "messages";
     case kFaultsPid: return "faults";
     case kRecorderPid: return "recorder";
+    case kStagesPid: return "stages";
     default: return "track";
   }
 }
 
 }  // namespace
-
-const char* phase_name(Phase phase) {
-  switch (phase) {
-    case Phase::kTransmit: return "transmit";
-    case Phase::kPrepare: return "prepare_round";
-    case Phase::kCompute: return "compute";
-    case Phase::kReceive: return "receive";
-    case Phase::kOutput: return "output_flush";
-  }
-  return "?";
-}
 
 TraceSink::TraceSink(Filter filter) : filter_(std::move(filter)) {
   DG_EXPECTS(filter_.round_lo <= filter_.round_hi);
@@ -62,8 +53,10 @@ void TraceSink::push(Event event) {
   events_.push_back(std::move(event));
 }
 
-void TraceSink::round_phases(
-    std::int64_t round, const std::array<std::uint64_t, kPhaseCount>& ns) {
+void TraceSink::round_phases(std::int64_t round,
+                             const std::vector<std::string>& names,
+                             const std::vector<std::uint64_t>& ns) {
+  DG_EXPECTS(names.size() == ns.size());
   if (!round_in_range(round)) return;
   const std::int64_t tick = round * kRoundTickUs;
   const std::uint64_t total =
@@ -78,11 +71,11 @@ void TraceSink::round_phases(
     push(std::move(e));
   }
   if (total == 0) return;
-  // Phase slices split the tick proportionally to measured nanoseconds
-  // (floor, min 1us so sub-promille phases stay visible), clamped so the
+  // Stage slices split the tick proportionally to measured nanoseconds
+  // (floor, min 1us so sub-promille stages stay visible), clamped so the
   // children never escape the parent slice.
   std::int64_t pos = tick;
-  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+  for (std::size_t p = 0; p < ns.size(); ++p) {
     if (ns[p] == 0) continue;
     std::int64_t dur = std::max<std::int64_t>(
         1, static_cast<std::int64_t>(ns[p] * static_cast<std::uint64_t>(
@@ -90,7 +83,7 @@ void TraceSink::round_phases(
     dur = std::min(dur, tick + kRoundTickUs - pos);
     if (dur <= 0) break;
     Event e;
-    e.name = phase_name(static_cast<Phase>(p));
+    e.name = names[p];
     e.ts = pos;
     e.dur = dur;
     e.pid = kEnginePid;

@@ -10,13 +10,15 @@
 //
 // Tracks (pid/tid):
 //   pid 1 "engine"   tid 0: one "round N" slice per profiled round with
-//                           the phase slices nested inside it
+//                           the stage slices nested inside it
 //   pid 2 "messages" tid = vertex: one outer "msg <content>" slice per
 //                           traffic message with "queued"/"inflight"
 //                           children and a "first_recv" instant
 //   pid 3 "faults"   tid = vertex: "crash"/"recover" instants
 //   pid 4 "recorder" tid = vertex: sim::TraceRecorder events exported via
 //                           export_recorder()
+//   pid 5 "stages"   tid = vertex: spliced-stage instants (e.g. the
+//                           trace-tap stage's per-vertex probes)
 //
 // Filters: a round range and a vertex set, applied at record time so
 // million-node runs stay bounded.  Phase slices honor only the round
@@ -28,7 +30,6 @@
 // property tools/validate_trace.py checks in CI.
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <iosfwd>
 #include <limits>
@@ -40,18 +41,6 @@ class TraceRecorder;
 }  // namespace dg::sim
 
 namespace dg::obs {
-
-/// Engine round phases, in execution order (serial rounds never enter
-/// kPrepare: the serial channel call fuses prepare into compute).
-enum class Phase : std::size_t {
-  kTransmit = 0,
-  kPrepare = 1,
-  kCompute = 2,
-  kReceive = 3,
-  kOutput = 4,
-};
-inline constexpr std::size_t kPhaseCount = 5;
-const char* phase_name(Phase phase);
 
 class TraceSink {
  public:
@@ -70,10 +59,12 @@ class TraceSink {
 
   const Filter& filter() const noexcept { return filter_; }
 
-  /// One profiled round: per-phase wall-clock nanoseconds (0 = the phase
-  /// did not run).  Emits the round slice plus nested phase slices.
+  /// One profiled round: parallel vectors of stage names and wall-clock
+  /// nanoseconds (0 = the stage did not run this round), in pipeline
+  /// order.  Emits the round slice plus nested stage slices.
   void round_phases(std::int64_t round,
-                    const std::array<std::uint64_t, kPhaseCount>& ns);
+                    const std::vector<std::string>& names,
+                    const std::vector<std::uint64_t>& ns);
 
   /// One traffic message lifecycle (rounds are 0 where the event never
   /// happened, matching traffic::MessageRecord).  Emits the outer message

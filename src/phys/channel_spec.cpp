@@ -4,6 +4,7 @@
 #include <sstream>
 #include <vector>
 
+#include "scn/spec_error.h"
 #include "util/specparse.h"
 
 namespace dg::phys {
@@ -20,8 +21,8 @@ std::string parse_channel_spec(const std::string& spec, ChannelSpec& out) {
   if (spec == "dual" || spec == "dual_graph") return "";
   const auto colon = spec.find(':');
   if (spec.substr(0, colon) != "sinr") {
-    return "unknown channel '" + spec +
-           "' (expected dual_graph or sinr:alpha,beta,noise)";
+    return scn::unknown_spec("channel", spec,
+                             "dual_graph, sinr:alpha,beta,noise");
   }
   out.is_sinr = true;
   if (colon != std::string::npos) {

@@ -49,6 +49,9 @@ CampaignResult run_campaign(const Campaign& campaign,
     if (options.round_threads != 0) {
       vr.spec.round_threads = options.round_threads;
     }
+    if (!options.splice.empty()) {
+      vr.spec.stages.push_back(options.splice);
+    }
     vr.metrics = metric_names(vr.spec);
     if (options.progress != nullptr) {
       *options.progress << "  " << vr.spec.name << ": " << vr.spec.trials

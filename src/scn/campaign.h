@@ -40,6 +40,12 @@ struct RunOptions {
   /// variant's own spec / engine default).  Counters are byte-identical
   /// for every value -- the flag moves wall clock, never results.
   std::size_t round_threads = 0;
+  /// Extra stage spliced into every variant's round pipeline, after any
+  /// stages the variant declares itself (see sim/splice.h for the
+  /// grammar).  Empty = none.  Must be a valid spec whose write set does
+  /// not conflict with any variant's own stages -- the CLI validates
+  /// before running.
+  std::string splice;
   std::ostream* progress = nullptr;  ///< optional per-variant status lines
 };
 

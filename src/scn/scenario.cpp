@@ -10,6 +10,8 @@
 #include "baseline/decay.h"
 #include "graph/generators.h"
 #include "scn/json.h"
+#include "scn/spec_error.h"
+#include "sim/splice.h"
 #include "util/assert.h"
 #include "util/specparse.h"
 
@@ -167,7 +169,8 @@ constexpr std::initializer_list<const char*> kTopLevelKeys = {
     "campaign", "scenarios"};
 constexpr std::initializer_list<const char*> kScenarioKeys = {
     "name", "topology", "scheduler", "channel", "traffic", "faults",
-    "algorithm", "trials", "seed", "round_threads", "obs", "matrix"};
+    "algorithm", "trials", "seed", "round_threads", "obs", "stages",
+    "matrix"};
 constexpr std::initializer_list<const char*> kTopologyKeys = {
     "type", "n", "side", "r", "cols", "rows", "spacing",
     "k", "cliques", "p_grey_reliable", "p_grey_unreliable"};
@@ -519,6 +522,34 @@ bool parse_scenario(Ctx& ctx, const json::Value& v, const std::string& path,
   }
   out.trials = static_cast<std::size_t>(trials);
   if (have_seed) out.seed = static_cast<std::uint64_t>(seed);
+  if (const json::Value* st = r.get("stages")) {
+    if (!st->is_array()) {
+      return r.wrong_kind(*st, "stages", "an array of stage spec strings");
+    }
+    out.stages.clear();
+    std::vector<sim::SpliceSpec> specs;
+    for (std::size_t i = 0; i < st->items().size(); ++i) {
+      const json::Value& item = st->items()[i];
+      const std::string item_path =
+          path + ".stages[" + std::to_string(i) + "]";
+      if (!item.is_string()) {
+        return ctx.fail(item, item_path,
+                        std::string("stage spec must be a string; got ") +
+                            item.kind_name());
+      }
+      sim::SpliceSpec spec;
+      std::string err;
+      if (!sim::parse_splice_spec(item.as_string(), spec, err)) {
+        return ctx.fail(item, item_path, err);
+      }
+      specs.push_back(std::move(spec));
+      out.stages.push_back(item.as_string());
+    }
+    const std::string err = sim::validate_splice_specs(specs);
+    if (!err.empty()) {
+      return ctx.fail(*st, path + ".stages", err);
+    }
+  }
   if (!r.finish()) return false;
   return validate_semantics(ctx, v, path, out);
 }
@@ -657,9 +688,10 @@ std::string validate_scheduler_spec(const std::string& spec) {
     }
     return "";
   }
-  return "unknown scheduler '" + kind +
-         "' (valid: bernoulli:p, full-g, full-gprime, flicker:period:duty, "
-         "burst:epoch:p, anti[:log_delta[:pivot]])";
+  return unknown_spec("scheduler", kind,
+                      "bernoulli:p, full-g, full-gprime, "
+                      "flicker:period:duty, burst:epoch:p, "
+                      "anti[:log_delta[:pivot]]");
 }
 
 std::string validate_round_threads_value(const std::string& value,

@@ -143,6 +143,11 @@ struct ScenarioSpec {
   /// campaign writes as METRICS_<variant>.json.  The logical domain of
   /// that dump is byte-identical at every round_threads value.
   bool obs = false;
+  /// Extra stages spliced into the round pipeline, in order (see
+  /// sim/splice.h for the grammar: noop | dedup[:window[:slab]] |
+  /// tap:slab[:v1,v2,...]).  Parsed and conflict-validated at load time;
+  /// applied to every trial simulation of the variant.
+  std::vector<std::string> stages;
 };
 
 struct Campaign {

@@ -1,0 +1,24 @@
+// One shared formatter for "unknown spec prefix" diagnostics.
+//
+// The textual spec grammars (channel specs in phys/, fault and traffic
+// specs in their own spec.cpp, scheduler specs and stage splices in scn/)
+// all reject an unrecognized leading token.  Routing every rejection
+// through unknown_spec() keeps the wording identical across subsystems, so
+// dglab/dgcampaign users see one error shape no matter which grammar they
+// typo'd.
+#pragma once
+
+#include <string>
+
+namespace dg::scn {
+
+/// "unknown <what> '<got>' (valid: <valid>)" -- `what` names the grammar
+/// ("channel", "fault", "traffic", "scheduler", "stage", "slab"), `got` is
+/// the offending token, `valid` enumerates the accepted prefixes.
+inline std::string unknown_spec(const std::string& what,
+                                const std::string& got,
+                                const std::string& valid) {
+  return "unknown " + what + " '" + got + "' (valid: " + valid + ")";
+}
+
+}  // namespace dg::scn

@@ -12,6 +12,8 @@
 #include "seed/seed_alg.h"
 #include "seed/spec.h"
 #include "sim/engine.h"
+#include "sim/engine_config.h"
+#include "sim/splice.h"
 #include "stats/probes.h"
 #include "traffic/spec.h"
 #include "util/assert.h"
@@ -51,6 +53,24 @@ lb::LbParams lb_params_for(const AlgorithmSpec& a,
                                   scales);
 }
 
+/// The variant's EngineConfig: thread cap, per-trial telemetry, and its
+/// spliced stages.  Stage specs were parsed and conflict-validated at
+/// campaign load time, so a parse failure here is a programming error.
+sim::EngineConfig engine_config_for(const ScenarioSpec& spec,
+                                    obs::Registry* registry) {
+  sim::EngineConfig config;
+  if (spec.round_threads != 0) config.with_round_threads(spec.round_threads);
+  if (registry != nullptr) config.with_telemetry(registry);
+  for (const std::string& text : spec.stages) {
+    sim::SpliceSpec splice;
+    std::string err;
+    const bool ok = sim::parse_splice_spec(text, splice, err);
+    DG_EXPECTS(ok);
+    config.with_splice(std::move(splice));
+  }
+  return config;
+}
+
 // ---- lb_progress (the E3/E6 trial body) ----
 
 std::vector<double> run_lb_progress(const ScenarioSpec& spec,
@@ -62,16 +82,17 @@ std::vector<double> run_lb_progress(const ScenarioSpec& spec,
   const auto senders = resolve_senders(spec.algorithm, g.size());
   const auto receiver = resolve_receiver(spec.algorithm, g, senders);
   sim::Round latency = 0;
+  const sim::EngineConfig config = engine_config_for(spec, registry);
   if (spec.channel_spec.is_sinr) {
     latency = lb::progress_latency(
         g, std::make_unique<phys::SinrChannel>(spec.channel_spec.sinr),
         params, senders, receiver, spec.algorithm.horizon_phases, seed,
-        spec.round_threads, registry);
+        config);
   } else {
     latency = lb::progress_latency(g, build_scheduler(spec.scheduler),
                                    params, senders, receiver,
                                    spec.algorithm.horizon_phases, seed,
-                                   spec.round_threads, registry);
+                                   config);
   }
   return {static_cast<double>(latency),
           static_cast<double>(params.phase_length())};
@@ -95,8 +116,7 @@ std::vector<double> run_decay_progress(const ScenarioSpec& spec,
         std::make_unique<baseline::DecayProcess>(params, ids[v], v, nullptr));
   }
   sim::Engine engine(g, *sched, std::move(procs), seed);
-  if (spec.round_threads != 0) engine.set_round_threads(spec.round_threads);
-  engine.set_telemetry(registry);
+  engine.configure(engine_config_for(spec, registry));
   stats::FirstReceptionProbe probe(g.size());
   engine.add_observer(&probe);
   const auto receiver =
@@ -138,8 +158,7 @@ seed::SeedSpecResult run_seed_check(const ScenarioSpec& spec,
     engine = std::make_unique<sim::Engine>(g, *sched, std::move(procs),
                                            derive_seed(seed, 3));
   }
-  if (spec.round_threads != 0) engine->set_round_threads(spec.round_threads);
-  engine->set_telemetry(registry);
+  engine->configure(engine_config_for(spec, registry));
   engine->run_rounds(sparams.total_rounds());
   seed::DecisionVector decisions(g.size());
   for (graph::Vertex v = 0; v < g.size(); ++v) {
@@ -177,7 +196,7 @@ std::vector<double> run_seed_then_progress(const ScenarioSpec& spec,
   const auto latency = lb::progress_latency(
       g, build_scheduler(spec.scheduler), params, senders, receiver,
       spec.algorithm.horizon_phases, derive_seed(seed, 4),
-      spec.round_threads, registry);
+      engine_config_for(spec, registry));
   return {static_cast<double>(latency),
           static_cast<double>(res.max_neighborhood_owners),
           res.consistent ? 1.0 : 0.0};
@@ -209,8 +228,7 @@ std::vector<double> run_abstraction_fidelity(const ScenarioSpec& spec,
   {
     lb::LbSimulation sim(ext.graph, build_scheduler(spec.scheduler), params,
                          master);
-    if (spec.round_threads != 0) sim.set_round_threads(spec.round_threads);
-    sim.set_telemetry(registry);
+    sim.configure(engine_config_for(spec, registry));
     dual = lb::run_flood(sim, sender, spec.algorithm.horizon_phases);
     sim.export_telemetry();
   }
@@ -222,8 +240,7 @@ std::vector<double> run_abstraction_fidelity(const ScenarioSpec& spec,
     lb::LbSimulation sim(
         ext.graph, std::make_unique<phys::SinrChannel>(xp.sinr, emb), params,
         master);
-    if (spec.round_threads != 0) sim.set_round_threads(spec.round_threads);
-    sim.set_telemetry(registry);
+    sim.configure(engine_config_for(spec, registry));
     sinr = lb::run_flood(sim, sender, spec.algorithm.horizon_phases);
     sim.export_telemetry();
   }
@@ -260,14 +277,13 @@ std::vector<double> run_traffic_latency(const ScenarioSpec& spec,
     sim = std::make_unique<lb::LbSimulation>(
         g, build_scheduler(spec.scheduler), params, seed);
   }
-  if (spec.round_threads != 0) sim->set_round_threads(spec.round_threads);
+  sim->configure(engine_config_for(spec, registry));
   sim->traffic().set_queue_capacity(
       static_cast<std::size_t>(spec.algorithm.queue_cap));
   // Stream 5: the source's private coins (0x1d5/ids and the engine streams
   // hang off the master seed; 1..4 are taken by the other workloads).
   sim->add_traffic(
       traffic::build_source(spec.traffic_spec, g.size(), derive_seed(seed, 5)));
-  sim->set_telemetry(registry);
   sim->run_phases(spec.algorithm.horizon_phases);
   sim->export_telemetry();
 
@@ -308,7 +324,8 @@ std::vector<double> run_lb_churn(const ScenarioSpec& spec,
     sim = std::make_unique<lb::LbSimulation>(
         g, build_scheduler(spec.scheduler), params, seed);
   }
-  if (spec.round_threads != 0) sim->set_round_threads(spec.round_threads);
+  const auto plan = fault::build_fault_plan(spec.fault_spec);
+  sim->configure(engine_config_for(spec, registry).with_fault_plan(plan.get()));
   sim->traffic().set_queue_capacity(
       static_cast<std::size_t>(spec.algorithm.queue_cap));
   // Same stream layout as traffic_latency (stream 5 = source coins); the
@@ -316,9 +333,6 @@ std::vector<double> run_lb_churn(const ScenarioSpec& spec,
   // so the churn axis perturbs no traffic or protocol randomness.
   sim->add_traffic(
       traffic::build_source(spec.traffic_spec, g.size(), derive_seed(seed, 5)));
-  const auto plan = fault::build_fault_plan(spec.fault_spec);
-  sim->set_fault_plan(plan.get());
-  sim->set_telemetry(registry);
   sim->run_phases(spec.algorithm.horizon_phases);
   sim->export_telemetry();
 

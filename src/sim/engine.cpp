@@ -27,6 +27,288 @@ std::vector<ProcessId> assign_ids(std::size_t n, std::uint64_t seed) {
   return ids;
 }
 
+// ---------------------------------------------------------------------------
+// The core stage set.  Each stage is a thin adapter from the RoundStage
+// contract onto the engine's slabs and fan-out lists; the bodies are the
+// phase bodies of the former monolithic round loops, split along the
+// prologue/run/run_block/replay/epilogue seams so one driver serves both
+// dispatches with the exact same event order (see sim/stage.h).
+// ---------------------------------------------------------------------------
+
+struct EngineStages {
+  /// "fault": the serial fault checkpoint.  Only active with a plan
+  /// installed, so fault-free rounds skip the bracket entirely.  Runs
+  /// before the on_round_begin fan-out (the transmit slot carries that
+  /// seam), exactly where apply_faults() sat in the monolithic loop.
+  class FaultStage final : public RoundStage {
+   public:
+    explicit FaultStage(Engine& e) : e_(e) {}
+    std::string name() const override { return "fault"; }
+    SlabSet reads() const override { return 0; }
+    SlabSet writes() const override {
+      return slab_bit(Slab::kCrashedBitmap);
+    }
+    bool active(bool) const override { return e_.fault_plan_ != nullptr; }
+    void run(RoundState& rs) override { e_.apply_faults(rs.round); }
+
+   private:
+    Engine& e_;
+  };
+
+  /// "transmit": per-vertex transmit decisions into the packet slab and
+  /// transmit bitmap.  Blocks own whole bitmap words (block sizes are
+  /// multiples of 64), so the set() read-modify-writes never touch
+  /// another block's word.
+  class TransmitStage final : public RoundStage {
+   public:
+    explicit TransmitStage(Engine& e) : e_(e) {}
+    std::string name() const override { return "transmit"; }
+    SlabSet reads() const override {
+      return slab_bit(Slab::kCrashedBitmap) | slab_bit(Slab::kRngStreams);
+    }
+    SlabSet writes() const override {
+      return slab_bit(Slab::kTransmitBitmap) | slab_bit(Slab::kPacketSlab) |
+             slab_bit(Slab::kRngStreams);
+    }
+    bool vertex_disjoint_writes() const override { return true; }
+    void prologue(RoundState&) override { e_.transmitting_.clear(); }
+    void run(RoundState& rs) override {
+      decide(rs, 0, static_cast<graph::Vertex>(rs.vertex_count),
+             !e_.obs_transmit_.empty());
+    }
+    void run_block(RoundState& rs, graph::Vertex begin,
+                   graph::Vertex end) override {
+      decide(rs, begin, end, /*inline_obs=*/false);
+    }
+    void replay(RoundState& rs) override {
+      // Ascending-vertex replay off the bitmap is the exact event stream
+      // the serial dispatch emits inline.
+      if (e_.obs_transmit_.empty()) return;
+      const Round t = rs.round;
+      e_.transmitting_.for_each_set([&](std::size_t v) {
+        for (Observer* obs : e_.obs_transmit_) {
+          obs->on_transmit(t, static_cast<graph::Vertex>(v),
+                           e_.outgoing_slab_[v]);
+        }
+      });
+    }
+
+   private:
+    void decide(RoundState& rs, graph::Vertex begin, graph::Vertex end,
+                bool inline_obs) {
+      const Round t = rs.round;
+      for (graph::Vertex v = begin; v < end; ++v) {
+        if (rs.faults && e_.crashed_.test(v)) continue;
+        RoundContext ctx(t, e_.rngs_[v]);
+        auto packet = e_.processes_[v]->transmit(ctx);
+        if (!packet.has_value()) continue;
+        // The wire carries the true sender id; processes cannot spoof.
+        DG_ASSERT(packet->sender == e_.processes_[v]->id());
+        e_.outgoing_slab_[v] = *std::move(packet);
+        e_.transmitting_.set(v);
+        if (inline_obs) {
+          for (Observer* obs : e_.obs_transmit_) {
+            obs->on_transmit(t, v, e_.outgoing_slab_[v]);
+          }
+        }
+      }
+    }
+
+    Engine& e_;
+  };
+
+  /// "prepare_round": the channel's serial staging of everything
+  /// transmit-set-dependent before the parallel reception fill.  Sharded
+  /// rounds only; the serial channel call fuses prepare into compute.
+  class ScheduleStage final : public RoundStage {
+   public:
+    explicit ScheduleStage(Engine& e) : e_(e) {}
+    std::string name() const override { return "prepare_round"; }
+    SlabSet reads() const override {
+      return slab_bit(Slab::kTransmitBitmap);
+    }
+    SlabSet writes() const override { return 0; }
+    bool active(bool sharded) const override { return sharded; }
+    void run(RoundState& rs) override {
+      e_.channel_->prepare_round(rs.round, e_.transmitting_);
+    }
+
+   private:
+    Engine& e_;
+  };
+
+  /// "compute": reception physics, delegated to the channel model.  Fills
+  /// one packed heard word per vertex; the logical-metrics pass over the
+  /// frozen verdicts runs in after_phase (outside the timing bracket, and
+  /// before any spliced stage anchored behind this one -- counters tally
+  /// channel verdicts, not post-splice deliveries).
+  class ChannelStage final : public RoundStage {
+   public:
+    explicit ChannelStage(Engine& e) : e_(e) {}
+    std::string name() const override { return "compute"; }
+    SlabSet reads() const override {
+      return slab_bit(Slab::kTransmitBitmap) | slab_bit(Slab::kPacketSlab);
+    }
+    SlabSet writes() const override {
+      return slab_bit(Slab::kHeardWords);
+    }
+    bool vertex_disjoint_writes() const override { return true; }
+    void run(RoundState& rs) override {
+      std::fill(e_.heard_.begin(), e_.heard_.end(), 0U);
+      e_.channel_->compute_round(rs.round, e_.transmitting_, e_.heard_);
+    }
+    void run_block(RoundState& rs, graph::Vertex begin,
+                   graph::Vertex end) override {
+      std::fill(e_.heard_.begin() + begin, e_.heard_.begin() + end, 0U);
+      e_.channel_->compute_shard(rs.round, e_.transmitting_, e_.heard_,
+                                 begin, end);
+    }
+    void after_phase(RoundState&) override { e_.record_logical_round(); }
+
+   private:
+    Engine& e_;
+  };
+
+  /// "receive": hands every listener its verdict -- the decoded packet on
+  /// a clean single-transmitter round (unless a spliced stage masked the
+  /// delivery), the null indicator otherwise.
+  class ReceiveStage final : public RoundStage {
+   public:
+    explicit ReceiveStage(Engine& e) : e_(e) {}
+    std::string name() const override { return "receive"; }
+    SlabSet reads() const override {
+      return slab_bit(Slab::kTransmitBitmap) | slab_bit(Slab::kPacketSlab) |
+             slab_bit(Slab::kHeardWords) | slab_bit(Slab::kCrashedBitmap) |
+             slab_bit(Slab::kDeliveryMask) | slab_bit(Slab::kRngStreams);
+    }
+    SlabSet writes() const override {
+      return slab_bit(Slab::kRngStreams);
+    }
+    bool vertex_disjoint_writes() const override { return true; }
+    void run(RoundState& rs) override {
+      deliver(rs, 0, static_cast<graph::Vertex>(rs.vertex_count),
+              /*inline_obs=*/true);
+    }
+    void run_block(RoundState& rs, graph::Vertex begin,
+                   graph::Vertex end) override {
+      deliver(rs, begin, end, /*inline_obs=*/false);
+    }
+    void replay(RoundState& rs) override {
+      // Replays the reception observers serially from the frozen heard
+      // words: same verdicts, ascending vertex order, exactly the serial
+      // dispatch's stream.
+      if (e_.obs_receive_.empty() && e_.obs_silence_.empty()) return;
+      const Round t = rs.round;
+      const auto n = static_cast<graph::Vertex>(rs.vertex_count);
+      for (graph::Vertex u = 0; u < n; ++u) {
+        if (e_.transmitting_.test(u)) continue;
+        if (rs.faults && e_.crashed_.test(u)) continue;
+        const std::uint64_t h = e_.heard_[u];
+        const auto count = static_cast<std::uint32_t>(h);
+        if (count == 1 && !masked(u)) {
+          const auto from = static_cast<graph::Vertex>(h >> 32);
+          for (Observer* obs : e_.obs_receive_) {
+            obs->on_receive(t, u, from, e_.outgoing_slab_[from]);
+          }
+        } else {
+          for (Observer* obs : e_.obs_silence_) {
+            obs->on_silence(t, u, /*collision=*/count > 1);
+          }
+        }
+      }
+    }
+    void epilogue(RoundState& rs) override {
+      if (e_.hooks_ != nullptr) e_.hooks_->after_receive_phase(rs.round);
+    }
+
+   private:
+    bool masked(graph::Vertex u) const {
+      return e_.deliver_masked_ && e_.delivery_mask_.test(u);
+    }
+
+    void deliver(RoundState& rs, graph::Vertex begin, graph::Vertex end,
+                 bool inline_obs) {
+      const Round t = rs.round;
+      const bool obs_rx = inline_obs && !e_.obs_receive_.empty();
+      const bool obs_sil = inline_obs && !e_.obs_silence_.empty();
+      for (graph::Vertex u = begin; u < end; ++u) {
+        if (e_.transmitting_.test(u)) continue;  // transmitters don't listen
+        if (rs.faults && e_.crashed_.test(u)) continue;
+        RoundContext ctx(t, e_.rngs_[u]);
+        const std::uint64_t h = e_.heard_[u];
+        const auto count = static_cast<std::uint32_t>(h);
+        if (count == 1 && !masked(u)) {
+          const auto from = static_cast<graph::Vertex>(h >> 32);
+          const Packet& packet = e_.outgoing_slab_[from];
+          if (obs_rx) {
+            for (Observer* obs : e_.obs_receive_) {
+              obs->on_receive(t, u, from, packet);
+            }
+          }
+          e_.processes_[u]->receive(packet, ctx);
+        } else {
+          if (obs_sil) {
+            for (Observer* obs : e_.obs_silence_) {
+              obs->on_silence(t, u, /*collision=*/count > 1);
+            }
+          }
+          e_.processes_[u]->receive(std::nullopt, ctx);
+        }
+      }
+    }
+
+    Engine& e_;
+  };
+
+  /// "output_flush": per-vertex end_round outputs, then the wrapper
+  /// checkpoint.
+  class OutputFlushStage final : public RoundStage {
+   public:
+    explicit OutputFlushStage(Engine& e) : e_(e) {}
+    std::string name() const override { return "output_flush"; }
+    SlabSet reads() const override {
+      return slab_bit(Slab::kCrashedBitmap) | slab_bit(Slab::kRngStreams);
+    }
+    SlabSet writes() const override {
+      return slab_bit(Slab::kRngStreams);
+    }
+    bool vertex_disjoint_writes() const override { return true; }
+    void run(RoundState& rs) override {
+      flush(rs, 0, static_cast<graph::Vertex>(rs.vertex_count));
+    }
+    void run_block(RoundState& rs, graph::Vertex begin,
+                   graph::Vertex end) override {
+      flush(rs, begin, end);
+    }
+    void epilogue(RoundState& rs) override {
+      if (e_.hooks_ != nullptr) e_.hooks_->after_output_phase(rs.round);
+    }
+
+   private:
+    void flush(RoundState& rs, graph::Vertex begin, graph::Vertex end) {
+      const Round t = rs.round;
+      for (graph::Vertex v = begin; v < end; ++v) {
+        if (rs.faults && e_.crashed_.test(v)) continue;
+        RoundContext ctx(t, e_.rngs_[v]);
+        e_.processes_[v]->end_round(ctx);
+      }
+    }
+
+    Engine& e_;
+  };
+
+  explicit EngineStages(Engine& e)
+      : fault(e), transmit(e), schedule(e), channel(e), receive(e),
+        output(e) {}
+
+  FaultStage fault;
+  TransmitStage transmit;
+  ScheduleStage schedule;
+  ChannelStage channel;
+  ReceiveStage receive;
+  OutputFlushStage output;
+};
+
 Engine::Engine(const graph::DualGraph& g, LinkScheduler& scheduler,
                std::vector<std::unique_ptr<Process>> processes,
                std::uint64_t master_seed)
@@ -43,6 +325,8 @@ Engine::Engine(const graph::DualGraph& g, phys::ChannelModel& channel,
     : graph_(&g), channel_(&channel), processes_(std::move(processes)) {
   init(master_seed);
 }
+
+Engine::~Engine() = default;
 
 void Engine::init(std::uint64_t master_seed) {
   master_seed_ = master_seed;
@@ -66,11 +350,22 @@ void Engine::init(std::uint64_t master_seed) {
   transmitting_.resize(processes_.size());
   heard_.resize(processes_.size());
   crashed_.resize(processes_.size());
+  delivery_mask_.resize(processes_.size());
 
   all_shard_safe_ =
       std::all_of(processes_.begin(), processes_.end(),
                   [](const auto& p) { return p->shard_safe(); });
   round_threads_ = default_round_threads();
+
+  // The core pipeline.  The on_round_begin fan-out rides on the transmit
+  // slot so fault events keep preceding it, as the monolithic loop did.
+  stages_ = std::make_unique<EngineStages>(*this);
+  pipeline_.append(&stages_->fault);
+  pipeline_.append(&stages_->transmit, /*round_begin_before=*/true);
+  pipeline_.append(&stages_->schedule);
+  pipeline_.append(&stages_->channel);
+  pipeline_.append(&stages_->receive);
+  pipeline_.append(&stages_->output);
 }
 
 std::size_t Engine::default_round_threads() {
@@ -86,7 +381,38 @@ std::size_t Engine::default_round_threads() {
   return static_cast<std::size_t>(parsed);
 }
 
+void Engine::configure(const EngineConfig& config) {
+  if (config.round_threads != 0) apply_round_threads(config.round_threads);
+  if (config.has_fault_plan) {
+    apply_fault_plan(config.fault_plan, config.fault_listener);
+  }
+  for (const SpliceSpec& spec : config.splices) {
+    const std::string err = splice_stage(spec);
+    DG_EXPECTS(err.empty());  // configs carry pre-validated splice lists
+  }
+  if (config.has_telemetry) {
+    apply_telemetry(config.registry, config.trace_sink);
+  }
+}
+
+std::string Engine::splice_stage(const SpliceSpec& spec) {
+  std::vector<SpliceSpec> all = splices_;
+  all.push_back(spec);
+  std::string err = validate_splice_specs(all);
+  if (!err.empty()) return err;
+  pipeline_.insert_after(splice_anchor(spec),
+                         build_splice_stage(spec, processes_.size()));
+  splices_ = std::move(all);
+  // Telemetry installed first: give the new stage its timing slot.
+  if (registry_ != nullptr) rebuild_profiler();
+  return "";
+}
+
 void Engine::set_round_threads(std::size_t threads) {
+  configure(EngineConfig{}.with_round_threads(threads));
+}
+
+void Engine::apply_round_threads(std::size_t threads) {
   DG_EXPECTS(threads >= 1);
   round_threads_ = threads;
   // Re-poll consent: a wrapper may have reconfigured its listener fan-out
@@ -115,10 +441,14 @@ void Engine::add_observer(Observer* observer) {
 }
 
 void Engine::set_telemetry(obs::Registry* registry, obs::TraceSink* sink) {
+  configure(EngineConfig{}.with_telemetry(registry, sink));
+}
+
+void Engine::apply_telemetry(obs::Registry* registry, obs::TraceSink* sink) {
   registry_ = registry;
   trace_sink_ = registry != nullptr ? sink : nullptr;
   if (registry == nullptr) {
-    profiler_.reset();
+    rebuild_profiler();
     m_rounds_ = m_tx_ = m_delivered_ = m_collisions_ = m_silent_ = nullptr;
     m_crashes_ = m_recoveries_ = nullptr;
     m_dispatch_serial_ = m_dispatch_sharded_ = nullptr;
@@ -148,7 +478,24 @@ void Engine::set_telemetry(obs::Registry* registry, obs::TraceSink* sink) {
       static_cast<double>(round_threads_);
   registry->gauge("engine.vertices", Domain::kLogical) =
       static_cast<double>(processes_.size());
-  profiler_ = std::make_unique<obs::PhaseProfiler>(*registry);
+  rebuild_profiler();
+}
+
+void Engine::rebuild_profiler() {
+  if (registry_ == nullptr) {
+    profiler_.reset();
+    for (RoundPipeline::Slot& slot : pipeline_.slots()) {
+      slot.profile_slot = RoundPipeline::npos;
+    }
+    return;
+  }
+  // One timing slot per pipeline slot, in pipeline order; the registry
+  // keys counters by name, so rebuilding (after a splice) keeps
+  // accumulating into the same engine.phase.<name>.ns slots.
+  profiler_ = std::make_unique<obs::PhaseProfiler>(*registry_);
+  for (RoundPipeline::Slot& slot : pipeline_.slots()) {
+    slot.profile_slot = profiler_->register_stage(slot.stage->name());
+  }
 }
 
 void Engine::record_logical_round() {
@@ -194,6 +541,11 @@ Rng& Engine::process_rng(graph::Vertex v) {
 
 void Engine::set_fault_plan(fault::FaultPlan* plan,
                             fault::FaultListener* listener) {
+  configure(EngineConfig{}.with_fault_plan(plan, listener));
+}
+
+void Engine::apply_fault_plan(fault::FaultPlan* plan,
+                              fault::FaultListener* listener) {
   fault_plan_ = plan;
   fault_listener_ = plan != nullptr ? listener : nullptr;
   if (plan != nullptr) plan->bind(*graph_, master_seed_);
@@ -243,252 +595,81 @@ void Engine::run_round() {
         // engine calls into the channel serially.
         channel_->set_round_pool(pool_.get());
       }
-      run_round_sharded(block_size, blocks);
+      run_pipeline(/*sharded=*/true, block_size, blocks);
       return;
     }
   }
-  run_round_serial();
+  run_pipeline(/*sharded=*/false, 0, 0);
 }
 
-void Engine::run_round_serial() {
+void Engine::run_pipeline(bool sharded, std::size_t block_size,
+                          std::size_t blocks) {
   const Round t = ++round_;
   if (profiler_ != nullptr) {
     profiler_->begin_round(t);
-    *m_dispatch_serial_ += 1;
+    *(sharded ? m_dispatch_sharded_ : m_dispatch_serial_) += 1;
   }
-  apply_faults(t);
-  const auto n = static_cast<graph::Vertex>(processes_.size());
-  // Per-event fan-out guards: executions with no (interested) observers --
-  // the Monte Carlo bulk -- skip the fan-outs entirely.  Same idea for the
-  // crash probes: fault-free executions never pay the bitmap tests.
-  const bool obs_tx = !obs_transmit_.empty();
-  const bool obs_rx = !obs_receive_.empty();
-  const bool obs_sil = !obs_silence_.empty();
-  const bool faults = fault_plan_ != nullptr;
+  deliver_masked_ = false;
 
-  for (Observer* obs : obs_round_begin_) {
-    obs->on_round_begin(t);
-  }
+  RoundState rs;
+  rs.round = t;
+  rs.faults = fault_plan_ != nullptr;
+  rs.sharded = sharded;
+  rs.vertex_count = processes_.size();
+  rs.transmitting = &transmitting_;
+  rs.packets = &outgoing_slab_;
+  rs.heard = &heard_;
+  rs.crashed = &crashed_;
+  rs.delivery_mask = &delivery_mask_;
+  rs.deliver_masked = &deliver_masked_;
+  rs.registry = registry_;
+  rs.trace = trace_sink_;
 
-  // Step 2: transmit decisions, into the packet slab + transmit bitmask.
-  // Crashed vertices sit the whole round out: no process calls, no
-  // observer events, rng stream untouched.
-  transmitting_.clear();
-  {
-    obs::ScopedPhase phase(profiler_.get(), obs::Phase::kTransmit);
-    for (graph::Vertex v = 0; v < n; ++v) {
-      if (faults && crashed_.test(v)) continue;
-      RoundContext ctx(t, rngs_[v]);
-      auto packet = processes_[v]->transmit(ctx);
-      if (!packet.has_value()) continue;
-      // The wire carries the true sender id; processes cannot spoof.
-      DG_ASSERT(packet->sender == processes_[v]->id());
-      outgoing_slab_[v] = *std::move(packet);
-      transmitting_.set(v);
-      if (obs_tx) {
-        for (Observer* obs : obs_transmit_) {
-          obs->on_transmit(t, v, outgoing_slab_[v]);
-        }
-      }
-    }
-  }
-
-  // Step 3: reception, decided by the channel model (the Section 2
-  // single-transmitter rule under DualGraphChannel, SINR physics under
-  // SinrChannel).  The channel fills one packed heard word per vertex (high
-  // 32 bits last sender, low 32 bits decodable-sender count).
-  {
-    obs::ScopedPhase phase(profiler_.get(), obs::Phase::kCompute);
-    std::fill(heard_.begin(), heard_.end(), 0U);
-    channel_->compute_round(t, transmitting_, heard_);
-  }
-  record_logical_round();
-
-  {
-    obs::ScopedPhase phase(profiler_.get(), obs::Phase::kReceive);
-    for (graph::Vertex u = 0; u < n; ++u) {
-      if (transmitting_.test(u)) continue;  // transmitters do not receive
-      if (faults && crashed_.test(u)) continue;
-      RoundContext ctx(t, rngs_[u]);
-      const std::uint64_t h = heard_[u];
-      const auto count = static_cast<std::uint32_t>(h);
-      if (count == 1) {
-        const auto from = static_cast<graph::Vertex>(h >> 32);
-        const Packet& packet = outgoing_slab_[from];
-        if (obs_rx) {
-          for (Observer* obs : obs_receive_) {
-            obs->on_receive(t, u, from, packet);
-          }
-        }
-        processes_[u]->receive(packet, ctx);
-      } else {
-        if (obs_sil) {
-          for (Observer* obs : obs_silence_) {
-            obs->on_silence(t, u, /*collision=*/count > 1);
-          }
-        }
-        processes_[u]->receive(std::nullopt, ctx);
-      }
-    }
-    if (hooks_ != nullptr) hooks_->after_receive_phase(t);
-  }
-
-  // Step 4: outputs.
-  {
-    obs::ScopedPhase phase(profiler_.get(), obs::Phase::kOutput);
-    for (graph::Vertex v = 0; v < n; ++v) {
-      if (faults && crashed_.test(v)) continue;
-      RoundContext ctx(t, rngs_[v]);
-      processes_[v]->end_round(ctx);
-    }
-    if (hooks_ != nullptr) hooks_->after_output_phase(t);
-  }
-
-  for (Observer* obs : obs_round_end_) {
-    obs->on_round_end(t);
-  }
-  if (profiler_ != nullptr) profiler_->end_round(trace_sink_);
-}
-
-void Engine::run_round_sharded(std::size_t block_size, std::size_t blocks) {
-  const Round t = ++round_;
-  if (profiler_ != nullptr) {
-    profiler_->begin_round(t);
-    *m_dispatch_sharded_ += 1;
-  }
   // Every pool dispatch of the round funnels through this wrapper so the
   // profiler can total the parallel-section wall clock (the utilization
   // numerator) without instrumenting the pool itself.
-  const auto pooled = [&](std::size_t count, auto&& fn) {
+  const auto pooled = [&](auto&& fn) {
     if (profiler_ == nullptr) {
-      pool_->for_blocks(count, fn);
+      pool_->for_blocks(blocks, fn);
       return;
     }
     const auto start = std::chrono::steady_clock::now();
-    pool_->for_blocks(count, fn);
+    pool_->for_blocks(blocks, fn);
     profiler_->add_parallel_ns(static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - start)
             .count()));
   };
-  // Fault events apply serially before any parallel phase, so crashed_ is
-  // frozen (read-only) for the whole round -- the same events, in the same
-  // order, as the serial loop.
-  apply_faults(t);
-  const bool faults = fault_plan_ != nullptr;
-  const auto n = static_cast<graph::Vertex>(processes_.size());
-  const auto block_range = [&](std::size_t b) {
-    const auto begin = static_cast<graph::Vertex>(b * block_size);
-    const auto end = static_cast<graph::Vertex>(
-        std::min(static_cast<std::size_t>(begin) + block_size,
-                 processes_.size()));
-    return std::pair<graph::Vertex, graph::Vertex>(begin, end);
-  };
 
-  for (Observer* obs : obs_round_begin_) {
-    obs->on_round_begin(t);
-  }
-
-  // Step 2: transmit decisions, block-parallel.  Each block's vertices are
-  // a whole number of bitmap words (block_size is a multiple of 64), so the
-  // transmitting_.set() read-modify-writes never touch another block's
-  // word; slab entries and rng streams are per-vertex.
-  transmitting_.clear();
-  {
-    obs::ScopedPhase phase(profiler_.get(), obs::Phase::kTransmit);
-    pooled(blocks, [&](std::size_t b) {
-      const auto [begin, end] = block_range(b);
-      for (graph::Vertex v = begin; v < end; ++v) {
-        if (faults && crashed_.test(v)) continue;
-        RoundContext ctx(t, rngs_[v]);
-        auto packet = processes_[v]->transmit(ctx);
-        if (!packet.has_value()) continue;
-        DG_ASSERT(packet->sender == processes_[v]->id());
-        outgoing_slab_[v] = *std::move(packet);
-        transmitting_.set(v);
-      }
-    });
-    // Serial transmit fan-out: ascending-vertex replay off the bitmap is
-    // the exact event stream the serial loop emits inline.
-    if (!obs_transmit_.empty()) {
-      transmitting_.for_each_set([&](std::size_t v) {
-        for (Observer* obs : obs_transmit_) {
-          obs->on_transmit(t, static_cast<graph::Vertex>(v),
-                           outgoing_slab_[v]);
-        }
-      });
-    }
-  }
-
-  // Step 3: reception.  The channel stages everything transmit-set-
-  // dependent serially, then fills disjoint receiver ranges in parallel.
-  {
-    obs::ScopedPhase phase(profiler_.get(), obs::Phase::kPrepare);
-    channel_->prepare_round(t, transmitting_);
-  }
-  {
-    obs::ScopedPhase phase(profiler_.get(), obs::Phase::kCompute);
-    pooled(blocks, [&](std::size_t b) {
-      const auto [begin, end] = block_range(b);
-      std::fill(heard_.begin() + begin, heard_.begin() + end, 0U);
-      channel_->compute_shard(t, transmitting_, heard_, begin, end);
-    });
-  }
-  record_logical_round();
-
-  // Deliver block-parallel (per-vertex state only -- shard_safe() is the
-  // processes' promise that their receive() fan-out tolerates this), then
-  // replay the reception observers serially from the heard words: same
-  // verdicts, ascending vertex order, exactly the serial loop's stream.
-  {
-    obs::ScopedPhase phase(profiler_.get(), obs::Phase::kReceive);
-    pooled(blocks, [&](std::size_t b) {
-      const auto [begin, end] = block_range(b);
-      for (graph::Vertex u = begin; u < end; ++u) {
-        if (transmitting_.test(u)) continue;
-        if (faults && crashed_.test(u)) continue;
-        RoundContext ctx(t, rngs_[u]);
-        const std::uint64_t h = heard_[u];
-        if (static_cast<std::uint32_t>(h) == 1) {
-          processes_[u]->receive(outgoing_slab_[h >> 32], ctx);
-        } else {
-          processes_[u]->receive(std::nullopt, ctx);
-        }
-      }
-    });
-    if (!obs_receive_.empty() || !obs_silence_.empty()) {
-      for (graph::Vertex u = 0; u < n; ++u) {
-        if (transmitting_.test(u)) continue;
-        if (faults && crashed_.test(u)) continue;
-        const std::uint64_t h = heard_[u];
-        const auto count = static_cast<std::uint32_t>(h);
-        if (count == 1) {
-          const auto from = static_cast<graph::Vertex>(h >> 32);
-          for (Observer* obs : obs_receive_) {
-            obs->on_receive(t, u, from, outgoing_slab_[from]);
-          }
-        } else {
-          for (Observer* obs : obs_silence_) {
-            obs->on_silence(t, u, /*collision=*/count > 1);
-          }
-        }
+  for (const RoundPipeline::Slot& slot : pipeline_.slots()) {
+    if (slot.round_begin_before) {
+      for (Observer* obs : obs_round_begin_) {
+        obs->on_round_begin(t);
       }
     }
-    if (hooks_ != nullptr) hooks_->after_receive_phase(t);
-  }
-
-  // Step 4: outputs, block-parallel, then the serial checkpoint.
-  {
-    obs::ScopedPhase phase(profiler_.get(), obs::Phase::kOutput);
-    pooled(blocks, [&](std::size_t b) {
-      const auto [begin, end] = block_range(b);
-      for (graph::Vertex v = begin; v < end; ++v) {
-        if (faults && crashed_.test(v)) continue;
-        RoundContext ctx(t, rngs_[v]);
-        processes_[v]->end_round(ctx);
+    RoundStage& stage = *slot.stage;
+    if (!stage.active(sharded)) continue;
+    // Dispatch by declaration: a stage whose writes are vertex-disjoint
+    // runs block-parallel in sharded rounds (blocks write disjoint state,
+    // so determinism is structural); everything else runs serial.
+    const bool parallel = sharded && stage.vertex_disjoint_writes();
+    {
+      obs::ScopedPhase phase(profiler_.get(), slot.profile_slot);
+      stage.prologue(rs);
+      if (parallel) {
+        pooled([&](std::size_t b) {
+          const auto begin = static_cast<graph::Vertex>(b * block_size);
+          const auto end = static_cast<graph::Vertex>(
+              std::min(b * block_size + block_size, processes_.size()));
+          stage.run_block(rs, begin, end);
+        });
+        stage.replay(rs);
+      } else {
+        stage.run(rs);
       }
-    });
-    if (hooks_ != nullptr) hooks_->after_output_phase(t);
+      stage.epilogue(rs);
+    }
+    stage.after_phase(rs);
   }
 
   for (Observer* obs : obs_round_end_) {

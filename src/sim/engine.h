@@ -41,6 +41,17 @@
 // Crashed vertices are skipped in the transmit, reception and output
 // phases -- no process calls, no observer events, rng stream paused -- so
 // a fault schedule stays byte-identical across round_threads too.
+//
+// Round pipeline: internally the round is an explicit stage pipeline
+// (fault -> transmit -> prepare_round -> compute -> receive ->
+// output_flush; see sim/stage.h for the stage contract and
+// docs/PIPELINE.md for the slab catalog).  One driver, run_pipeline(),
+// serves both dispatches: a stage declaring vertex_disjoint_writes() runs
+// block-parallel in sharded rounds, everything else serial, and the
+// serial-replay / RoundHooks checkpoints are stage hooks.  Scenario
+// splices (sim/splice.h) insert extra stages after their anchor without
+// engine edits; their write sets are validated against the core stages'
+// slab ownership first (see splice_stage()).
 #pragma once
 
 #include <cstdint>
@@ -54,10 +65,13 @@
 #include "obs/trace_sink.h"
 #include "phys/channel.h"
 #include "sim/adaptive.h"
+#include "sim/engine_config.h"
 #include "sim/observer.h"
 #include "sim/packet.h"
+#include "sim/pipeline.h"
 #include "sim/process.h"
 #include "sim/scheduler.h"
+#include "sim/splice.h"
 #include "util/bitmap.h"
 #include "util/thread_pool.h"
 
@@ -84,6 +98,8 @@ class RoundHooks {
   virtual void after_output_phase(Round round) = 0;
 };
 
+struct EngineStages;  ///< the core stage set (defined in sim/engine.cpp)
+
 class Engine {
  public:
   /// The graph and scheduler must outlive the engine.  `processes[v]` is the
@@ -103,6 +119,25 @@ class Engine {
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  /// Applies a whole configuration in one call, in a fixed order: thread
+  /// cap, fault plan, spliced stages, telemetry (splices first so the
+  /// profiler registers their per-stage timers).  The preferred mutator
+  /// surface; the individual setters below forward here.  Splices must
+  /// have passed validate_splice_specs().
+  void configure(const EngineConfig& config);
+
+  /// Splices one extra stage into the round pipeline after its anchor
+  /// stage, validating its write set against the core stages' slab
+  /// ownership and the already-installed splices.  Returns "" on success
+  /// or the violation message (the pipeline is unchanged on failure).
+  std::string splice_stage(const SpliceSpec& spec);
+
+  /// Splices installed so far, in installation order.
+  const std::vector<SpliceSpec>& splices() const noexcept {
+    return splices_;
+  }
 
   /// Observers are invoked in registration order; they must outlive the
   /// engine.
@@ -132,6 +167,8 @@ class Engine {
   /// yields fewer than two blocks, a process is not shard_safe() or the
   /// channel is not shardable() -- the knob is an upper bound, never a
   /// semantics switch (results are byte-identical for every value).
+  /// Deprecated forwarder for configure(); new call sites should build an
+  /// EngineConfig.
   void set_round_threads(std::size_t threads);
   std::size_t round_threads() const noexcept { return round_threads_; }
 
@@ -141,6 +178,7 @@ class Engine {
   /// crash/recover notifications for wrapper-level bookkeeping -- before
   /// Process::on_crash on a crash, after Process::on_recover on a
   /// recovery (see fault/plan.h).  Both must outlive the engine.
+  /// Deprecated forwarder for configure().
   void set_fault_plan(fault::FaultPlan* plan,
                       fault::FaultListener* listener = nullptr);
 
@@ -155,7 +193,8 @@ class Engine {
   /// are byte-identical across round_threads -- they are tallied in a
   /// serial pass over the channel's verdicts in both round loops -- plus
   /// TIMING phase/dispatch metrics that are wall-clock and never gated.
-  /// The sink receives per-round phase slices and crash/recover instants.
+  /// The sink receives per-round stage slices and crash/recover instants.
+  /// Deprecated forwarder for configure().
   void set_telemetry(obs::Registry* registry,
                      obs::TraceSink* sink = nullptr);
 
@@ -185,6 +224,8 @@ class Engine {
   Rng& process_rng(graph::Vertex v);
 
  private:
+  friend struct EngineStages;  ///< the core stage set, sim/engine.cpp
+
   void init(std::uint64_t master_seed);  ///< shared constructor tail
 
   /// Vertices per shard block for the current thread cap: the vertex range
@@ -193,8 +234,25 @@ class Engine {
   /// bitmap words and exclusive heard_ cache lines.
   std::size_t shard_block_size() const;
 
-  void run_round_serial();
-  void run_round_sharded(std::size_t block_size, std::size_t blocks);
+  /// The one round driver (both dispatches): walks the pipeline slots in
+  /// order, bracketing each active stage with its profiler slot and
+  /// dispatching vertex-disjoint-write stages block-parallel when
+  /// `sharded` (block_size/blocks describe the partition; unused serial).
+  void run_pipeline(bool sharded, std::size_t block_size,
+                    std::size_t blocks);
+
+  // configure() bodies: the real mutators behind the deprecated setter
+  // forwarders (forwarders build one-field configs, so these must not
+  // call configure() back).
+  void apply_round_threads(std::size_t threads);
+  void apply_fault_plan(fault::FaultPlan* plan,
+                        fault::FaultListener* listener);
+  void apply_telemetry(obs::Registry* registry, obs::TraceSink* sink);
+
+  /// (Re)creates the profiler against registry_ and assigns every pipeline
+  /// slot its timing slot, in pipeline order.  Registry counters are keyed
+  /// by name, so a rebuild keeps accumulating into the same counters.
+  void rebuild_profiler();
 
   /// Serial fault checkpoint at the top of both round loops: asks the plan
   /// for this round's events and applies them (crashed_ bitmap, process
@@ -247,7 +305,7 @@ class Engine {
   std::uint64_t master_seed_ = 0;  ///< kept for late fault-plan binding
   fault::FaultPlan* fault_plan_ = nullptr;
   fault::FaultListener* fault_listener_ = nullptr;
-  Bitmap crashed_;  ///< bit v = v is down; written only in apply_faults()
+  Bitmap crashed_;  ///< bit v = v is down; written only by the fault stage
   std::vector<fault::FaultEvent> fault_events_;  ///< per-round scratch
 
   // Scratch reused every round, sized once at construction.
@@ -256,6 +314,17 @@ class Engine {
   /// Packed reception state written by the channel: high 32 bits = last
   /// heard-from vertex, low 32 bits = number of decodable senders.
   std::vector<std::uint64_t> heard_;
+  /// Slab::kDeliveryMask -- bit u = suppress delivery to u this round.
+  /// Only consulted when deliver_masked_ (armed per round by a
+  /// mask-writing spliced stage, reset by the driver).
+  Bitmap delivery_mask_;
+  bool deliver_masked_ = false;
+
+  // The stage pipeline: core stages (owned via stages_) plus splices
+  // (owned by the pipeline), walked in order by run_pipeline().
+  std::unique_ptr<EngineStages> stages_;
+  RoundPipeline pipeline_;
+  std::vector<SpliceSpec> splices_;  ///< installed, for conflict checks
 };
 
 }  // namespace dg::sim

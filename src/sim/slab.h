@@ -1,0 +1,100 @@
+// Named per-round state slabs and slab sets.
+//
+// The round pipeline (sim/pipeline.h) schedules stages by the slabs they
+// declare to read and write.  A slab is one of the engine's per-round
+// scratch structures; the enum below is the closed catalog.  Declarations
+// are a checked property: the pipeline validates spliced stages' write
+// sets at install time (see sim/splice.h), which is what turns PR 6's
+// sharding-safety convention ("blocks write disjoint per-vertex state")
+// into something the engine can reject violations of.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dg::sim {
+
+/// The engine's per-round state slabs, in catalog order.
+enum class Slab : std::uint32_t {
+  kTransmitBitmap = 0,  ///< bit v = v transmits this round
+  kPacketSlab = 1,      ///< outgoing packet of v iff v transmits
+  kHeardWords = 2,      ///< packed channel verdict per vertex
+  kCrashedBitmap = 3,   ///< bit v = v is down
+  kRngStreams = 4,      ///< per-vertex process random streams
+  kDeliveryMask = 5,    ///< bit u = suppress delivery to u (splice-owned)
+};
+inline constexpr std::size_t kSlabCount = 6;
+
+/// A set of slabs, one bit per Slab enumerator.
+using SlabSet = std::uint32_t;
+
+inline constexpr SlabSet slab_bit(Slab s) {
+  return SlabSet{1} << static_cast<std::uint32_t>(s);
+}
+
+inline constexpr bool slab_set_contains(SlabSet set, Slab s) {
+  return (set & slab_bit(s)) != 0;
+}
+
+inline const char* slab_name(Slab s) {
+  switch (s) {
+    case Slab::kTransmitBitmap: return "transmit_bitmap";
+    case Slab::kPacketSlab: return "packet_slab";
+    case Slab::kHeardWords: return "heard_words";
+    case Slab::kCrashedBitmap: return "crashed_bitmap";
+    case Slab::kRngStreams: return "rng_streams";
+    case Slab::kDeliveryMask: return "delivery_mask";
+  }
+  return "?";
+}
+
+/// Comma-separated catalog for error messages.
+inline std::string valid_slab_names() {
+  std::string out;
+  for (std::size_t i = 0; i < kSlabCount; ++i) {
+    if (!out.empty()) out += ", ";
+    out += slab_name(static_cast<Slab>(i));
+  }
+  return out;
+}
+
+/// Parses a slab name; returns false (output untouched) if unknown.
+inline bool parse_slab(const std::string& name, Slab& out) {
+  for (std::size_t i = 0; i < kSlabCount; ++i) {
+    const auto s = static_cast<Slab>(i);
+    if (name == slab_name(s)) {
+      out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// The core stage owning (writing) each slab, or "" for slabs reserved for
+/// spliced stages (only kDeliveryMask today).  Spliced stages may not write
+/// an owned slab; the validator names the owner in its rejection.
+inline const char* slab_owner(Slab s) {
+  switch (s) {
+    case Slab::kTransmitBitmap: return "transmit";
+    case Slab::kPacketSlab: return "transmit";
+    case Slab::kHeardWords: return "compute";
+    case Slab::kCrashedBitmap: return "fault";
+    case Slab::kRngStreams: return "output_flush";
+    case Slab::kDeliveryMask: return "";
+  }
+  return "";
+}
+
+/// Comma-separated names of the slabs in `set`, catalog order.
+inline std::string slab_set_names(SlabSet set) {
+  std::string out;
+  for (std::size_t i = 0; i < kSlabCount; ++i) {
+    const auto s = static_cast<Slab>(i);
+    if (!slab_set_contains(set, s)) continue;
+    if (!out.empty()) out += ", ";
+    out += slab_name(s);
+  }
+  return out;
+}
+
+}  // namespace dg::sim

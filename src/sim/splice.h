@@ -1,0 +1,73 @@
+// Scenario-spliceable pipeline stages.
+//
+// A splice spec is a small textual grammar (mirroring the channel /
+// traffic / fault spec grammars) naming an extra stage to insert into the
+// round pipeline without engine edits:
+//
+//   noop                       -- the observably-free seam probe (CI diffs
+//                                 a spliced run byte-for-byte against an
+//                                 unspliced one)
+//   dedup[:window[:mask_slab]] -- duplicate-suppression cache: remembers
+//                                 the last `window` (default 8) packets
+//                                 each receiver decoded and masks redundant
+//                                 deliveries via the delivery-mask slab
+//   tap:slab[:v1,v2,...]       -- read-only probe: a logical counter of
+//                                 the slab's population each round, plus
+//                                 per-vertex trace instants for the listed
+//                                 vertices
+//
+// Splices declare read/write sets like any stage; validate_splice_specs()
+// rejects conflicting combinations (writing a core-owned slab, two
+// splices writing the same slab) before anything is built, so scenario
+// loading can report file:line errors.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/slab.h"
+#include "sim/stage.h"
+
+namespace dg::sim {
+
+struct SpliceSpec {
+  enum class Kind { kNoop, kDedup, kTap };
+
+  Kind kind = Kind::kNoop;
+  std::size_t window = 8;                ///< dedup ring depth
+  Slab mask_slab = Slab::kDeliveryMask;  ///< dedup's write target
+  Slab tap_slab = Slab::kTransmitBitmap;
+  std::vector<std::uint32_t> vertices;   ///< tap's traced vertices
+  std::string text;                      ///< original spec string
+};
+
+/// The grammar summary used in unknown-stage errors and usage text.
+std::string valid_splice_kinds();
+
+/// Parses `text` into `out`; on failure returns false and fills `error`
+/// with an actionable message (out is unspecified).
+bool parse_splice_spec(const std::string& text, SpliceSpec& out,
+                       std::string& error);
+
+/// Declared slab sets of the stage `spec` would build (used for
+/// validation before construction).
+SlabSet splice_reads(const SpliceSpec& spec);
+SlabSet splice_writes(const SpliceSpec& spec);
+
+/// Validates a whole splice list: no spec may write a slab owned by a core
+/// stage, and no two specs may write the same slab.  Returns "" or the
+/// first violation.
+std::string validate_splice_specs(const std::vector<SpliceSpec>& specs);
+
+/// The core stage the spliced stage anchors after ("compute" for noop and
+/// dedup; the tapped slab's owner for taps).
+std::string splice_anchor(const SpliceSpec& spec);
+
+/// Builds the stage.  The spec must have passed validation; `vertex_count`
+/// sizes per-vertex state.
+std::unique_ptr<RoundStage> build_splice_stage(const SpliceSpec& spec,
+                                               std::size_t vertex_count);
+
+}  // namespace dg::sim

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "scn/spec_error.h"
 #include "util/assert.h"
 #include "util/specparse.h"
 
@@ -114,8 +115,7 @@ std::string parse_traffic_spec(const std::string& spec, TrafficSpec& out) {
     out.hot = static_cast<std::size_t>(c);
     return "";
   }
-  return "unknown traffic '" + kind + "' (valid: " + valid_traffic_specs() +
-         ")";
+  return scn::unknown_spec("traffic", kind, valid_traffic_specs());
 }
 
 std::unique_ptr<TrafficSource> build_source(const TrafficSpec& spec,

@@ -175,13 +175,14 @@ const Ev* find_event(const std::vector<Ev>& events, const std::string& name) {
   return nullptr;
 }
 
+const std::vector<std::string> kCoreStages = {
+    "fault", "transmit", "prepare_round", "compute", "receive",
+    "output_flush"};
+
 TEST(ObsTraceSink, PhaseSlicesNestInsideTheRoundTick) {
   TraceSink sink;
-  std::array<std::uint64_t, kPhaseCount> ns{};
-  ns[static_cast<std::size_t>(Phase::kTransmit)] = 3000;
-  ns[static_cast<std::size_t>(Phase::kCompute)] = 6000;
-  ns[static_cast<std::size_t>(Phase::kReceive)] = 1000;
-  sink.round_phases(7, ns);
+  // fault/transmit/prepare/compute/receive/output ns, pipeline order.
+  sink.round_phases(7, kCoreStages, {0, 3000, 0, 6000, 1000, 0});
 
   const auto events = parse_events(sink);
   const Ev* round = find_event(events, "round 7");
@@ -235,12 +236,10 @@ TEST(ObsTraceSink, TimestampsAreMonotonePerTrackInFileOrder) {
   TraceSink sink;
   // Insert deliberately out of timestamp order across tracks.
   sink.crash(9, 2);
-  std::array<std::uint64_t, kPhaseCount> ns{};
-  ns[0] = 100;
-  sink.round_phases(1, ns);
+  sink.round_phases(1, {"transmit"}, {100});
   sink.message_span(2, 50, 2, 3, 4, 8, 0);
   sink.recover(12, 2);
-  sink.round_phases(0, ns);
+  sink.round_phases(0, {"transmit"}, {100});
 
   const auto events = parse_events(sink);
   ASSERT_FALSE(events.empty());
@@ -264,12 +263,12 @@ TEST(ObsTraceSink, RoundRangeFilterDropsOutOfWindowEvents) {
   f.round_hi = 10;
   TraceSink sink(f);
 
-  std::array<std::uint64_t, kPhaseCount> ns{};
-  ns[0] = 10;
-  sink.round_phases(4, ns);   // below the window
-  sink.round_phases(5, ns);   // lower edge: kept
-  sink.round_phases(10, ns);  // upper edge: kept
-  sink.round_phases(11, ns);  // above
+  const std::vector<std::string> names = {"transmit"};
+  const std::vector<std::uint64_t> ns = {10};
+  sink.round_phases(4, names, ns);   // below the window
+  sink.round_phases(5, names, ns);   // lower edge: kept
+  sink.round_phases(10, names, ns);  // upper edge: kept
+  sink.round_phases(11, names, ns);  // above
   sink.crash(3, 0);           // below
   sink.crash(7, 0);           // kept
   // Span ends (ack=4) before the window opens: dropped entirely.
@@ -298,9 +297,8 @@ TEST(ObsTraceSink, VertexFilterScopesMessageAndFaultTracks) {
   sink.message_span(4, 200, 1, 2, 3, 4, 0);  // filtered
   sink.crash(2, 5);                          // kept
   sink.crash(2, 6);                          // filtered
-  std::array<std::uint64_t, kPhaseCount> ns{};
-  ns[0] = 10;
-  sink.round_phases(1, ns);  // engine slices ignore the vertex filter
+  // Engine slices ignore the vertex filter.
+  sink.round_phases(1, {"transmit"}, {10});
 
   const auto events = parse_events(sink);
   EXPECT_NE(find_event(events, "msg 100"), nullptr);

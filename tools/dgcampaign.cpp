@@ -17,6 +17,12 @@
 //                   spec / the DG_ROUND_THREADS default).  Like --threads
 //                   this never moves results: counters are byte-identical
 //                   at every value.
+//   --splice=SPEC   splice an extra stage into every variant's round
+//                   pipeline, after any stages the variant declares (see
+//                   sim/splice.h: noop | dedup[:window[:slab]] |
+//                   tap:slab[:v1,...]).  Validated up front; a write-set
+//                   conflict with a variant's own stages names the variant
+//                   and exits 2.
 //   --out=DIR       report directory (default bench_out); per variant
 //                   SCN_<variant>.json, plus COUNTERS_<campaign>.json (the
 //                   seed-deterministic gating file) and
@@ -40,6 +46,7 @@
 #include "scn/campaign.h"
 #include "scn/scenario.h"
 #include "scn/workload.h"
+#include "sim/splice.h"
 
 namespace {
 
@@ -51,7 +58,8 @@ struct FlagInfo {
 };
 constexpr FlagInfo kValidFlags[] = {
     {"threads", true},   {"filter", true}, {"max-trials", true},
-    {"round-threads", true}, {"out", true}, {"quiet", false},
+    {"round-threads", true}, {"splice", true}, {"out", true},
+    {"quiet", false},
 };
 
 class Flags {
@@ -106,6 +114,13 @@ class Flags {
         const std::string err =
             scn::validate_round_threads_value(values_[key], parsed);
         if (!err.empty()) errors_.push_back("flag '--round-threads': " + err);
+      } else if (key == "splice") {
+        // Shared grammar (sim/splice.h) so dglab rejects identically.
+        sim::SpliceSpec spec;
+        std::string err;
+        if (!sim::parse_splice_spec(values_[key], spec, err)) {
+          errors_.push_back("flag '--splice': " + err);
+        }
       }
     }
   }
@@ -216,6 +231,7 @@ int cmd_run(const std::vector<std::string>& args, const Flags& flags) {
   options.max_trials = static_cast<std::size_t>(flags.uint("max-trials", 0));
   options.round_threads =
       static_cast<std::size_t>(flags.uint("round-threads", 0));
+  options.splice = flags.str("splice", "");
   if (!flags.flag("quiet")) options.progress = &std::cout;
   const std::string out_dir = flags.str("out", "bench_out");
 
@@ -225,6 +241,32 @@ int cmd_run(const std::vector<std::string>& args, const Flags& flags) {
       if (!parsed.ok()) {
         std::cerr << parsed.error << "\n";
         return 2;
+      }
+      if (!options.splice.empty()) {
+        // The forced stage must compose with every variant's own stages:
+        // re-run the load-time write-set validation over the combined
+        // list so a conflict dies here, naming the variant, instead of
+        // contract-aborting mid-campaign.
+        for (const auto& v : parsed.campaign.variants) {
+          std::vector<sim::SpliceSpec> specs;
+          std::string err;
+          for (const std::string& text : v.stages) {
+            sim::SpliceSpec spec;
+            if (sim::parse_splice_spec(text, spec, err)) {
+              specs.push_back(std::move(spec));
+            }
+          }
+          sim::SpliceSpec forced;
+          sim::parse_splice_spec(options.splice, forced, err);
+          specs.push_back(std::move(forced));
+          const std::string conflict = sim::validate_splice_specs(specs);
+          if (!conflict.empty()) {
+            std::cerr << "dgcampaign: --splice=" << options.splice
+                      << " conflicts with variant '" << v.name
+                      << "': " << conflict << "\n";
+            return 2;
+          }
+        }
       }
       if (!flags.flag("quiet")) {
         std::cout << path << ": campaign '" << parsed.campaign.name
@@ -261,7 +303,7 @@ void usage() {
       << "usage: dgcampaign <run|list|validate> <campaign.json|dir>... "
          "[--flags]\n"
          "  --threads=N --filter=SUBSTR --max-trials=N --round-threads=N "
-         "--out=DIR --quiet\n"
+         "--splice=SPEC --out=DIR --quiet\n"
          "see the header of tools/dgcampaign.cpp for details\n";
 }
 

@@ -28,6 +28,11 @@
 //   --round-threads=N  (sharded-round worker cap, N >= 1; omit to use the
 //           DG_ROUND_THREADS default.  Results are byte-identical at every
 //           value -- the flag moves wall clock, never outcomes)
+//   --splice=SPEC  (splice an extra stage into the engine's round
+//           pipeline: noop | dedup[:window[:slab]] | tap:slab[:v1,...];
+//           see sim/splice.h for the grammar.  Applies to run, sweep and
+//           seed; a dedup stage suppresses recently-heard packets, a tap
+//           stage counts slab population per round into the telemetry)
 //   --reuse=1 (phases per seed)  --ablate (private coins)  --trace=N
 // Telemetry flags (run only):
 //   --metrics-out=FILE  write the obs::Registry dump (dg-metrics-v1 JSON;
@@ -92,6 +97,7 @@ constexpr const char* kValidFlags[] = {
     "eps", "seed", "phases", "senders", "ack-scale",            // run
     "sched", "channel", "reuse", "ablate", "trace", "deltas",   // run/sweep
     "traffic", "traffic-cap", "round-threads", "faults",        // environment
+    "splice",                                                   // pipeline
     "metrics-out", "trace-out", "trace-rounds", "trace-vertices",  // obs
 };
 
@@ -171,6 +177,26 @@ std::size_t round_threads_flag(const Flags& flags) {
     std::exit(2);
   }
   return parsed;
+}
+
+/// Builds the engine config shared by the run/sweep/seed subcommands:
+/// the --round-threads cap plus the --splice stage, both validated here
+/// so a typo like --splice=dedupe exits 2 with the valid grammar instead
+/// of a contract abort inside the engine.
+sim::EngineConfig engine_config_flags(const Flags& flags) {
+  sim::EngineConfig config;
+  const std::size_t round_threads = round_threads_flag(flags);
+  if (round_threads != 0) config.with_round_threads(round_threads);
+  if (flags.flag("splice")) {
+    sim::SpliceSpec spec;
+    std::string err;
+    if (!sim::parse_splice_spec(flags.str("splice", ""), spec, err)) {
+      std::cerr << "dglab: --splice: " << err << "\n";
+      std::exit(2);
+    }
+    config.with_splice(std::move(spec));
+  }
+  return config;
 }
 
 // ---- builders ----
@@ -351,8 +377,7 @@ std::unique_ptr<lb::LbSimulation> make_simulation(const Flags& flags,
     sim = std::make_unique<lb::LbSimulation>(g, build_scheduler(flags), params,
                                              master);
   }
-  const std::size_t round_threads = round_threads_flag(flags);
-  if (round_threads != 0) sim->set_round_threads(round_threads);
+  sim->configure(engine_config_flags(flags));
   return sim;
 }
 
@@ -419,8 +444,7 @@ int cmd_seed(const Flags& flags) {
                                            derive_seed(master, 3));
   }
   std::cout << "channel: " << engine->channel().name() << "\n";
-  const std::size_t round_threads = round_threads_flag(flags);
-  if (round_threads != 0) engine->set_round_threads(round_threads);
+  engine->configure(engine_config_flags(flags));
   engine->run_rounds(params.total_rounds());
 
   seed::DecisionVector decisions(g.size());
@@ -685,6 +709,8 @@ void usage() {
                "(trace-event JSON loads in Perfetto)\n"
                "  --trace-rounds=LO:HI --trace-vertices=v1,v2  trace filters\n"
                "  --channel=dual | sinr:alpha,beta,noise  reception physics\n"
+               "  --splice=noop | dedup[:window[:slab]] | tap:slab[:v1,...]"
+               "  extra pipeline stage\n"
                "  --traffic=saturate[:count] | poisson:rate | "
                "burst:period:size[:count] | hotspot:rate:bias[:hot]\n"
                "  --faults=crash:round:vertex[:repair] | "
@@ -727,6 +753,11 @@ int main(int argc, char** argv) {
        flags.flag("faults"))) {
     std::cerr << "dglab: --traffic/--traffic-cap/--faults only apply to "
                  "the 'run' subcommand\n";
+    return 2;
+  }
+  if (cmd == "net" && flags.flag("splice")) {
+    std::cerr << "dglab: --splice only applies to the run/sweep/seed "
+                 "subcommands (net builds no engine)\n";
     return 2;
   }
   if (cmd != "run" &&

@@ -2,7 +2,7 @@
 """Validate a Chrome trace-event JSON file (dglab --trace-out).
 
 Usage: validate_trace.py TRACE.json [--expect-phases] [--expect-span]
-                         [--expect-faults]
+                         [--expect-faults] [--expect-stage NAME]
 
 Checks, in order:
   1. the file parses as JSON and carries a "traceEvents" array
@@ -38,6 +38,11 @@ def main():
                              "is present")
     parser.add_argument("--expect-faults", action="store_true",
                         help="fail unless crash/recover instants are present")
+    parser.add_argument("--expect-stage", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless a slice named NAME is present "
+                             "(repeatable; asserts spliced pipeline stages "
+                             "like 'dedup' show up in the stage timeline)")
     args = parser.parse_args()
 
     try:
@@ -67,6 +72,7 @@ def main():
     saw_acked_span = False
     saw_crash = False
     saw_recover = False
+    saw_stages = set()
 
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
@@ -104,6 +110,8 @@ def main():
             saw_crash = True
         if name == "recover":
             saw_recover = True
+        if name in args.expect_stage:
+            saw_stages.add(name)
 
     if args.expect_phases and not saw_phase:
         errors += 1
@@ -115,6 +123,10 @@ def main():
         errors += 1
         print(f"  missing: fault instants (crash={saw_crash}, "
               f"recover={saw_recover})")
+    for stage in args.expect_stage:
+        if stage not in saw_stages:
+            errors += 1
+            print(f"  missing: stage slice '{stage}'")
 
     n = len(events)
     print(f"validate_trace: {args.trace}: {n} events, "
