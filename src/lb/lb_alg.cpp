@@ -64,6 +64,39 @@ void LbProcess::on_recover(sim::Round round) {
   resync_ = true;
 }
 
+std::int64_t LbProcess::silent_steps(std::int64_t k) {
+  if (k > 0) {
+    // Batched catch-up: k promised-silent rounds completed unstepped.  The
+    // closed form lands the cursor exactly where k calls of
+    // advance_round_position() would have; the promise below never spans a
+    // group start or a segment boundary, so no begin_group / promotion /
+    // seed-commit work can fall inside the jump.
+    pos_in_group_ = (pos_in_group_ + k) % group_len_;
+    seg_round_ = pos_in_group_ < params_.t_s
+                     ? -1
+                     : (pos_in_group_ - params_.t_s) % params_.t_prog;
+    phase_boundary_now_ = pos_in_group_ == 0 ||
+                          (pos_in_group_ > params_.t_s && seg_round_ == 0);
+    segment_end_now_ = seg_round_ == params_.t_prog - 1;
+  }
+
+  // A recovered node idles -- no transmissions, receptions dropped, no
+  // coins -- until the next group start hands it a fresh preamble.
+  if (resync_) return group_len_ - 1 - pos_in_group_;
+
+  // Receiving-state body rounds are silent: transmit() returns nullopt
+  // without drawing coins, receive() ignores null, and the segment-end ack
+  // countdown only runs for senders.  The window ends just before the next
+  // segment boundary so a pending bcast posted mid-window is promoted --
+  // and the next seed committed -- by a real transmit() call, exactly as
+  // on the dense path.  Preamble and sending-state rounds consume
+  // randomness every round, so they never park.
+  if (seg_round_ < 0 || current_.has_value() || !phase_seed_.has_value()) {
+    return 0;
+  }
+  return params_.t_prog - 1 - seg_round_;
+}
+
 void LbProcess::begin_group(sim::RoundContext& ctx) {
   // Every node runs SeedAlg at the start of every group, in either state.
   preamble_.emplace(params_.seed, id(), ctx.rng());

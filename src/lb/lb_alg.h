@@ -85,6 +85,14 @@ class LbProcess final : public sim::Process {
                sim::RoundContext& ctx) override;
   void end_round(sim::RoundContext& ctx) override;
 
+  /// Sparse-round consent (sim/process.h).  Two closed-form silent windows:
+  /// receiving-state body rounds (up to the round before the next segment
+  /// boundary, where a pending bcast could be promoted) and the passive
+  /// post-recovery stretch (up to the round before the next group start).
+  /// Preamble and sending-state rounds draw randomness every round and
+  /// never park.
+  std::int64_t silent_steps(std::int64_t k) override;
+
   /// Fault seam.  A crash drops all protocol state (the wrapper aborts the
   /// in-flight broadcast *before* this fires, so the abort path accounts
   /// for it); recovery re-synchronizes the round cursor to the network-wide

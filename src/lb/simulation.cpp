@@ -231,6 +231,9 @@ void LbSimulation::set_round_threads(std::size_t threads) {
 
 void LbSimulation::configure(const sim::EngineConfig& config) {
   if (config.round_threads != 0) set_round_threads(config.round_threads);
+  if (config.has_sparse_rounds) {
+    engine_->set_sparse_rounds(config.sparse_rounds);
+  }
   if (config.has_fault_plan) {
     // The wrapper owns the listener side (its FaultBridge routes engine
     // fault events through the abort/checker/traffic accounting); a

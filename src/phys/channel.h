@@ -119,6 +119,39 @@ class ChannelModel {
     DG_EXPECTS(!"this channel model does not implement sharded reception");
   }
 
+  /// True when the channel can bound, before reception runs, the set of
+  /// vertices that could possibly hear a non-zero verdict this round
+  /// (fill_frontier below).  Channels that cannot -- or whose bound would
+  /// be the whole vertex set -- keep the default and the engine stays on
+  /// the dense path.
+  virtual bool frontier_capable() const { return false; }
+
+  /// Marks in `frontier` every vertex u whose heard[u] could be non-zero
+  /// this round, given the transmit set: a conservative, schedule-
+  /// independent superset (it may include vertices that end up hearing
+  /// nothing, never the reverse).  Bits already set in `frontier` must be
+  /// left set (the engine pre-seeds fault-event vertices).  Called serially
+  /// once per round, before prepare_round()/compute.
+  virtual void fill_frontier(const Bitmap& transmitting, Bitmap& frontier) {
+    (void)transmitting;
+    (void)frontier;
+    DG_EXPECTS(!"this channel model does not implement frontier reception");
+  }
+
+  /// Serial sparse reception: fills heard[u] for frontier vertices only;
+  /// the caller pre-zeroes heard over the frontier's 64-vertex words and
+  /// guarantees fill_frontier() produced `frontier` from this round's
+  /// transmit set.  The default forwards to compute_round(), which is
+  /// correct whenever compute_round's writes are confined to the frontier
+  /// (true of the dual-graph scatter); channels whose compute_round visits
+  /// every receiver must override with a frontier-limited loop.
+  virtual void compute_frontier(sim::Round round, const Bitmap& transmitting,
+                                std::span<std::uint64_t> heard,
+                                const Bitmap& frontier) {
+    (void)frontier;
+    compute_round(round, transmitting, heard);
+  }
+
   /// Whether deliveries are confined to edges of the bound dual graph.
   /// True for DualGraphChannel (the Section 2 rule *is* the graph);
   /// false by default for physical channels, whose ground truth may

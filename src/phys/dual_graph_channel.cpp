@@ -149,6 +149,25 @@ void DualGraphChannel::compute_shard(sim::Round round,
   }
 }
 
+void DualGraphChannel::fill_frontier(const Bitmap& transmitting,
+                                     Bitmap& frontier) {
+  const graph::DualGraph& g = *graph_;
+  // Conservative superset of this round's hearers: reliable neighbors plus
+  // *all* unreliable-incident endpoints of every transmitter, regardless of
+  // which edges the scheduler (or an adaptive adversary) activates.  Being
+  // schedule-independent keeps the scheduler's RNG consumption and the
+  // adaptive plan_round() call order byte-identical to the dense path; the
+  // cost is O(sum deg(tx)), the same order as the scatter itself.
+  transmitting.for_each_set([&](std::size_t vi) {
+    const auto v = static_cast<graph::Vertex>(vi);
+    for (graph::Vertex u : g.g_neighbors(v)) frontier.set(u);
+    for (const auto& [edge, u] : g.unreliable_incident(v)) {
+      (void)edge;
+      frontier.set(u);
+    }
+  });
+}
+
 std::string DualGraphChannel::name() const {
   return "dual-graph(" + scheduler_->name() + ")";
 }

@@ -44,6 +44,14 @@ class DualGraphChannel final : public ChannelModel {
                      std::span<std::uint64_t> heard, graph::Vertex begin,
                      graph::Vertex end) override;
   bool respects_dual_graph() const override { return true; }
+  /// Frontier: every G-neighbor of a transmitter plus every unreliable-
+  /// incident endpoint, whether or not the edge fires -- a schedule-
+  /// independent superset, so the mask never consumes a scheduler draw.
+  /// The serial sparse path keeps the inherited compute_frontier() default
+  /// (forward to compute_round()): the scatter's writes are confined to
+  /// exactly this frontier.
+  bool frontier_capable() const override { return true; }
+  void fill_frontier(const Bitmap& transmitting, Bitmap& frontier) override;
   std::string name() const override;
 
   const sim::LinkScheduler& scheduler() const noexcept { return *scheduler_; }

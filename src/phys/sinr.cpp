@@ -77,6 +77,59 @@ void SinrChannel::bind(const graph::DualGraph& g, std::uint64_t master_seed) {
   tx_cells_.clear();
   tx_cells_.reserve(cells_.size());
   far_field_.assign(cells_.size(), 0.0);
+  frontier_tx_seen_.assign(cells_.size(), 0);
+  frontier_cell_seen_.assign(cells_.size(), 0);
+  frontier_tx_touched_.clear();
+  frontier_touched_.clear();
+}
+
+void SinrChannel::fill_frontier(const Bitmap& transmitting, Bitmap& frontier) {
+  // Every decodable sender of a receiver in cell rc lives in a cell of
+  // cells_[rc].near (bind() sizes the near radius to the max decodable
+  // range), and min_cell_distance is symmetric, so the possible hearers of
+  // a transmitter in cell tc are exactly the members of cells_[tc].near.
+  // Dedup through the touched-flag scratch keeps the cost O(activity).
+  transmitting.for_each_set([&](std::size_t vi) {
+    const std::size_t tc = cell_of_vertex_[vi];
+    if (frontier_tx_seen_[tc] != 0) return;
+    frontier_tx_seen_[tc] = 1;
+    frontier_tx_touched_.push_back(tc);
+    for (std::size_t nc : cells_[tc].near) {
+      if (frontier_cell_seen_[nc] != 0) continue;
+      frontier_cell_seen_[nc] = 1;
+      frontier_touched_.push_back(nc);
+      for (graph::Vertex u : cells_[nc].members) frontier.set(u);
+    }
+  });
+  for (std::size_t c : frontier_tx_touched_) frontier_tx_seen_[c] = 0;
+  for (std::size_t c : frontier_touched_) frontier_cell_seen_[c] = 0;
+  frontier_tx_touched_.clear();
+  frontier_touched_.clear();
+}
+
+void SinrChannel::compute_frontier(sim::Round round, const Bitmap& transmitting,
+                                   std::span<std::uint64_t> heard,
+                                   const Bitmap& frontier) {
+  // Same staging as the sharded path, then the verdict loop over maximal
+  // runs of non-empty frontier words only.  Visiting a non-frontier vertex
+  // inside a frontier word is harmless (its verdict is clears == 0, no
+  // write); skipping empty words is where the sparsity pays.
+  prepare_round(round, transmitting);
+  const auto words = frontier.words();
+  const auto n = static_cast<graph::Vertex>(positions_.size());
+  std::size_t w = 0;
+  while (w < words.size()) {
+    if (words[w] == 0) {
+      ++w;
+      continue;
+    }
+    std::size_t w_end = w + 1;
+    while (w_end < words.size() && words[w_end] != 0) ++w_end;
+    const auto begin = static_cast<graph::Vertex>(w * 64);
+    const auto end = std::min(static_cast<graph::Vertex>(w_end * 64), n);
+    compute_shard(round, transmitting, heard, begin, end);
+    w = w_end;
+  }
 }
 
 void SinrChannel::compute_round(sim::Round round, const Bitmap& transmitting,

@@ -100,6 +100,17 @@ class SinrChannel final : public ChannelModel {
   void compute_shard(sim::Round round, const Bitmap& transmitting,
                      std::span<std::uint64_t> heard, graph::Vertex begin,
                      graph::Vertex end) override;
+  /// Frontier: noise > 0 bounds the decodable range, and near sets are
+  /// symmetric in min_cell_distance, so every possible hearer lives in a
+  /// near cell of some transmitter cell.  fill_frontier() unions those
+  /// cells' members (deduped with O(activity) touched-flag scratch);
+  /// compute_frontier() runs prepare_round() plus the verdict loop over
+  /// frontier words only.
+  bool frontier_capable() const override { return true; }
+  void fill_frontier(const Bitmap& transmitting, Bitmap& frontier) override;
+  void compute_frontier(sim::Round round, const Bitmap& transmitting,
+                        std::span<std::uint64_t> heard,
+                        const Bitmap& frontier) override;
   std::string name() const override;
 
   const SinrParams& params() const noexcept { return params_; }
@@ -128,6 +139,13 @@ class SinrChannel final : public ChannelModel {
   std::vector<std::vector<graph::Vertex>> cell_tx_;  ///< transmitters per cell
   std::vector<std::size_t> tx_cells_;                ///< touched cell indices
   std::vector<double> far_field_;                    ///< per receiver cell
+
+  // fill_frontier() dedup scratch: flags + touched lists so each call costs
+  // O(activity), not O(cell count).  Sized at bind(), reset after each use.
+  std::vector<std::uint8_t> frontier_tx_seen_;    ///< tx cell already expanded
+  std::vector<std::uint8_t> frontier_cell_seen_;  ///< cell already unioned
+  std::vector<std::size_t> frontier_tx_touched_;  ///< tx flags to reset
+  std::vector<std::size_t> frontier_touched_;     ///< cell flags to reset
 
   util::ThreadPool* pool_ = nullptr;  ///< engine's pool; idle when we run
 };

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 
 #include "sim/packet.h"
@@ -109,6 +110,16 @@ class SeedProcess final : public sim::Process {
   std::optional<sim::Packet> transmit(sim::RoundContext& ctx) override;
   void receive(const std::optional<sim::Packet>& packet,
                sim::RoundContext& ctx) override;
+
+  /// Sparse-round consent: once the runner is done the process idles
+  /// forever (transmit() always nullopt, no coins, receptions ignored), so
+  /// it promises an effectively unbounded silent horizon.  The catch-up
+  /// side is a no-op -- the done state is absorbing and carries no cursor.
+  std::int64_t silent_steps(std::int64_t k) override {
+    (void)k;
+    if (!runner_.done()) return 0;
+    return std::numeric_limits<std::int64_t>::max() / 2;
+  }
 
   /// All state lives in the per-vertex runner; no outbound callbacks.
   bool shard_safe() const override { return true; }

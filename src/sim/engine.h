@@ -162,6 +162,25 @@ class Engine {
   /// = that many threads, unset/invalid = 1).
   static std::size_t default_round_threads();
 
+  /// Whether new engines start with activity-driven sparse rounds enabled:
+  /// the DG_SPARSE_ROUNDS environment variable ("0"/"off"/"false" disables;
+  /// anything else, including unset, enables).
+  static bool default_sparse_rounds();
+
+  /// Enables/disables activity-driven sparse rounds (frontier masks,
+  /// dirty-word heard_ zeroing, batched silent steps; see docs/PIPELINE.md).
+  /// Like round_threads, the knob is an upper bound, never a semantics
+  /// switch: the engine falls back to the dense dispatch whenever the
+  /// channel cannot bound the frontier (frontier_capable() false) or a
+  /// spliced stage is installed (splices read heard_ over every vertex),
+  /// and results are byte-identical either way.  Disabling mid-run flushes
+  /// parked processes (batched silent_steps catch-up) first.
+  /// Deprecated forwarder for configure().
+  void set_sparse_rounds(bool on);
+  bool sparse_rounds() const noexcept { return sparse_enabled_; }
+  /// True when the next round will take the sparse dispatch.
+  bool sparse_rounds_active() const noexcept { return sparse_supported_; }
+
   /// Caps the threads a round may use (>= 1; 1 = the serial loop).  The
   /// engine still falls back to the serial loop whenever the vertex count
   /// yields fewer than two blocks, a process is not shard_safe() or the
@@ -248,6 +267,21 @@ class Engine {
   void apply_fault_plan(fault::FaultPlan* plan,
                         fault::FaultListener* listener);
   void apply_telemetry(obs::Registry* registry, obs::TraceSink* sink);
+  void apply_sparse_rounds(bool on);
+
+  /// Recomputes sparse_supported_ from the knob, the channel and the
+  /// installed splices; allocates the sparse bookkeeping on first support.
+  void update_sparse_support();
+
+  /// Resets the sparse bookkeeping to "everyone stepped through round_,
+  /// nobody parked (crashed vertices parked forever)" -- the state after a
+  /// dense round, used when sparse dispatch (re-)engages.
+  void reset_sparse_state();
+
+  /// Catches every parked process up to round_ via one batched
+  /// silent_steps() call, then resets the bookkeeping -- required before
+  /// the dense dispatch (which steps every vertex) can take over mid-run.
+  void flush_parked();
 
   /// (Re)creates the profiler against registry_ and assigns every pipeline
   /// slot its timing slot, in pipeline order.  Registry counters are keyed
@@ -295,6 +329,8 @@ class Engine {
   std::uint64_t* m_recoveries_ = nullptr;
   std::uint64_t* m_dispatch_serial_ = nullptr;
   std::uint64_t* m_dispatch_sharded_ = nullptr;
+  std::uint64_t* m_active_blocks_ = nullptr;
+  double* m_frontier_fraction_ = nullptr;
   obs::Registry::Histogram* m_tx_per_round_ = nullptr;
 
   std::size_t round_threads_ = 1;
@@ -319,6 +355,27 @@ class Engine {
   /// mask-writing spliced stage, reset by the driver).
   Bitmap delivery_mask_;
   bool deliver_masked_ = false;
+
+  // ---- activity-driven sparse rounds (see docs/PIPELINE.md) ----
+  // The frontier stage computes frontier_ (Slab::kActivityMask) each round:
+  // every vertex whose heard_ word could be non-zero.  Compute zeroes and
+  // fills only frontier words (entries outside them are stale and never
+  // read); transmit/receive/output skip words whose every vertex is parked
+  // on a silent promise.  Bookkeeping invariants while sparse is active:
+  // last_stepped_[v] = the round through which v's cursor has advanced
+  // (batched silent_steps() jumps included); silent_until_[v] >= t means v
+  // is parked at round t (crashed vertices park forever and are restored
+  // by the fault stage on recovery); word_silent_until_[w] is a
+  // conservative (<= actual) minimum over word w's vertices.
+  bool sparse_enabled_ = true;     ///< the knob (config / DG_SPARSE_ROUNDS)
+  bool sparse_supported_ = false;  ///< knob && channel && no splices
+  bool sparse_active_ = false;     ///< this round runs the sparse dispatch
+  Bitmap frontier_;                          ///< Slab::kActivityMask
+  std::vector<std::size_t> active_words_;    ///< non-zero frontier words
+  std::vector<std::uint8_t> block_active_;   ///< per shard block, sharded
+  std::vector<Round> last_stepped_;
+  std::vector<Round> silent_until_;
+  std::vector<Round> word_silent_until_;
 
   // The stage pipeline: core stages (owned via stages_) plus splices
   // (owned by the pipeline), walked in order by run_pipeline().

@@ -45,6 +45,13 @@ struct EngineConfig {
   obs::Registry* registry = nullptr;
   obs::TraceSink* trace_sink = nullptr;
 
+  /// Activity-driven sparse rounds (frontier masks + batched silent steps;
+  /// see docs/PIPELINE.md) -- only applied when has_sparse_rounds is set,
+  /// so a default config keeps the engine's current setting (which starts
+  /// from the DG_SPARSE_ROUNDS environment knob, default on).
+  bool has_sparse_rounds = false;
+  bool sparse_rounds = true;
+
   /// Extra stages spliced into the round pipeline, in installation order.
   /// Must have passed validate_splice_specs().
   std::vector<SpliceSpec> splices;
@@ -65,6 +72,11 @@ struct EngineConfig {
     has_telemetry = true;
     registry = reg;
     trace_sink = sink;
+    return *this;
+  }
+  EngineConfig& with_sparse_rounds(bool on) {
+    has_sparse_rounds = true;
+    sparse_rounds = on;
     return *this;
   }
   EngineConfig& with_splice(SpliceSpec spec) {

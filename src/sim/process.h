@@ -68,6 +68,35 @@ class Process {
   virtual void on_crash(Round round) { (void)round; }
   virtual void on_recover(Round round) { (void)round; }
 
+  /// Sparse-round consent (mirrors shard_safe()).  The engine calls this in
+  /// two ways:
+  ///
+  ///  * `silent_steps(0)` -- a pure promise query.  The return value j >= 0
+  ///    is the number of FUTURE rounds this process promises to be silent
+  ///    for, PROVIDED it keeps receiving only null receptions: during those
+  ///    rounds it would not transmit, emit no outputs, draw no randomness,
+  ///    and treat receive(nullopt)/end_round() as no-ops.  Returning 0
+  ///    (the default) opts out -- the engine steps the process every round.
+  ///
+  ///  * `silent_steps(k)` with k > 0 -- a batched catch-up.  The engine
+  ///    reports that k consecutive promised-silent rounds have completed
+  ///    without being stepped; the process must advance its round-position
+  ///    cursor by k (a closed-form jump, no per-round work) so its state is
+  ///    exactly what k individual silent rounds would have produced.  The
+  ///    return value is a fresh promise for the rounds after the jump.
+  ///
+  /// A promise is conditional: if anything arrives (a count==1 delivery) or
+  /// a fault event fires, the engine catches the process up and resumes
+  /// per-round stepping, so the observable execution is byte-identical to
+  /// the dense path.  Invoked under the same concurrency discipline as
+  /// transmit()/receive(): serially in serial rounds, from the owning
+  /// block's worker in sharded rounds (sharding already requires
+  /// shard_safe() consent from every process).
+  virtual std::int64_t silent_steps(std::int64_t k) {
+    (void)k;
+    return 0;
+  }
+
   /// True when transmit()/receive()/end_round() touch only this process's
   /// own state (plus its RoundContext rng), so the engine may run different
   /// vertices' steps concurrently within a phase.  Processes whose callbacks

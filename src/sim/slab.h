@@ -22,8 +22,9 @@ enum class Slab : std::uint32_t {
   kCrashedBitmap = 3,   ///< bit v = v is down
   kRngStreams = 4,      ///< per-vertex process random streams
   kDeliveryMask = 5,    ///< bit u = suppress delivery to u (splice-owned)
+  kActivityMask = 6,    ///< bit v = v's word may hear something this round
 };
-inline constexpr std::size_t kSlabCount = 6;
+inline constexpr std::size_t kSlabCount = 7;
 
 /// A set of slabs, one bit per Slab enumerator.
 using SlabSet = std::uint32_t;
@@ -44,6 +45,7 @@ inline const char* slab_name(Slab s) {
     case Slab::kCrashedBitmap: return "crashed_bitmap";
     case Slab::kRngStreams: return "rng_streams";
     case Slab::kDeliveryMask: return "delivery_mask";
+    case Slab::kActivityMask: return "activity_mask";
   }
   return "?";
 }
@@ -81,6 +83,7 @@ inline const char* slab_owner(Slab s) {
     case Slab::kCrashedBitmap: return "fault";
     case Slab::kRngStreams: return "output_flush";
     case Slab::kDeliveryMask: return "";
+    case Slab::kActivityMask: return "frontier";
   }
   return "";
 }

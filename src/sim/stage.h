@@ -52,13 +52,19 @@ struct RoundState {
   std::int64_t round = 0;
   bool faults = false;   ///< a fault plan is installed
   bool sharded = false;  ///< this round runs the block-parallel dispatch
+  /// This round runs the activity-driven sparse dispatch: compute/receive
+  /// visit only frontier words, heard entries outside them are stale.
+  /// Never true while spliced stages are installed (see docs/PIPELINE.md).
+  bool sparse = false;
   std::size_t vertex_count = 0;
+  std::size_t block_size = 0;  ///< sharded partition stride (0 when serial)
 
   Bitmap* transmitting = nullptr;        ///< Slab::kTransmitBitmap
   std::vector<Packet>* packets = nullptr;       ///< Slab::kPacketSlab
   std::vector<std::uint64_t>* heard = nullptr;  ///< Slab::kHeardWords
   Bitmap* crashed = nullptr;             ///< Slab::kCrashedBitmap
   Bitmap* delivery_mask = nullptr;       ///< Slab::kDeliveryMask
+  const Bitmap* activity = nullptr;      ///< Slab::kActivityMask (frontier)
   /// Set true by a mask-writing stage to arm the ReceiveStage mask check
   /// for this round; reset by the driver at round start.
   bool* deliver_masked = nullptr;

@@ -11,6 +11,13 @@
 #define DG_SIMD_X86 0
 #endif
 
+#if defined(__aarch64__) && (defined(__GNUC__) || defined(__clang__))
+#define DG_SIMD_NEON 1
+#include <arm_neon.h>
+#else
+#define DG_SIMD_NEON 0
+#endif
+
 namespace dg::util::simd {
 
 // ---- scalar references (the semantic definition both paths must match) ----
@@ -149,10 +156,107 @@ bool detect_avx2() noexcept {
 
 #endif  // DG_SIMD_X86
 
+#if DG_SIMD_NEON
+
+namespace {
+
+// Low 64 bits of the per-lane product.  NEON has no 64x64 multiply either;
+// same decomposition as the AVX2 mul64 above, using the widening 32x32
+// multiplies: a_lo*b_lo + ((a_hi*b_lo + a_lo*b_hi) << 32).
+inline uint64x2_t mul64_neon(uint64x2_t a, uint64x2_t b) {
+  const uint32x2_t a_lo = vmovn_u64(a);
+  const uint32x2_t b_lo = vmovn_u64(b);
+  const uint32x2_t a_hi = vshrn_n_u64(a, 32);
+  const uint32x2_t b_hi = vshrn_n_u64(b, 32);
+  uint64x2_t cross = vmull_u32(a_hi, b_lo);
+  cross = vmlal_u32(cross, a_lo, b_hi);
+  return vaddq_u64(vmull_u32(a_lo, b_lo), vshlq_n_u64(cross, 32));
+}
+
+inline uint64x2_t v_splitmix64_neon(uint64x2_t x) {
+  x = vaddq_u64(x, vdupq_n_u64(0x9e3779b97f4a7c15ULL));
+  x = mul64_neon(veorq_u64(x, vshrq_n_u64(x, 30)),
+                 vdupq_n_u64(0xbf58476d1ce4e5b9ULL));
+  x = mul64_neon(veorq_u64(x, vshrq_n_u64(x, 27)),
+                 vdupq_n_u64(0x94d049bb133111ebULL));
+  return veorq_u64(x, vshrq_n_u64(x, 31));
+}
+
+void fill_hash_threshold_neon(std::uint64_t* words, std::size_t n_bits,
+                              std::uint64_t seed, std::uint64_t mul,
+                              std::uint64_t add, std::uint64_t threshold) {
+  const std::size_t full_words = n_bits / 64;
+  const uint64x2_t vmul = vdupq_n_u64(mul);
+  const uint64x2_t vadd = vdupq_n_u64(add);
+  const uint64x2_t vseed = vdupq_n_u64(seed);
+  const uint64x2_t vthresh = vdupq_n_u64(threshold);
+  uint64x2_t e = vcombine_u64(vcreate_u64(0), vcreate_u64(1));
+  const uint64x2_t two = vdupq_n_u64(2);
+  for (std::size_t w = 0; w < full_words; ++w) {
+    std::uint64_t bits = 0;
+    for (unsigned group = 0; group < 32; ++group) {
+      const uint64x2_t inner =
+          v_splitmix64_neon(vaddq_u64(mul64_neon(e, vmul), vadd));
+      const uint64x2_t h = v_splitmix64_neon(veorq_u64(vseed, inner));
+      const uint64x2_t lt = vcltq_u64(h, vthresh);  // all-ones per hit lane
+      bits |= ((vgetq_lane_u64(lt, 0) & 1) |
+               ((vgetq_lane_u64(lt, 1) & 1) << 1))
+              << (group * 2);
+      e = vaddq_u64(e, two);
+    }
+    words[w] = bits;
+  }
+  if (n_bits % 64 != 0) {
+    fill_hash_threshold_scalar(words + full_words, n_bits % 64, seed, mul,
+                               full_words * 64 * mul + add, threshold);
+  }
+}
+
+void fill_flicker_neon(std::uint64_t* words, std::size_t n_bits,
+                       const std::int64_t* phase, std::int64_t base,
+                       std::int64_t period, std::int64_t duty) {
+  const std::size_t full_words = n_bits / 64;
+  const int64x2_t vbase = vdupq_n_s64(base);
+  const int64x2_t vperiod = vdupq_n_s64(period);
+  const int64x2_t vduty = vdupq_n_s64(duty);
+  for (std::size_t w = 0; w < full_words; ++w) {
+    std::uint64_t bits = 0;
+    for (unsigned group = 0; group < 32; ++group) {
+      const std::size_t e = w * 64 + group * 2;
+      int64x2_t pos = vaddq_s64(vbase, vld1q_s64(phase + e));
+      // pos in [0, 2*period): subtract period once where pos >= period.
+      const uint64x2_t wrap = vcgeq_s64(pos, vperiod);
+      pos = vsubq_s64(pos, vreinterpretq_s64_u64(vandq_u64(
+                               wrap, vreinterpretq_u64_s64(vperiod))));
+      const uint64x2_t lt = vcltq_s64(pos, vduty);
+      bits |= ((vgetq_lane_u64(lt, 0) & 1) |
+               ((vgetq_lane_u64(lt, 1) & 1) << 1))
+              << (group * 2);
+    }
+    words[w] = bits;
+  }
+  if (n_bits % 64 != 0) {
+    fill_flicker_scalar(words + full_words, n_bits % 64,
+                        phase + full_words * 64, base, period, duty);
+  }
+}
+
+}  // namespace
+
+#endif  // DG_SIMD_NEON
+
 bool have_avx2() noexcept {
 #if DG_SIMD_X86
   static const bool have = detect_avx2();
   return have;
+#else
+  return false;
+#endif
+}
+
+bool have_neon() noexcept {
+#if DG_SIMD_NEON
+  return true;
 #else
   return false;
 #endif
@@ -166,6 +270,9 @@ void fill_hash_threshold(std::uint64_t* words, std::size_t n_bits,
     fill_hash_threshold_avx2(words, n_bits, seed, mul, add, threshold);
     return;
   }
+#elif DG_SIMD_NEON
+  fill_hash_threshold_neon(words, n_bits, seed, mul, add, threshold);
+  return;
 #endif
   fill_hash_threshold_scalar(words, n_bits, seed, mul, add, threshold);
 }
@@ -178,6 +285,9 @@ void fill_flicker(std::uint64_t* words, std::size_t n_bits,
     fill_flicker_avx2(words, n_bits, phase, base, period, duty);
     return;
   }
+#elif DG_SIMD_NEON
+  fill_flicker_neon(words, n_bits, phase, base, period, duty);
+  return;
 #endif
   fill_flicker_scalar(words, n_bits, phase, base, period, duty);
 }

@@ -22,6 +22,11 @@ namespace dg::util::simd {
 /// True when the dispatching kernels take the AVX2 path on this machine.
 bool have_avx2() noexcept;
 
+/// True when the dispatching kernels take the NEON path on this machine
+/// (AArch64, where AdvSIMD is architecturally mandatory -- so this is a
+/// compile-time fact surfaced at runtime for symmetry with have_avx2()).
+bool have_neon() noexcept;
+
 /// words[e/64] bit e%64 = splitmix64(seed ^ splitmix64(e*mul + add))
 ///                        < threshold, for e in [0, n_bits).
 /// This is the shared hash shape of the Bernoulli (mul = FNV prime,

@@ -25,8 +25,11 @@
 #include "lb/simulation.h"
 #include "obs/registry.h"
 #include "phys/sinr.h"
+#include "seed/seed_alg.h"
 #include "sim/engine.h"
+#include "sim/engine_config.h"
 #include "sim/scheduler.h"
+#include "sim/splice.h"
 #include "traffic/spec.h"
 #include "util/rng.h"
 
@@ -455,6 +458,244 @@ TEST(EngineShardProperty, RandomizedTopologySweep) {
         geometric(140 + 17 * seed, seed),
         [] { return std::make_unique<BernoulliScheduler>(0.35); }, 20,
         0x900 + seed, "random sweep seed=" + std::to_string(seed));
+  }
+}
+
+// ---- sparse-vs-dense differential: the activity-driven round path ----
+//
+// Every suite above already runs with the session default (sparse on unless
+// DG_SPARSE_ROUNDS=0), so the dense-generated goldens double as a sparse
+// regression net.  This section pins the two dispatches against each other
+// *explicitly*: the same execution with sparse rounds forced on and forced
+// off must be byte-identical -- observer stream, process end state, traffic
+// and degradation ledgers, logical telemetry -- at every thread count.
+
+/// run_once with the sparse knob forced, instead of the session default.
+RunResult run_once_sparse(const graph::DualGraph& g,
+                          const std::function<std::unique_ptr<LinkScheduler>()>&
+                              make_scheduler,
+                          std::size_t round_threads, Round rounds,
+                          std::uint64_t master_seed, bool sparse) {
+  auto sched = make_scheduler();
+  Engine engine(g, *sched, shard_coins(g.size(), master_seed ^ 0x5eedULL),
+                master_seed);
+  engine.set_round_threads(round_threads);
+  engine.set_sparse_rounds(sparse);
+  EXPECT_EQ(engine.sparse_rounds_active(), sparse);
+  StreamObserver stream;
+  engine.add_observer(&stream);
+  engine.run_rounds(rounds);
+  RunResult result;
+  result.events = stream.events();
+  for (graph::Vertex v = 0; v < g.size(); ++v) {
+    result.heard.push_back(
+        dynamic_cast<const ShardCoinProcess&>(engine.process(v)).heard_hash());
+  }
+  return result;
+}
+
+void expect_sparse_invariant(
+    const graph::DualGraph& g,
+    const std::function<std::unique_ptr<LinkScheduler>()>& make_scheduler,
+    Round rounds, std::uint64_t master_seed, const std::string& what) {
+  for (std::size_t threads : kThreadCounts) {
+    const RunResult dense =
+        run_once_sparse(g, make_scheduler, threads, rounds, master_seed,
+                        /*sparse=*/false);
+    const RunResult sparse =
+        run_once_sparse(g, make_scheduler, threads, rounds, master_seed,
+                        /*sparse=*/true);
+    ASSERT_EQ(dense.events.size(), sparse.events.size())
+        << what << " @ " << threads << " threads";
+    for (std::size_t i = 0; i < dense.events.size(); ++i) {
+      ASSERT_EQ(dense.events[i], sparse.events[i])
+          << what << " @ " << threads << " threads, event " << i;
+    }
+    ASSERT_EQ(dense.heard, sparse.heard)
+        << what << " @ " << threads << " threads (process state)";
+  }
+}
+
+TEST(EngineSparseDifferential, CoinHarnessAcrossTopologies) {
+  expect_sparse_invariant(
+      graph::grid(12, 12, 1.0, 1.5),
+      [] { return std::make_unique<BernoulliScheduler>(0.5); }, 40, 0xA01,
+      "grid/bernoulli");
+  expect_sparse_invariant(
+      geometric(150, 88), [] { return std::make_unique<BurstScheduler>(5, 0.4); },
+      40, 0xA02, "geometric/burst");
+  // Word-boundary shapes: the frontier bitmap and the per-word park
+  // minimums live on 64-vertex granularity.
+  for (std::size_t n : {63u, 65u, 129u}) {
+    expect_sparse_invariant(
+        geometric(n, 0xA000 + n),
+        [] { return std::make_unique<BernoulliScheduler>(0.4); }, 24,
+        0xA10 + n, "odd-n n=" + std::to_string(n));
+  }
+}
+
+TEST(EngineSparseDifferential, SinrChannel) {
+  // The SINR frontier (near-cell membership of transmitter cells) against
+  // the full-range dense verdict loop.
+  const auto g = graph::grid(14, 14, 1.0, 1.5);
+  const auto run = [&](std::size_t threads, bool sparse) {
+    phys::SinrParams params;
+    phys::SinrChannel channel(params);
+    Engine engine(g, channel, shard_coins(g.size(), 0xB0B ^ 0x5eedULL), 0xB0B);
+    engine.set_round_threads(threads);
+    engine.set_sparse_rounds(sparse);
+    EXPECT_EQ(engine.sparse_rounds_active(), sparse);
+    StreamObserver stream;
+    engine.add_observer(&stream);
+    engine.run_rounds(32);
+    return stream.events();
+  };
+  for (std::size_t threads : kThreadCounts) {
+    const auto dense = run(threads, false);
+    const auto sparse = run(threads, true);
+    ASSERT_EQ(dense.size(), sparse.size()) << threads << " threads";
+    for (std::size_t i = 0; i < dense.size(); ++i) {
+      ASSERT_EQ(dense[i], sparse[i]) << threads << " threads, event " << i;
+    }
+  }
+}
+
+TEST(EngineSparseDifferential, LbStackMatrix) {
+  // The full LB stack -- where silent_steps() actually parks vertices
+  // (receiving-state bodies, post-recovery stretches, done seed runners) --
+  // across topology x traffic shape x fault plan x thread count.
+  struct Topo {
+    const char* name;
+    graph::DualGraph g;
+  };
+  const Topo topos[] = {{"grid", graph::grid(10, 10, 1.0, 1.5)},
+                        {"geometric", geometric(150, 77)}};
+  const char* traffics[] = {"poisson:0.05", "burst:48:3", "hotspot:0.05:0.7"};
+
+  for (const Topo& topo : topos) {
+    lb::LbScales scales;
+    scales.ack_scale = 0.02;
+    const auto params = lb::LbParams::calibrated(
+        0.1, 1.5, topo.g.delta(), topo.g.delta_prime(), scales);
+    for (const char* traffic : traffics) {
+      for (bool faults : {false, true}) {
+        const auto run = [&](std::size_t threads, bool sparse) {
+          traffic::TrafficSpec tspec;
+          EXPECT_EQ(traffic::parse_traffic_spec(traffic, tspec), "");
+          fault::FaultSpec fspec;
+          EXPECT_EQ(fault::parse_fault_spec("poisson:0.1:96", fspec), "");
+          lb::LbSimulation sim(topo.g,
+                               std::make_unique<BernoulliScheduler>(0.5),
+                               params, /*master_seed=*/2030);
+          sim.configure(EngineConfig{}
+                            .with_round_threads(threads)
+                            .with_sparse_rounds(sparse));
+          EXPECT_EQ(sim.engine().sparse_rounds_active(), sparse);
+          StreamObserver stream;
+          sim.add_observer(&stream);
+          sim.add_traffic(traffic::build_source(
+              tspec, topo.g.size(), derive_seed(2030, 0x7fcULL)));
+          std::unique_ptr<fault::FaultPlan> plan;
+          if (faults) {
+            plan = fault::build_fault_plan(fspec);
+            sim.set_fault_plan(plan.get());
+          }
+          sim.run_phases(2);
+          auto all = ledger(sim.traffic().stats());
+          const lb::DegradationLedger& led = sim.ledger();
+          all.insert(all.end(),
+                     {led.crashes, led.recoveries, led.restab_count,
+                      led.restab_rounds_sum, led.fault_rounds,
+                      led.acks_in_fault_rounds});
+          return std::make_pair(stream.events(), all);
+        };
+        const std::string what = std::string(topo.name) + "/" + traffic +
+                                 (faults ? "/faults" : "/no-faults");
+        // The full thread sweep rides on the poisson shape; the other
+        // shapes check the serial and widest-parallel endpoints.
+        const bool full_sweep = std::string(traffic).rfind("poisson", 0) == 0;
+        for (std::size_t threads : kThreadCounts) {
+          if (!full_sweep && threads != 1 && threads != 8) continue;
+          const auto dense = run(threads, false);
+          const auto sparse = run(threads, true);
+          ASSERT_EQ(dense.second, sparse.second)
+              << what << " @ " << threads << " threads (ledgers)";
+          ASSERT_EQ(dense.first.size(), sparse.first.size())
+              << what << " @ " << threads << " threads";
+          for (std::size_t i = 0; i < dense.first.size(); ++i) {
+            ASSERT_EQ(dense.first[i], sparse.first[i])
+                << what << " @ " << threads << " threads, event " << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(EngineSparseDifferential, LogicalMetricsByteIdenticalAcrossSparse) {
+  // The logical telemetry domain must not leak which dispatch ran; the
+  // sparse-only counters (engine.active_blocks, engine.frontier_fraction)
+  // live in the excluded timing domain.
+  const auto g = graph::grid(16, 16, 1.0, 1.5);
+  const auto run = [&](bool sparse) {
+    BernoulliScheduler sched(0.5);
+    Engine engine(g, sched, shard_coins(g.size(), 0xAB5eedULL), 0xAB);
+    engine.set_sparse_rounds(sparse);
+    obs::Registry registry;
+    engine.set_telemetry(&registry);
+    engine.run_rounds(48);
+    return registry.json(/*include_timing=*/false);
+  };
+  ASSERT_EQ(run(false), run(true));
+}
+
+TEST(EngineSparseDifferential, SpliceForcesDenseAndFlushesParked) {
+  // Spliced stages see the heard slab, whose non-frontier entries are stale
+  // under sparse dispatch, so installing one must drop the engine to dense
+  // rounds -- including mid-run, where already-parked vertices are caught
+  // up (flushed) before the first spliced round.  Seed processes park
+  // forever once their runner is done, making them the sharpest fixture.
+  const auto g = graph::grid(8, 8, 1.0, 1.5);
+  const auto seed_params = seed::SeedAlgParams::make(0.1, g.delta());
+  const auto run = [&](bool sparse) {
+    const auto ids = assign_ids(g.size(), 7);
+    std::vector<std::unique_ptr<Process>> procs;
+    Rng init(99);
+    for (graph::Vertex v = 0; v < g.size(); ++v) {
+      procs.push_back(
+          std::make_unique<seed::SeedProcess>(seed_params, ids[v], init));
+    }
+    BernoulliScheduler sched(0.5);
+    Engine engine(g, sched, std::move(procs), 1234);
+    engine.set_sparse_rounds(sparse);
+    StreamObserver stream;
+    engine.add_observer(&stream);
+    // Phase 1: the full SeedAlg run plus a parked stretch.
+    engine.run_rounds(seed_params.total_rounds() + 16);
+    EXPECT_EQ(engine.sparse_rounds_active(), sparse);
+    // Phase 2: a mid-run noop splice forces dense dispatch from here on
+    // (and flushes the parked cursors); a noop is byte-free, so the dense
+    // reference needs no matching splice semantics.
+    SpliceSpec spec;
+    std::string error;
+    EXPECT_TRUE(parse_splice_spec("noop", spec, error)) << error;
+    EXPECT_EQ(engine.splice_stage(spec), "");
+    EXPECT_FALSE(engine.sparse_rounds_active());
+    engine.run_rounds(12);
+    std::vector<std::uint64_t> decisions;
+    for (graph::Vertex v = 0; v < g.size(); ++v) {
+      const auto& d =
+          dynamic_cast<const seed::SeedProcess&>(engine.process(v)).decision();
+      decisions.push_back(d.has_value() ? d->seed_value ^ (d->owner * 3U) : 0);
+    }
+    return std::make_pair(stream.events(), decisions);
+  };
+  const auto dense = run(false);
+  const auto sparse = run(true);
+  ASSERT_EQ(dense.second, sparse.second) << "seed decisions";
+  ASSERT_EQ(dense.first.size(), sparse.first.size());
+  for (std::size_t i = 0; i < dense.first.size(); ++i) {
+    ASSERT_EQ(dense.first[i], sparse.first[i]) << "event " << i;
   }
 }
 

@@ -100,6 +100,10 @@ TEST(SpliceGrammar, TapArgumentErrors) {
   EXPECT_NE(parse_error("tap").find("missing slab"), std::string::npos);
   EXPECT_NE(parse_error("tap:packet_slab").find("not tappable"),
             std::string::npos);
+  // The frontier's activity mask is engine-internal scratch whose contents
+  // are only meaningful mid-round on the sparse path; it is not tappable.
+  EXPECT_NE(parse_error("tap:activity_mask").find("not tappable"),
+            std::string::npos);
   EXPECT_NE(parse_error("tap:heard_words:1,x").find("bad vertex 'x'"),
             std::string::npos);
   EXPECT_NE(parse_error("noop:1").find("takes no arguments"),
@@ -126,7 +130,8 @@ TEST(SpliceValidator, CoreOwnedSlabWriteNamesTheOwner) {
   for (const Case& c :
        {Case{"dedup:4:heard_words", "heard_words", "compute"},
         Case{"dedup:4:transmit_bitmap", "transmit_bitmap", "transmit"},
-        Case{"dedup:4:crashed_bitmap", "crashed_bitmap", "fault"}}) {
+        Case{"dedup:4:crashed_bitmap", "crashed_bitmap", "fault"},
+        Case{"dedup:4:activity_mask", "activity_mask", "frontier"}}) {
     const std::vector<SpliceSpec> specs = {parse_ok(c.text)};
     const std::string error = validate_splice_specs(specs);
     EXPECT_NE(error.find(std::string("writes slab '") + c.slab + "'"),

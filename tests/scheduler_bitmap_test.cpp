@@ -154,8 +154,9 @@ TEST(SchedulerBitmap, DefaultFillMatchesActiveForCustomScheduler) {
 
 // ---- SIMD word kernels ----
 //
-// The dispatching entry points (AVX2 where the CPU has it) must agree
-// word-for-word with the public scalar references, including the
+// The dispatching entry points (AVX2 where the CPU has it, NEON on
+// AArch64) must agree word-for-word with the public scalar references,
+// including the
 // zeroed-tail invariant past n_bits.  The scheduler-vs-active() sweeps
 // above already pin the dispatchers against the per-edge contract (the
 // schedulers' fill_round now calls them); these sweeps isolate the
@@ -170,10 +171,11 @@ void expect_kernel_words_match(
   std::vector<std::uint64_t> a(n_words, ~0ULL), b(n_words, ~0ULL);
   dispatch(a.data());
   scalar(b.data());
+  const char* lane = util::simd::have_avx2()   ? " (avx2)"
+                     : util::simd::have_neon() ? " (neon)"
+                                               : " (scalar dispatch)";
   for (std::size_t w = 0; w < n_words; ++w) {
-    ASSERT_EQ(a[w], b[w]) << "word " << w << ", n_bits=" << n_bits
-                          << (util::simd::have_avx2() ? " (avx2)"
-                                                      : " (scalar dispatch)");
+    ASSERT_EQ(a[w], b[w]) << "word " << w << ", n_bits=" << n_bits << lane;
   }
   // Tail invariant: bits at or beyond n_bits are zero.
   if (n_bits % 64 != 0) {
